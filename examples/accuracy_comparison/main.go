@@ -1,0 +1,85 @@
+// Accuracy comparison: pit all seven distributed training algorithms
+// against each other on the same task, data shards and seed — the paper's
+// Table II in miniature. Prints final accuracy and time-to-90%-accuracy so
+// the accuracy/performance trade-off is visible in one table.
+//
+//	go run ./examples/accuracy_comparison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"disttrain/internal/cluster"
+	"disttrain/internal/core"
+	"disttrain/internal/costmodel"
+	"disttrain/internal/data"
+	"disttrain/internal/nn"
+	"disttrain/internal/opt"
+	"disttrain/internal/report"
+	"disttrain/internal/rng"
+)
+
+func main() {
+	r := rng.New(7)
+	ds := data.GenShapes16(r, 3000)
+	train, test := ds.Split(r.Split(1), 500)
+	const workers = 8
+	const iters = 200
+
+	table := report.Table{
+		Title:  "seven algorithms, identical task and seed",
+		Header: []string{"algorithm", "test-acc", "virtual-sec", "GB-moved", "sec-to-25%-err"},
+	}
+
+	for _, algo := range core.Algos() {
+		lr := 0.005
+		lrWorkers := 1
+		switch {
+		case algo.Synchronous():
+			lrWorkers = workers
+		case algo == core.ASP:
+			lr = 0.002
+		case algo == core.SSP:
+			lr = 0.001
+		}
+		cfg := core.Config{
+			Algo:        algo,
+			Cluster:     cluster.Paper56G(workers),
+			Workload:    costmodel.NewWorkload(costmodel.ResNet50(), costmodel.TitanV(), 128),
+			Iters:       iters,
+			Seed:        7,
+			Momentum:    0.9,
+			WeightDecay: 1e-4,
+			LR:          opt.NewPaperSchedule(lr, lrWorkers, iters/20, []int{iters / 2, 4 * iters / 5}),
+			Staleness:   3,
+			Tau:         8,
+			GossipP:     0.1,
+			LocalAgg:    algo == core.BSP,
+			Real: &core.RealConfig{
+				Factory:   func(rr *rng.RNG) *nn.Model { return nn.NewMiniCNN(rr, data.ShapeClasses) },
+				Train:     train,
+				Test:      test,
+				Batch:     8,
+				EvalEvery: 20,
+				EvalMax:   500,
+			},
+		}
+		res, err := core.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reach := "never"
+		if at, ok := res.Metrics.TimeToErr(0.25); ok {
+			reach = report.Fmt(at, 1)
+		}
+		table.AddRow(string(algo),
+			report.Fmt(res.FinalTestAcc, 4),
+			report.Fmt(res.VirtualSec, 1),
+			report.Fmt(float64(res.Net.TotalBytes)/1e9, 1),
+			reach)
+		fmt.Printf("ran %s\n", algo)
+	}
+	fmt.Println()
+	fmt.Print(table.String())
+}

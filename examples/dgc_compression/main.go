@@ -1,0 +1,86 @@
+// DGC walkthrough: deep gradient compression on ASP over a slow network —
+// measure what the top-k sparsification does to traffic, training speed,
+// and model accuracy (the paper's Fig. 4 + Table IV story).
+//
+//	go run ./examples/dgc_compression
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"disttrain/internal/cluster"
+	"disttrain/internal/core"
+	"disttrain/internal/costmodel"
+	"disttrain/internal/data"
+	"disttrain/internal/grad"
+	"disttrain/internal/nn"
+	"disttrain/internal/opt"
+	"disttrain/internal/report"
+	"disttrain/internal/rng"
+)
+
+func main() {
+	r := rng.New(3)
+	ds := data.GenShapes16(r, 2500)
+	train, test := ds.Split(r.Split(1), 400)
+	const workers = 8
+	const iters = 200
+
+	build := func(withDGC bool) core.Config {
+		cfg := core.Config{
+			Algo:        core.ASP,
+			Cluster:     cluster.Paper10G(workers), // slow network: DGC's home turf
+			Workload:    costmodel.NewWorkload(costmodel.VGG16(), costmodel.TitanV(), 96),
+			Iters:       iters,
+			Seed:        3,
+			Momentum:    0.9,
+			WeightDecay: 1e-4,
+			LR:          opt.NewPaperSchedule(0.002, 1, iters/20, []int{iters / 2}),
+			Sharding:    core.ShardLayerWise,
+			Real: &core.RealConfig{
+				Factory:   func(rr *rng.RNG) *nn.Model { return nn.NewMiniVGG(rr, data.ShapeClasses) },
+				Train:     train,
+				Test:      test,
+				Batch:     8,
+				EvalEvery: 50,
+				EvalMax:   400,
+			},
+		}
+		if withDGC {
+			// Note: scaled to the mini model — at 75k parameters a 5% ratio
+			// plays the role the paper's 0.1% plays at 138M parameters.
+			d := grad.DGCConfig{Ratio: 0.05, Momentum: 0.9, ClipNorm: 4, WarmupIters: iters / 3}
+			cfg.DGC = &d
+		}
+		return cfg
+	}
+
+	base, err := core.Run(build(false))
+	if err != nil {
+		log.Fatal(err)
+	}
+	dgc, err := core.Run(build(true))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := report.Table{Title: "ASP + MiniVGG on a 10Gbps cluster, with and without DGC",
+		Header: []string{"metric", "baseline", "with DGC"}}
+	t.AddRow("gradient traffic",
+		report.FmtBytes(float64(base.GradientBytes())),
+		report.FmtBytes(float64(dgc.GradientBytes())))
+	t.AddRow("total traffic",
+		report.FmtBytes(float64(base.Net.TotalBytes)),
+		report.FmtBytes(float64(dgc.Net.TotalBytes)))
+	t.AddRow("virtual time (s)",
+		report.Fmt(base.VirtualSec, 1), report.Fmt(dgc.VirtualSec, 1))
+	t.AddRow("throughput (samples/s)",
+		report.Fmt(base.Throughput, 0), report.Fmt(dgc.Throughput, 0))
+	t.AddRow("final test accuracy",
+		report.Fmt(base.FinalTestAcc, 4), report.Fmt(dgc.FinalTestAcc, 4))
+	fmt.Print(t.String())
+	fmt.Println("\nDGC slashes gradient traffic and speeds up the run while keeping")
+	fmt.Println("accuracy — because skipped gradients accumulate locally instead of")
+	fmt.Println("being dropped (Table IV's finding).")
+}

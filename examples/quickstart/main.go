@@ -1,0 +1,65 @@
+// Quickstart: train a small CNN on the synthetic shapes dataset with
+// data-parallel BSP across 8 simulated workers, then print the accuracy and
+// where the training time went.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"disttrain/internal/cluster"
+	"disttrain/internal/core"
+	"disttrain/internal/costmodel"
+	"disttrain/internal/data"
+	"disttrain/internal/nn"
+	"disttrain/internal/opt"
+	"disttrain/internal/rng"
+)
+
+func main() {
+	// 1. A deterministic synthetic dataset (the ImageNet stand-in).
+	r := rng.New(42)
+	ds := data.GenShapes16(r, 3000)
+	train, test := ds.Split(r.Split(1), 500)
+
+	// 2. An experiment: 8 workers on 2 machines, 56 Gbps network, BSP with
+	//    local aggregation — the paper's baseline configuration.
+	iters := 150
+	cfg := core.Config{
+		Algo:        core.BSP,
+		Cluster:     cluster.Paper56G(8),
+		Workload:    costmodel.NewWorkload(costmodel.ResNet50(), costmodel.TitanV(), 128),
+		Iters:       iters,
+		Seed:        42,
+		Momentum:    0.9,
+		WeightDecay: 1e-4,
+		LR:          opt.NewPaperSchedule(0.005, 8, iters/10, []int{iters / 2, 4 * iters / 5}),
+		LocalAgg:    true,
+		Real: &core.RealConfig{
+			Factory:   func(rr *rng.RNG) *nn.Model { return nn.NewMiniCNN(rr, data.ShapeClasses) },
+			Train:     train,
+			Test:      test,
+			Batch:     8,
+			EvalEvery: 30,
+		},
+	}
+
+	// 3. Run it.
+	res, err := core.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("final test accuracy: %.3f\n", res.FinalTestAcc)
+	fmt.Printf("virtual training time: %.1f s (as if on 8 TITAN V GPUs)\n", res.VirtualSec)
+	fmt.Printf("network traffic: %.2f GB\n", float64(res.Net.TotalBytes)/1e9)
+	b := res.Metrics.MeanBreakdown()
+	fmt.Printf("time split: %.0f%% compute, %.0f%% local agg, %.0f%% global agg, %.0f%% network\n",
+		100*b.Frac(0), 100*b.Frac(1), 100*b.Frac(2), 100*b.Frac(3))
+	fmt.Println("\nconvergence:")
+	for _, tp := range res.Metrics.Trace {
+		fmt.Printf("  iter %4d  epoch %5.2f  err %.3f\n", tp.Iter, tp.Epoch, tp.TestErr)
+	}
+}

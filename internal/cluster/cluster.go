@@ -1,0 +1,97 @@
+// Package cluster describes the simulated cluster topology: machines,
+// workers (GPUs) per machine, and the network tiers connecting them.
+//
+// The default configuration mirrors the paper's testbed: 6 (virtual)
+// machines × 4 GPUs = 24 workers, inter-connected by 10 Gbps Ethernet or
+// 56 Gbps InfiniBand, with a much faster intra-machine path between GPUs on
+// the same host.
+package cluster
+
+import "fmt"
+
+// Config is a cluster description. The zero value is not valid; use
+// Paper10G/Paper56G or fill every field.
+type Config struct {
+	// Machines is the number of hosts.
+	Machines int
+	// WorkersPerMachine is the number of workers (GPUs) on each host.
+	WorkersPerMachine int
+	// InterBytesPerSec is the NIC bandwidth between machines, in bytes/s
+	// per direction (full duplex).
+	InterBytesPerSec float64
+	// IntraBytesPerSec is the bandwidth between workers on one machine
+	// (PCIe/NVLink class, shared bus per machine).
+	IntraBytesPerSec float64
+	// LatencySec is the fixed per-message latency.
+	LatencySec float64
+}
+
+// Gbps converts link speed in gigabits/s to bytes/s.
+func Gbps(g float64) float64 { return g * 1e9 / 8 }
+
+// Paper10G returns the paper's cluster on the 10 Gbps Ethernet fabric,
+// scaled to the requested worker count (workers are packed 4 per machine as
+// in the paper; fewer than 4 workers share one machine).
+func Paper10G(workers int) Config { return paperCluster(workers, Gbps(10)) }
+
+// Paper56G returns the paper's cluster on the 56 Gbps InfiniBand fabric.
+func Paper56G(workers int) Config { return paperCluster(workers, Gbps(56)) }
+
+func paperCluster(workers int, inter float64) Config {
+	if workers <= 0 {
+		panic("cluster: need at least one worker")
+	}
+	perMachine := 4
+	if workers < perMachine {
+		perMachine = workers
+	}
+	machines := (workers + perMachine - 1) / perMachine
+	return Config{
+		Machines:          machines,
+		WorkersPerMachine: perMachine,
+		InterBytesPerSec:  inter,
+		IntraBytesPerSec:  Gbps(128), // PCIe3 x16-class aggregate bus
+		LatencySec:        50e-6,
+	}
+}
+
+// Validate reports a configuration error, if any.
+func (c Config) Validate() error {
+	switch {
+	case c.Machines <= 0:
+		return fmt.Errorf("cluster: Machines = %d", c.Machines)
+	case c.WorkersPerMachine <= 0:
+		return fmt.Errorf("cluster: WorkersPerMachine = %d", c.WorkersPerMachine)
+	case c.InterBytesPerSec <= 0 || c.IntraBytesPerSec <= 0:
+		return fmt.Errorf("cluster: non-positive bandwidth")
+	case c.LatencySec < 0:
+		return fmt.Errorf("cluster: negative latency")
+	}
+	return nil
+}
+
+// Workers returns the total worker count. The last machine may be partially
+// filled when the count is not a multiple of WorkersPerMachine; Workers
+// reports the full capacity, so construct configs via Paper10G/Paper56G or
+// with exact multiples when the distinction matters.
+func (c Config) Workers() int { return c.Machines * c.WorkersPerMachine }
+
+// MachineOfWorker returns the host index of worker w (packed placement).
+func (c Config) MachineOfWorker(w int) int {
+	if w < 0 || w >= c.Workers() {
+		panic(fmt.Sprintf("cluster: worker %d of %d", w, c.Workers()))
+	}
+	return w / c.WorkersPerMachine
+}
+
+// WorkersOnMachine returns the worker indices placed on machine m.
+func (c Config) WorkersOnMachine(m int) []int {
+	if m < 0 || m >= c.Machines {
+		panic(fmt.Sprintf("cluster: machine %d of %d", m, c.Machines))
+	}
+	ws := make([]int, 0, c.WorkersPerMachine)
+	for w := m * c.WorkersPerMachine; w < (m+1)*c.WorkersPerMachine; w++ {
+		ws = append(ws, w)
+	}
+	return ws
+}

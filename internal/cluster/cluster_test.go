@@ -1,0 +1,84 @@
+package cluster
+
+import "testing"
+
+func TestPaperClusterShapes(t *testing.T) {
+	c := Paper56G(24)
+	if c.Machines != 6 || c.WorkersPerMachine != 4 {
+		t.Fatalf("24 workers -> %d machines x %d", c.Machines, c.WorkersPerMachine)
+	}
+	if c.Workers() != 24 {
+		t.Fatalf("Workers = %d", c.Workers())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperClusterSmall(t *testing.T) {
+	c := Paper10G(2)
+	if c.Machines != 1 || c.WorkersPerMachine != 2 {
+		t.Fatalf("2 workers -> %d x %d", c.Machines, c.WorkersPerMachine)
+	}
+	c = Paper10G(8)
+	if c.Machines != 2 || c.WorkersPerMachine != 4 {
+		t.Fatalf("8 workers -> %d x %d", c.Machines, c.WorkersPerMachine)
+	}
+}
+
+func TestBandwidthTiers(t *testing.T) {
+	if Paper10G(4).InterBytesPerSec != 10e9/8 {
+		t.Fatal("10G bandwidth wrong")
+	}
+	if Paper56G(4).InterBytesPerSec != 56e9/8 {
+		t.Fatal("56G bandwidth wrong")
+	}
+	if g := Gbps(8); g != 1e9 {
+		t.Fatalf("Gbps(8) = %v", g)
+	}
+}
+
+func TestMachineOfWorker(t *testing.T) {
+	c := Paper10G(24)
+	cases := map[int]int{0: 0, 3: 0, 4: 1, 23: 5}
+	for w, m := range cases {
+		if got := c.MachineOfWorker(w); got != m {
+			t.Fatalf("MachineOfWorker(%d) = %d, want %d", w, got, m)
+		}
+	}
+}
+
+func TestWorkersOnMachine(t *testing.T) {
+	c := Paper10G(24)
+	ws := c.WorkersOnMachine(2)
+	want := []int{8, 9, 10, 11}
+	for i := range want {
+		if ws[i] != want[i] {
+			t.Fatalf("WorkersOnMachine(2) = %v", ws)
+		}
+	}
+}
+
+func TestMachineOfWorkerPanics(t *testing.T) {
+	c := Paper10G(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.MachineOfWorker(4)
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{},
+		{Machines: 1},
+		{Machines: 1, WorkersPerMachine: 2},
+		{Machines: 1, WorkersPerMachine: 2, InterBytesPerSec: 1, IntraBytesPerSec: 1, LatencySec: -1},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Fatalf("config %d validated", i)
+		}
+	}
+}

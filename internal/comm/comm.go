@@ -1,0 +1,225 @@
+// Package comm implements the collective operations the decentralized
+// algorithms and local aggregation are built on, as blocking calls made
+// from simulated processes: ring AllReduce (reduce-scatter + all-gather,
+// the MPI/MPICH algorithm the paper uses for AR-SGD) and intra-machine
+// gather/broadcast for BSP's local aggregation.
+//
+// Every collective works in two modes: with real payload vectors (accuracy
+// experiments) and with nil payloads where only message sizes drive the
+// simulation (cost-only scalability experiments).
+package comm
+
+import (
+	"fmt"
+
+	"disttrain/internal/des"
+	"disttrain/internal/simnet"
+	"disttrain/internal/tensor"
+)
+
+// RingAllReduce performs an in-place sum-AllReduce of vec across the
+// participants' nodes. Every participant must call it with the same ids and
+// kind; self is the caller's index into ids. vec may be nil in cost-only
+// mode, in which case virtualLen supplies the element count used for chunk
+// sizing. totalBytes is the wire size of the full vector.
+//
+// Returns the wire seconds accumulated by this participant's receives —
+// the "network" share of the collective for time-breakdown metrics.
+func RingAllReduce(p *des.Proc, net *simnet.Net, ids []int, self int, vec []float32, virtualLen int, totalBytes int64, kind int) des.Time {
+	n := len(ids)
+	if n == 1 {
+		return 0
+	}
+	if vec != nil {
+		virtualLen = len(vec)
+	}
+	if virtualLen <= 0 {
+		panic("comm: RingAllReduce needs a positive length")
+	}
+	chunkLo := func(c int) int { return virtualLen * c / n }
+	chunkHi := func(c int) int { return virtualLen * (c + 1) / n }
+	chunkBytes := func(c int) int64 {
+		return totalBytes * int64(chunkHi(c)-chunkLo(c)) / int64(virtualLen)
+	}
+	right := ids[(self+1)%n]
+	inbox := net.Node(ids[self]).Inbox
+	var wire des.Time
+
+	sendChunk := func(c int, add bool) {
+		var payload []float32
+		if vec != nil {
+			payload = append([]float32(nil), vec[chunkLo(c):chunkHi(c)]...)
+		}
+		net.Send(simnet.Msg{From: ids[self], To: right, Kind: kind, Seg: c, Bytes: chunkBytes(c), Vec: payload, Aux: b2f(add)})
+	}
+	recvChunk := func(wantChunk int) simnet.Msg {
+		m := inbox.Recv(p)
+		if m.Kind != kind || m.Seg != wantChunk {
+			panic(fmt.Sprintf("comm: allreduce got kind %d seg %d, want %d/%d", m.Kind, m.Seg, kind, wantChunk))
+		}
+		wire += m.WireSec
+		return m
+	}
+
+	// Reduce-scatter: after n-1 steps, participant i holds the full sum of
+	// chunk (i+1) mod n.
+	for s := 0; s < n-1; s++ {
+		sendChunk(((self-s)%n+n)%n, true)
+		c := ((self-s-1)%n + n) % n
+		m := recvChunk(c)
+		if vec != nil {
+			tensor.AxpyF32(1, m.Vec, vec[chunkLo(c):chunkHi(c)])
+		}
+	}
+	// All-gather: circulate the reduced chunks.
+	for s := 0; s < n-1; s++ {
+		sendChunk(((self+1-s)%n+n)%n, false)
+		c := ((self-s)%n + n) % n
+		m := recvChunk(c)
+		if vec != nil {
+			copy(vec[chunkLo(c):chunkHi(c)], m.Vec)
+		}
+	}
+	return wire
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TreeAllReduce performs a sum-AllReduce as a binomial reduce-to-root
+// followed by a binomial broadcast — the algorithm MPI implementations
+// prefer for small messages, where ring AllReduce's 2(N−1) latency hops
+// dominate. Each participant moves O(M·log N) bytes instead of the ring's
+// O(M) per link, so for large vectors the ring wins; see
+// BenchmarkAblationAllReduce for the crossover.
+//
+// Semantics mirror RingAllReduce: every participant calls it with the same
+// ids/kind, vec may be nil in cost-only mode, and the wire seconds of this
+// participant's receives are returned.
+func TreeAllReduce(p *des.Proc, net *simnet.Net, ids []int, self int, vec []float32, virtualLen int, totalBytes int64, kind int) des.Time {
+	n := len(ids)
+	if n == 1 {
+		return 0
+	}
+	if vec != nil {
+		virtualLen = len(vec)
+	}
+	if virtualLen <= 0 {
+		panic("comm: TreeAllReduce needs a positive length")
+	}
+	inbox := net.Node(ids[self]).Inbox
+	var wire des.Time
+
+	send := func(to int) {
+		var payload []float32
+		if vec != nil {
+			payload = append([]float32(nil), vec...)
+		}
+		net.Send(simnet.Msg{From: ids[self], To: ids[to], Kind: kind, Bytes: totalBytes, Vec: payload})
+	}
+	recv := func(add bool) {
+		m := inbox.Recv(p)
+		if m.Kind != kind {
+			panic(fmt.Sprintf("comm: tree allreduce got kind %d, want %d", m.Kind, kind))
+		}
+		wire += m.WireSec
+		if vec != nil && m.Vec != nil {
+			if add {
+				tensor.AxpyF32(1, m.Vec, vec)
+			} else {
+				copy(vec, m.Vec)
+			}
+		}
+	}
+
+	// Reduce: in round k (distance d = 2^k), ranks with self%2d == d send to
+	// self-d and drop out; ranks with self%2d == 0 receive (if a partner
+	// exists).
+	for d := 1; d < n; d *= 2 {
+		if self%(2*d) == d {
+			send(self - d)
+			break
+		}
+		if self%(2*d) == 0 && self+d < n {
+			recv(true)
+		}
+	}
+	// Broadcast back down the same tree, mirrored: largest distance first.
+	top := 1
+	for top < n {
+		top *= 2
+	}
+	for d := top / 2; d >= 1; d /= 2 {
+		switch {
+		case self%(2*d) == 0 && self+d < n:
+			send(self + d)
+		case self%(2*d) == d:
+			recv(false)
+		}
+	}
+	return wire
+}
+
+// LocalGather implements the member side and leader side of intra-machine
+// gradient aggregation (the paper's "local aggregation"): every member
+// sends its vector to the group leader, which sums them into its own vec.
+// group lists the node IDs on one machine; self is the caller's index.
+// Members return immediately after sending (their wait happens when the
+// leader later broadcasts); the leader blocks until all members arrive.
+func LocalGather(p *des.Proc, net *simnet.Net, group []int, self int, vec []float32, totalBytes int64, kind int) des.Time {
+	if len(group) == 1 {
+		return 0
+	}
+	const leader = 0
+	if self != leader {
+		var payload []float32
+		if vec != nil {
+			payload = append([]float32(nil), vec...)
+		}
+		net.Send(simnet.Msg{From: group[self], To: group[leader], Kind: kind, Bytes: totalBytes, Vec: payload})
+		return 0
+	}
+	inbox := net.Node(group[leader]).Inbox
+	var wire des.Time
+	for i := 0; i < len(group)-1; i++ {
+		m := inbox.Recv(p)
+		if m.Kind != kind {
+			panic(fmt.Sprintf("comm: local gather got kind %d, want %d", m.Kind, kind))
+		}
+		wire += m.WireSec
+		if vec != nil && m.Vec != nil {
+			tensor.AxpyF32(1, m.Vec, vec)
+		}
+	}
+	return wire
+}
+
+// LocalBroadcast sends vec from the group leader to every member (leader
+// side), or receives it (member side), returning the received vector and
+// wire time. The leader's own vec is returned unchanged on the leader.
+func LocalBroadcast(p *des.Proc, net *simnet.Net, group []int, self int, vec []float32, totalBytes int64, kind int) ([]float32, des.Time) {
+	if len(group) == 1 {
+		return vec, 0
+	}
+	const leader = 0
+	if self == leader {
+		for i := 1; i < len(group); i++ {
+			var payload []float32
+			if vec != nil {
+				payload = append([]float32(nil), vec...)
+			}
+			net.Send(simnet.Msg{From: group[leader], To: group[i], Kind: kind, Bytes: totalBytes, Vec: payload})
+		}
+		return vec, 0
+	}
+	inbox := net.Node(group[self]).Inbox
+	m := inbox.Recv(p)
+	if m.Kind != kind {
+		panic(fmt.Sprintf("comm: local broadcast got kind %d, want %d", m.Kind, kind))
+	}
+	return m.Vec, m.WireSec
+}

@@ -1,0 +1,339 @@
+package comm
+
+import (
+	"math"
+	"testing"
+
+	"disttrain/internal/cluster"
+	"disttrain/internal/des"
+	"disttrain/internal/rng"
+	"disttrain/internal/simnet"
+)
+
+const testKind = 7
+
+func buildNet(machines, perMachine int) (*des.Engine, *simnet.Net, []int) {
+	eng := des.NewEngine()
+	cfg := cluster.Config{
+		Machines:          machines,
+		WorkersPerMachine: perMachine,
+		InterBytesPerSec:  1e9,
+		IntraBytesPerSec:  1e10,
+		LatencySec:        1e-5,
+	}
+	net := simnet.New(eng, cfg)
+	var ids []int
+	for m := 0; m < machines; m++ {
+		for w := 0; w < perMachine; w++ {
+			ids = append(ids, net.AddNode(m).ID)
+		}
+	}
+	return eng, net, ids
+}
+
+func TestRingAllReduceSum(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7} {
+		eng, net, ids := buildNet(n, 1)
+		vecs := make([][]float32, n)
+		want := make([]float32, 10)
+		r := rng.New(uint64(n))
+		for i := range vecs {
+			vecs[i] = make([]float32, 10)
+			for j := range vecs[i] {
+				vecs[i][j] = float32(r.NormFloat64())
+				want[j] += vecs[i][j]
+			}
+		}
+		for i := 0; i < n; i++ {
+			i := i
+			eng.Spawn("w", func(p *des.Proc) {
+				RingAllReduce(p, net, ids, i, vecs[i], 0, 40, testKind)
+			})
+		}
+		eng.Run(0)
+		if stuck := eng.Stuck(); len(stuck) > 0 {
+			t.Fatalf("n=%d stuck: %v", n, stuck)
+		}
+		for i := range vecs {
+			for j := range want {
+				if math.Abs(float64(vecs[i][j]-want[j])) > 1e-4 {
+					t.Fatalf("n=%d worker %d coord %d: %v want %v", n, i, j, vecs[i][j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestRingAllReduceCostOnly(t *testing.T) {
+	n := 4
+	eng, net, ids := buildNet(n, 1)
+	for i := 0; i < n; i++ {
+		i := i
+		eng.Spawn("w", func(p *des.Proc) {
+			RingAllReduce(p, net, ids, i, nil, 1000, 4000, testKind)
+		})
+	}
+	eng.Run(0)
+	if stuck := eng.Stuck(); len(stuck) > 0 {
+		t.Fatalf("stuck: %v", stuck)
+	}
+	// 2(n-1) steps, each participant sends one chunk of ~1000 bytes.
+	s := net.Stats()
+	wantMsgs := int64(2 * (n - 1) * n)
+	if s.TotalMsgs != wantMsgs {
+		t.Fatalf("msgs = %d, want %d", s.TotalMsgs, wantMsgs)
+	}
+	wantBytes := int64(2 * (n - 1) * 4000) // each round moves the full vector once
+	if s.TotalBytes != wantBytes {
+		t.Fatalf("bytes = %d, want %d", s.TotalBytes, wantBytes)
+	}
+}
+
+func TestRingAllReduceUnevenLength(t *testing.T) {
+	// Vector length not divisible by participant count.
+	n := 3
+	eng, net, ids := buildNet(n, 1)
+	vecs := make([][]float32, n)
+	for i := range vecs {
+		vecs[i] = []float32{1, 1, 1, 1, 1, 1, 1} // len 7
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		eng.Spawn("w", func(p *des.Proc) {
+			RingAllReduce(p, net, ids, i, vecs[i], 0, 28, testKind)
+		})
+	}
+	eng.Run(0)
+	for i := range vecs {
+		for j, v := range vecs[i] {
+			if v != 3 {
+				t.Fatalf("worker %d coord %d = %v, want 3", i, j, v)
+			}
+		}
+	}
+}
+
+func TestRingAllReduceTimeScalesWithBandwidth(t *testing.T) {
+	run := func(bw float64) des.Time {
+		eng := des.NewEngine()
+		cfg := cluster.Config{Machines: 4, WorkersPerMachine: 1,
+			InterBytesPerSec: bw, IntraBytesPerSec: 1e12, LatencySec: 1e-6}
+		net := simnet.New(eng, cfg)
+		var ids []int
+		for m := 0; m < 4; m++ {
+			ids = append(ids, net.AddNode(m).ID)
+		}
+		var end des.Time
+		for i := 0; i < 4; i++ {
+			i := i
+			eng.Spawn("w", func(p *des.Proc) {
+				RingAllReduce(p, net, ids, i, nil, 1<<20, 4<<20, testKind)
+				if p.Now() > end {
+					end = p.Now()
+				}
+			})
+		}
+		eng.Run(0)
+		return end
+	}
+	fast := run(cluster.Gbps(56))
+	slow := run(cluster.Gbps(10))
+	if fast >= slow {
+		t.Fatalf("56G allreduce (%v) not faster than 10G (%v)", fast, slow)
+	}
+}
+
+func TestLocalGatherSumsOnLeader(t *testing.T) {
+	eng, net, ids := buildNet(1, 4)
+	vecs := make([][]float32, 4)
+	for i := range vecs {
+		vecs[i] = []float32{float32(i + 1), 1}
+	}
+	for i := 0; i < 4; i++ {
+		i := i
+		eng.Spawn("w", func(p *des.Proc) {
+			LocalGather(p, net, ids, i, vecs[i], 8, testKind)
+		})
+	}
+	eng.Run(0)
+	// leader (index 0) should hold 1+2+3+4 = 10 and 4.
+	if vecs[0][0] != 10 || vecs[0][1] != 4 {
+		t.Fatalf("leader vec = %v", vecs[0])
+	}
+	// members' vectors unchanged
+	if vecs[1][0] != 2 {
+		t.Fatalf("member vec modified: %v", vecs[1])
+	}
+}
+
+func TestLocalBroadcastDelivers(t *testing.T) {
+	eng, net, ids := buildNet(1, 3)
+	payload := []float32{5, 6}
+	got := make([][]float32, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		eng.Spawn("w", func(p *des.Proc) {
+			v, _ := LocalBroadcast(p, net, ids, i, payloadIf(i == 0, payload), 8, testKind)
+			got[i] = v
+		})
+	}
+	eng.Run(0)
+	for i := 0; i < 3; i++ {
+		if got[i] == nil || got[i][0] != 5 || got[i][1] != 6 {
+			t.Fatalf("member %d got %v", i, got[i])
+		}
+	}
+}
+
+func payloadIf(cond bool, v []float32) []float32 {
+	if cond {
+		return v
+	}
+	return nil
+}
+
+func TestSingleMemberGroupsAreNoOps(t *testing.T) {
+	eng, net, ids := buildNet(1, 1)
+	ran := false
+	eng.Spawn("w", func(p *des.Proc) {
+		v := []float32{1}
+		LocalGather(p, net, ids[:1], 0, v, 4, testKind)
+		out, _ := LocalBroadcast(p, net, ids[:1], 0, v, 4, testKind)
+		if out[0] != 1 {
+			t.Error("no-op broadcast changed vector")
+		}
+		ran = true
+	})
+	eng.Run(0)
+	if !ran {
+		t.Fatal("proc did not run")
+	}
+	if net.Stats().TotalMsgs != 0 {
+		t.Fatal("single-member group sent messages")
+	}
+}
+
+func TestLocalAggregationReducesCrossTraffic(t *testing.T) {
+	// The point of local aggregation: gather on machine leaders first, then
+	// only leaders talk cross-machine. Verify intra traffic is not counted
+	// as cross-machine bytes.
+	eng, net, ids := buildNet(2, 2)
+	for i := 0; i < 4; i++ {
+		i := i
+		eng.Spawn("w", func(p *des.Proc) {
+			group := ids[0:2]
+			self := i
+			if i >= 2 {
+				group = ids[2:4]
+				self = i - 2
+			}
+			LocalGather(p, net, group, self, nil, 1000, testKind)
+		})
+	}
+	eng.Run(0)
+	s := net.Stats()
+	if s.CrossMachineBytes != 0 {
+		t.Fatalf("local gather crossed machines: %d bytes", s.CrossMachineBytes)
+	}
+	if s.TotalBytes != 2000 {
+		t.Fatalf("total = %d, want 2000", s.TotalBytes)
+	}
+}
+
+func TestTreeAllReduceSum(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 8} {
+		eng, net, ids := buildNet(n, 1)
+		vecs := make([][]float32, n)
+		want := make([]float32, 6)
+		r := rng.New(uint64(n + 100))
+		for i := range vecs {
+			vecs[i] = make([]float32, 6)
+			for j := range vecs[i] {
+				vecs[i][j] = float32(r.NormFloat64())
+				want[j] += vecs[i][j]
+			}
+		}
+		for i := 0; i < n; i++ {
+			i := i
+			eng.Spawn("w", func(p *des.Proc) {
+				TreeAllReduce(p, net, ids, i, vecs[i], 0, 24, testKind)
+			})
+		}
+		eng.Run(0)
+		if stuck := eng.Stuck(); len(stuck) > 0 {
+			t.Fatalf("n=%d stuck: %v", n, stuck)
+		}
+		for i := range vecs {
+			for j := range want {
+				if math.Abs(float64(vecs[i][j]-want[j])) > 1e-4 {
+					t.Fatalf("n=%d worker %d coord %d: %v want %v", n, i, j, vecs[i][j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestTreeAllReduceRepeatedRounds(t *testing.T) {
+	// Two back-to-back tree allreduces must not cross-contaminate.
+	n := 4
+	eng, net, ids := buildNet(n, 1)
+	vecs := make([][]float32, n)
+	for i := range vecs {
+		vecs[i] = []float32{1}
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		eng.Spawn("w", func(p *des.Proc) {
+			TreeAllReduce(p, net, ids, i, vecs[i], 0, 4, testKind)
+			// all now 4; second round sums to 16
+			TreeAllReduce(p, net, ids, i, vecs[i], 0, 4, testKind)
+		})
+	}
+	eng.Run(0)
+	for i := range vecs {
+		if vecs[i][0] != 16 {
+			t.Fatalf("worker %d = %v, want 16", i, vecs[i][0])
+		}
+	}
+}
+
+func TestTreeVsRingLatencyCrossover(t *testing.T) {
+	// Small message: tree's O(log N) rounds beat the ring's 2(N-1) rounds.
+	// Large message: the ring's O(M) per-link traffic beats the tree's
+	// O(M log N) root bottleneck.
+	run := func(tree bool, bytes int64) des.Time {
+		n := 8
+		eng := des.NewEngine()
+		cfg := cluster.Config{Machines: n, WorkersPerMachine: 1,
+			InterBytesPerSec: cluster.Gbps(10), IntraBytesPerSec: 1e12, LatencySec: 100e-6}
+		net := simnet.New(eng, cfg)
+		var ids []int
+		for m := 0; m < n; m++ {
+			ids = append(ids, net.AddNode(m).ID)
+		}
+		var end des.Time
+		for i := 0; i < n; i++ {
+			i := i
+			eng.Spawn("w", func(p *des.Proc) {
+				if tree {
+					TreeAllReduce(p, net, ids, i, nil, int(bytes/4), bytes, testKind)
+				} else {
+					RingAllReduce(p, net, ids, i, nil, int(bytes/4), bytes, testKind)
+				}
+				if p.Now() > end {
+					end = p.Now()
+				}
+			})
+		}
+		eng.Run(0)
+		return end
+	}
+	small := int64(4 << 10)
+	if tt, rt := run(true, small), run(false, small); tt >= rt {
+		t.Fatalf("small message: tree (%v) not faster than ring (%v)", tt, rt)
+	}
+	large := int64(128 << 20)
+	if tt, rt := run(true, large), run(false, large); tt <= rt {
+		t.Fatalf("large message: ring (%v) not faster than tree (%v)", rt, tt)
+	}
+}

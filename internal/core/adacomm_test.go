@@ -1,0 +1,87 @@
+package core
+
+import "testing"
+
+func adaCommConfig(workers, iters int, seed uint64) Config {
+	cfg := realConfig(AdaComm, workers, iters, seed)
+	cfg.Tau = 8
+	return cfg
+}
+
+func TestAdaCommRunsCostOnly(t *testing.T) {
+	cfg := costConfig(EASGD, 8, 20)
+	cfg.Algo = AdaComm
+	cfg.Tau = 8
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.TotalIters() != 160 {
+		t.Fatalf("iters = %d", res.Metrics.TotalIters())
+	}
+}
+
+func TestAdaCommLearns(t *testing.T) {
+	res, err := Run(adaCommConfig(4, 150, 85))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalTestAcc < 0.8 {
+		t.Fatalf("adacomm acc %.3f", res.FinalTestAcc)
+	}
+}
+
+func TestAdaCommTrafficBetweenExtremes(t *testing.T) {
+	// Adaptive τ must use more traffic than fixed τ=τ0 (it tightens late)
+	// and less than τ=1 (it is loose early).
+	ada := costConfig(EASGD, 8, 40)
+	ada.Algo = AdaComm
+	ada.Tau = 8
+	rAda, err := Run(ada)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose := costConfig(EASGD, 8, 40)
+	loose.Tau = 8
+	rLoose, err := Run(loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight := costConfig(EASGD, 8, 40)
+	tight.Tau = 1
+	rTight, err := Run(tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rLoose.Net.TotalBytes < rAda.Net.TotalBytes && rAda.Net.TotalBytes < rTight.Net.TotalBytes) {
+		t.Fatalf("traffic ordering wrong: loose %d, ada %d, tight %d",
+			rLoose.Net.TotalBytes, rAda.Net.TotalBytes, rTight.Net.TotalBytes)
+	}
+}
+
+func TestAdaCommBeatsFixedTauAccuracy(t *testing.T) {
+	// The point of adapting: tighter late-stage coupling should match or
+	// beat the fixed large period at equal τ0.
+	ada, err := Run(adaCommConfig(8, 150, 86))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := realConfig(EASGD, 8, 150, 86)
+	fixed.Tau = 8
+	rf, err := Run(fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ada.FinalTestAcc < rf.FinalTestAcc-0.03 {
+		t.Fatalf("adacomm %.4f clearly below fixed EASGD %.4f", ada.FinalTestAcc, rf.FinalTestAcc)
+	}
+}
+
+func TestAdaCommValidation(t *testing.T) {
+	cfg := costConfig(EASGD, 4, 5)
+	cfg.Algo = AdaComm
+	cfg.Tau = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("tau 0 accepted")
+	}
+}

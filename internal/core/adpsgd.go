@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+
+	"disttrain/internal/des"
+	"disttrain/internal/metrics"
+	"disttrain/internal/simnet"
+)
+
+// runADPSGD implements Asynchronous Decentralized Parallel SGD (Section
+// IV-C, after Lian et al.): workers are split into a bipartite graph of
+// active and passive peers — actives initiate a *symmetric* exchange with a
+// random passive peer each iteration and both sides average their
+// parameters. The bipartite split is the paper's deadlock-avoidance
+// mechanism: actives never wait on other actives, so the wait-for graph is
+// acyclic (see TestADPSGDDeadlockWithoutBipartite for the counterexample).
+//
+// Following the paper's implementation, computation and communication run
+// in two separate threads per worker: the compute process trains
+// continuously while the communication process exchanges parameters in the
+// background, pacing one exchange per completed iteration.
+func runADPSGD(x *exp) {
+	if x.cfg.ADPSGDNoBipartite {
+		runADPSGDUnconstrained(x)
+		return
+	}
+	cfg := x.cfg
+	W := cfg.Workers
+
+	// Bipartite split: even worker indices are active, odd are passive.
+	var passive []int
+	for w := 1; w < W; w += 2 {
+		passive = append(passive, w)
+	}
+
+	for w := 0; w < W; w++ {
+		w := w
+		tokens := des.NewQueue[int](x.eng)
+
+		// Compute process: train continuously on (possibly mid-averaging)
+		// local parameters, exactly the lock-free behavior AD-PSGD allows.
+		x.eng.Spawn(fmt.Sprintf("adpsgd-compute%d", w), func(p *des.Proc) {
+			for it := 1; it <= cfg.Iters; it++ {
+				grads, _ := x.computePhase(p, w, false)
+				x.reps[w].localStep(grads, cfg.LR.At(it-1))
+				tokens.Push(it)
+				x.maybeEval(w, it)
+			}
+			x.finish(w)
+		})
+
+		active := w%2 == 0 && len(passive) > 0
+		if active {
+			// Active communication process: one symmetric exchange per
+			// completed compute iteration.
+			x.eng.Spawn(fmt.Sprintf("adpsgd-comm%d", w), func(p *des.Proc) {
+				inbox := x.inbox(w)
+				bd := &x.col.Workers[w].Breakdown
+				r := x.algoRNG[w]
+				for it := 1; it <= cfg.Iters; it++ {
+					tokens.Recv(p)
+					peer := passive[r.Intn(len(passive))]
+					var payload []float32
+					if x.reps[w].mathOn() {
+						payload = x.reps[w].params()
+					}
+					x.net.Send(simnet.Msg{From: x.workerNode[w], To: x.workerNode[peer],
+						Kind: kindExchangeReq, Clock: it, Bytes: x.fullBytes(), Vec: payload})
+					t0 := p.Now()
+					m := inbox.Recv(p)
+					if m.Kind != kindExchangeReply {
+						panic(fmt.Sprintf("adpsgd active: unexpected kind %d", m.Kind))
+					}
+					bd.Add(metrics.Network, m.WireSec)
+					bd.Add(metrics.GlobalAgg, p.Now()-t0-m.WireSec)
+					x.reps[w].average(m.Vec)
+				}
+			})
+		} else if !active && w%2 == 1 {
+			// Passive communication process: reply to every exchange
+			// request with the current parameters, then fold the active's
+			// parameters in. Runs until killed at experiment teardown.
+			x.eng.Spawn(fmt.Sprintf("adpsgd-passive%d", w), func(p *des.Proc) {
+				inbox := x.inbox(w)
+				bd := &x.col.Workers[w].Breakdown
+				for {
+					m := inbox.Recv(p)
+					if m.Kind != kindExchangeReq {
+						panic(fmt.Sprintf("adpsgd passive: unexpected kind %d", m.Kind))
+					}
+					var payload []float32
+					if x.reps[w].mathOn() {
+						payload = x.reps[w].params()
+					}
+					x.net.Send(simnet.Msg{From: x.workerNode[w], To: m.From,
+						Kind: kindExchangeReply, Clock: m.Clock, Bytes: x.fullBytes(), Vec: payload})
+					bd.Add(metrics.Network, m.WireSec)
+					x.reps[w].average(m.Vec)
+				}
+			})
+		}
+	}
+}
+
+// runADPSGDUnconstrained is the ablation of AD-PSGD's deadlock-avoidance
+// design: every worker both initiates symmetric exchanges with arbitrary
+// peers and answers incoming requests, but — like a naive implementation —
+// only answers *between* its own exchanges. Section IV-C's scenario (A
+// waits on B, B waits on C, C waits on A) then deadlocks the communication
+// threads; the training threads keep computing, so the run degenerates into
+// isolated local training. Result.StuckProcs exposes the deadlocked
+// processes.
+func runADPSGDUnconstrained(x *exp) {
+	cfg := x.cfg
+	W := cfg.Workers
+
+	for w := 0; w < W; w++ {
+		w := w
+		tokens := des.NewQueue[int](x.eng)
+
+		x.eng.Spawn(fmt.Sprintf("adpsgd-compute%d", w), func(p *des.Proc) {
+			for it := 1; it <= cfg.Iters; it++ {
+				grads, _ := x.computePhase(p, w, false)
+				x.reps[w].localStep(grads, cfg.LR.At(it-1))
+				tokens.Push(it)
+				x.maybeEval(w, it)
+			}
+			x.finish(w)
+		})
+
+		x.eng.Spawn(fmt.Sprintf("adpsgd-comm%d", w), func(p *des.Proc) {
+			inbox := x.inbox(w)
+			r := x.algoRNG[w]
+			serve := func(m simnet.Msg) {
+				var payload []float32
+				if x.reps[w].mathOn() {
+					payload = x.reps[w].params()
+				}
+				x.net.Send(simnet.Msg{From: x.workerNode[w], To: m.From,
+					Kind: kindExchangeReply, Clock: m.Clock, Bytes: x.fullBytes(), Vec: payload})
+				x.reps[w].average(m.Vec)
+			}
+			var stash []simnet.Msg
+			for it := 1; it <= cfg.Iters; it++ {
+				tokens.Recv(p)
+				// Serve requests that arrived while we were idle.
+				for _, m := range stash {
+					serve(m)
+				}
+				stash = stash[:0]
+				for {
+					m, ok := inbox.TryRecv()
+					if !ok {
+						break
+					}
+					serve(m)
+				}
+				// Initiate our own exchange and hold everything else until
+				// it completes — the deadlock-prone discipline.
+				peer := r.Intn(W - 1)
+				if peer >= w {
+					peer++
+				}
+				var payload []float32
+				if x.reps[w].mathOn() {
+					payload = x.reps[w].params()
+				}
+				x.net.Send(simnet.Msg{From: x.workerNode[w], To: x.workerNode[peer],
+					Kind: kindExchangeReq, Clock: it, Bytes: x.fullBytes(), Vec: payload})
+				for {
+					m := inbox.Recv(p)
+					if m.Kind == kindExchangeReply {
+						x.reps[w].average(m.Vec)
+						break
+					}
+					stash = append(stash, m)
+				}
+			}
+		})
+	}
+}

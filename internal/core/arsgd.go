@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"disttrain/internal/comm"
+	"disttrain/internal/des"
+	"disttrain/internal/metrics"
+)
+
+// runARSGD implements decentralized synchronous AllReduce SGD (Section
+// IV-A, the paper's AR-SGD built on MPICH): every iteration, all workers'
+// gradients are summed with a ring AllReduce (Reduce-Scatter followed by
+// All-Gather, exactly the MPI algorithm) and every worker applies the
+// averaged gradient locally. No parameter server exists; all replicas stay
+// bit-identical because they start identical and apply identical updates.
+//
+// With wait-free BP, the gradient is reduced in two buckets: the
+// output-side half of the vector is all-reduced while the backward pass of
+// the input-side half is still running — the bucketing strategy real DDP
+// stacks use.
+func runARSGD(x *exp) {
+	cfg := x.cfg
+	W := cfg.Workers
+	nodes := append([]int(nil), x.workerNode...)
+	allReduce := comm.RingAllReduce
+	if cfg.TreeAllReduce {
+		allReduce = comm.TreeAllReduce
+	}
+	half := x.vecLen / 2
+	if half == 0 {
+		half = x.vecLen
+	}
+
+	for w := 0; w < W; w++ {
+		w := w
+		x.eng.Spawn(fmt.Sprintf("arsgd-worker%d", w), func(p *des.Proc) {
+			bd := &x.col.Workers[w].Breakdown
+			inv := 1 / float32(W)
+			for it := 1; it <= cfg.Iters; it++ {
+				grads, j := x.computePhase(p, w, cfg.WaitFreeBP)
+
+				var agg []float32
+				if grads != nil {
+					agg = append([]float32(nil), grads...)
+				}
+
+				if cfg.WaitFreeBP && x.vecLen > 1 {
+					// First half of the backward pass produces the
+					// output-side gradients...
+					bwd := x.bwdTotal(j)
+					c0 := p.Now()
+					p.Sleep(bwd / 2)
+					bd.Add(metrics.Compute, p.Now()-c0)
+
+					// ...whose AllReduce overlaps the second half of the
+					// backward pass: if the reduce finishes first, the
+					// worker still owes the remaining backward time.
+					t0 := p.Now()
+					var hi []float32
+					if agg != nil {
+						hi = agg[half:]
+					}
+					wire := allReduce(p, x.net, nodes, w, hi,
+						x.vecLen-half, x.bytesFor(x.vecLen-half), kindAllReduce)
+					bd.Add(metrics.Network, wire)
+					bd.Add(metrics.GlobalAgg, p.Now()-t0-wire)
+					if rem := bwd/2 - (p.Now() - t0); rem > 0 {
+						p.Sleep(rem)
+						bd.Add(metrics.Compute, rem)
+					}
+
+					t1 := p.Now()
+					var lo []float32
+					if agg != nil {
+						lo = agg[:half]
+					}
+					wire = allReduce(p, x.net, nodes, w, lo,
+						half, x.bytesFor(half), kindAllReduce)
+					bd.Add(metrics.Network, wire)
+					bd.Add(metrics.GlobalAgg, p.Now()-t1-wire)
+				} else {
+					t0 := p.Now()
+					wire := allReduce(p, x.net, nodes, w, agg,
+						x.vecLen, x.fullBytes(), kindAllReduce)
+					bd.Add(metrics.Network, wire)
+					bd.Add(metrics.GlobalAgg, p.Now()-t0-wire)
+				}
+
+				if agg != nil {
+					for i := range agg {
+						agg[i] *= inv
+					}
+				}
+				x.reps[w].localStep(agg, cfg.LR.At(it-1))
+				x.maybeEval(w, it)
+			}
+			x.finish(w)
+		})
+	}
+}

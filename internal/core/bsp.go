@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+
+	"disttrain/internal/comm"
+	"disttrain/internal/des"
+	"disttrain/internal/metrics"
+	"disttrain/internal/simnet"
+)
+
+// runBSP implements Bulk Synchronous Parallel training with parameter
+// servers (Section III-A): every iteration, all workers' gradients are
+// aggregated at the PS shards, the global parameters are updated once with
+// the averaged gradient, and the new parameters are broadcast back. With
+// LocalAgg enabled, workers on one machine first sum their gradients at a
+// machine leader so only one gradient per machine crosses the network — the
+// paper's local aggregation optimization that divides communication by l
+// (GPUs per machine).
+func runBSP(x *exp) {
+	cfg := x.cfg
+	W := cfg.Workers
+
+	// Identify machine leaders (lowest worker index per machine).
+	leaderOf := make([]int, W) // worker -> its machine leader
+	var leaders []int          // distinct leaders in order
+	for w := 0; w < W; w++ {
+		m := cfg.Cluster.MachineOfWorker(w)
+		l := m * cfg.Cluster.WorkersPerMachine
+		leaderOf[w] = l
+		if w == l {
+			leaders = append(leaders, l)
+		}
+	}
+	senders := W
+	if cfg.LocalAgg {
+		senders = len(leaders)
+	}
+
+	// Shard processes: one synchronous aggregation round per iteration.
+	for s := range x.assign {
+		s := s
+		x.eng.Spawn(fmt.Sprintf("bsp-ps%d", s), func(p *des.Proc) {
+			inbox := x.psInbox(s)
+			for it := 0; it < cfg.Iters; it++ {
+				var agg []float32
+				if x.global.MathOn() {
+					agg = make([]float32, x.vecLen)
+				}
+				recipients := make([]int, 0, senders)
+				lr := cfg.LR.At(it)
+				for i := 0; i < senders; i++ {
+					m := inbox.Recv(p)
+					psAggSleep(p, m.Bytes)
+					switch m.Kind {
+					case kindSparseGrad:
+						// DGC: plain sparse step per message; linearity
+						// makes scale-1/W-per-message equal to one
+						// aggregated step.
+						x.global.ApplySparse(m.SparseIdx, m.Vec, 1/float32(W), lr)
+					case kindGrad:
+						if agg != nil && m.Vec != nil {
+							addRanges(agg, m.Vec, x.assign[s])
+						}
+					default:
+						panic(fmt.Sprintf("bsp shard: unexpected kind %d", m.Kind))
+					}
+					recipients = append(recipients, m.From)
+				}
+				if cfg.DGC == nil {
+					x.global.ApplyGrad(x.assign[s], agg, 1/float32(W), lr)
+				}
+				for _, node := range recipients {
+					x.net.Send(x.snapshotMsg(s, node))
+				}
+			}
+		})
+	}
+
+	// Worker processes.
+	for w := 0; w < W; w++ {
+		w := w
+		x.eng.Spawn(fmt.Sprintf("bsp-worker%d", w), func(p *des.Proc) {
+			isLeader := leaderOf[w] == w
+			group := x.machineGroup(w)
+			selfInGroup := w - leaderOf[w]
+			machine := cfg.Cluster.MachineOfWorker(w)
+			inbox := x.inbox(w)
+			bd := &x.col.Workers[w].Breakdown
+
+			for it := 1; it <= cfg.Iters; it++ {
+				// Wait-free BP only helps when the worker's own backward
+				// pass feeds the PS sends directly; with local aggregation
+				// the gather barrier sits in between, so the backward must
+				// simply complete first.
+				overlap := cfg.WaitFreeBP && (!cfg.LocalAgg || len(group) == 1)
+				grads, j := x.computePhase(p, w, overlap)
+
+				if cfg.LocalAgg && len(group) > 1 {
+					if isLeader {
+						// Gather member gradients into a private aggregate.
+						var aggVec []float32
+						if grads != nil {
+							aggVec = append([]float32(nil), grads...)
+						}
+						t0 := p.Now()
+						wire := comm.LocalGather(p, x.net, group, selfInGroup, aggVec, x.fullBytes(), kindLocalGather)
+						bd.Add(metrics.Network, wire)
+						bd.Add(metrics.LocalAgg, p.Now()-t0-wire)
+						x.gatherDoneAt[machine] = p.Now()
+						grads = aggVec
+					} else {
+						// Member: hand the gradient to the leader and wait
+						// for the post-global broadcast below.
+						var payload []float32
+						if grads != nil {
+							payload = append([]float32(nil), grads...)
+						}
+						x.net.Send(simnet.Msg{From: x.workerNode[w], To: x.workerNode[leaderOf[w]],
+							Kind: kindLocalGather, Bytes: x.fullBytes(), Vec: payload})
+					}
+				}
+
+				if !cfg.LocalAgg || isLeader {
+					x.sendGrads(p, w, it, grads, true, j, overlap)
+
+					// Await all shard replies.
+					t0 := p.Now()
+					var wire des.Time
+					fresh := make([]float32, 0)
+					if x.reps[w].mathOn() {
+						fresh = x.reps[w].params()
+					}
+					for recv := 0; recv < len(x.assign); recv++ {
+						m := inbox.Recv(p)
+						if m.Kind != kindParams {
+							panic(fmt.Sprintf("bsp worker: unexpected kind %d", m.Kind))
+						}
+						wire += m.WireSec
+						if m.Vec != nil {
+							for _, r := range x.assign[m.Seg] {
+								copy(fresh[r.Off:r.Off+r.Len], m.Vec[r.Off:r.Off+r.Len])
+							}
+						}
+					}
+					bd.Add(metrics.Network, wire)
+					bd.Add(metrics.GlobalAgg, p.Now()-t0-wire)
+					if x.reps[w].mathOn() {
+						x.reps[w].setParams(fresh)
+					}
+					if cfg.LocalAgg && len(group) > 1 {
+						// Relay the fresh parameters to machine members.
+						var payload []float32
+						if len(fresh) > 0 {
+							payload = fresh
+						}
+						comm.LocalBroadcast(p, x.net, group, selfInGroup, payload, x.fullBytes(), kindLocalBcast)
+					}
+				} else {
+					// Member: block for the leader's broadcast.
+					t0 := p.Now()
+					m := inbox.Recv(p)
+					if m.Kind != kindLocalBcast {
+						panic(fmt.Sprintf("bsp member: unexpected kind %d", m.Kind))
+					}
+					bd.Add(metrics.Network, m.WireSec)
+					// Split the wait: until the leader finished gathering it
+					// was local aggregation; the rest was the global round.
+					localWait := x.gatherDoneAt[machine] - t0
+					if localWait < 0 {
+						localWait = 0
+					}
+					if rest := p.Now() - t0 - m.WireSec; rest > 0 {
+						if localWait > rest {
+							localWait = rest
+						}
+						bd.Add(metrics.LocalAgg, localWait)
+						bd.Add(metrics.GlobalAgg, rest-localWait)
+					}
+					x.reps[w].setParams(m.Vec)
+				}
+				x.maybeEval(w, it)
+			}
+			x.finish(w)
+		})
+	}
+}

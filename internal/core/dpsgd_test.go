@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"disttrain/internal/costmodel"
+)
+
+func TestDPSGDRunsCostOnly(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 8} {
+		res, err := Run(costConfig(DPSGD, w, 10))
+		if err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		if res.Metrics.TotalIters() != w*10 {
+			t.Fatalf("w=%d: iters %d", w, res.Metrics.TotalIters())
+		}
+	}
+}
+
+func TestDPSGDLearns(t *testing.T) {
+	res, err := Run(realConfig(DPSGD, 4, 150, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalTestAcc < 0.8 {
+		t.Fatalf("D-PSGD acc %.3f", res.FinalTestAcc)
+	}
+}
+
+func TestDPSGDIsSynchronous(t *testing.T) {
+	cfg := costConfig(DPSGD, 8, 25)
+	cfg.Workload.GPU.StragglerProb = 0.2
+	cfg.Workload.GPU.StragglerMult = 5
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ring lockstep: a worker can run at most ~2 iterations ahead of a
+	// distant straggler (slack propagates hop by hop, so the *global*
+	// spread can reach a few iterations on a long ring but stays far below
+	// async drift).
+	if res.Metrics.MaxSpread > 4 {
+		t.Fatalf("ring spread %d", res.Metrics.MaxSpread)
+	}
+}
+
+func TestDPSGDCommComplexity(t *testing.T) {
+	// Each worker sends 2M per iteration: total 2MN.
+	const workers = 6
+	const iters = 20
+	res, err := Run(costConfig(DPSGD, workers, iters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	M := float64(costmodel.ResNet50().TotalBytes())
+	got := float64(res.Net.TotalBytes) / iters
+	want := 2 * M * workers
+	if got < 0.95*want || got > 1.05*want {
+		t.Fatalf("bytes/iter = %.3e, want ~%.3e", got, want)
+	}
+}
+
+func TestDPSGDCheaperThanAllReducePerRound(t *testing.T) {
+	// The point of decentralized ring mixing: per-iteration traffic is
+	// within a constant of AR-SGD but latency-per-round is lower because no
+	// global barrier chain of 2(N-1) sequential steps exists.
+	dp, err := Run(costConfig(DPSGD, 16, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, err := Run(costConfig(ARSGD, 16, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.VirtualSec >= ar.VirtualSec {
+		t.Fatalf("D-PSGD round (%.2fs) not faster than AR-SGD (%.2fs)", dp.VirtualSec, ar.VirtualSec)
+	}
+}
+
+func TestDPSGDReplicasStayClose(t *testing.T) {
+	// Ring mixing must keep replicas in one neighborhood: after training,
+	// the max pairwise parameter distance should be small relative to the
+	// parameter norm.
+	res, err := Run(realConfig(DPSGD, 4, 100, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res // distances are internal; accuracy of the averaged model serves
+	// as the proxy — a diverged set of replicas cannot average to >0.8.
+	if res.FinalTestAcc < 0.8 {
+		t.Fatalf("averaged model acc %.3f suggests replica divergence", res.FinalTestAcc)
+	}
+}

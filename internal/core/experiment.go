@@ -1,0 +1,705 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"disttrain/internal/costmodel"
+	"disttrain/internal/des"
+	"disttrain/internal/grad"
+	"disttrain/internal/metrics"
+	"disttrain/internal/nn"
+	"disttrain/internal/ps"
+	"disttrain/internal/rng"
+	"disttrain/internal/simnet"
+)
+
+type rangeT = ps.Range
+
+// Message kinds on the simulated network.
+const (
+	kindGrad = iota + 1
+	kindSparseGrad
+	kindParams
+	kindPull
+	kindAck
+	kindEASGDPush
+	kindEASGDReply
+	kindAllReduce
+	kindGossip
+	kindExchangeReq
+	kindExchangeReply
+	kindLocalGather
+	kindLocalBcast
+)
+
+// exp is the shared state of one running experiment.
+type exp struct {
+	cfg *Config
+	eng *des.Engine
+	net *simnet.Net
+
+	workerNode []int // worker -> node ID
+	psNode     []int // shard -> node ID
+
+	assign ps.Assignment
+	global *ps.Global
+
+	reps []*replica
+	col  *metrics.Collector
+
+	// segments is the layer layout used for sharding and wait-free BP: the
+	// real model's segments in real mode, the cost profile's otherwise.
+	segments []nn.Segment
+	// vecLen is the exchanged vector length (real param count, or the
+	// profile's parameter count in cost-only mode).
+	vecLen int
+	// byteScale converts "actual params × 4 bytes" into paper-scale wire
+	// bytes; 1 in cost-only mode, profileParams/actualParams in real mode.
+	byteScale float64
+
+	// jitterRNG streams per worker for compute-time sampling; algoRNG for
+	// algorithmic randomness (gossip choices, partner selection).
+	jitterRNG []*rng.RNG
+	algoRNG   []*rng.RNG
+
+	// compressors per worker when DGC is on (real mode only).
+	dgc []*grad.Compressor
+	// dgcIter tracks per-worker compression iterations in cost-only mode
+	// (for the warm-up schedule).
+	dgcIter []int
+
+	// gatherDoneAt[machine] is the virtual time the machine leader finished
+	// its local gather in the current BSP iteration; members use it to
+	// split their wait into local vs global aggregation.
+	gatherDoneAt []des.Time
+
+	// evalModel is a scratch model used to evaluate global/average params
+	// (real mode only).
+	evalModel *nn.Model
+}
+
+// setup builds the simulated world for cfg. Call cfg.Validate() first.
+func setup(cfg *Config) *exp {
+	x := &exp{cfg: cfg, eng: des.NewEngine()}
+	x.net = simnet.New(x.eng, cfg.Cluster)
+	if cfg.Tracer != nil {
+		x.net.SetTracer(cfg.Tracer)
+	}
+	root := rng.New(cfg.Seed)
+	_ = root.Split(1) // label 1 is reserved for model initialization streams
+	shardRoot := root.Split(2)
+	jitterRoot := root.Split(3)
+	algoRoot := root.Split(4)
+
+	// Workers first so worker w has node ID w.
+	for w := 0; w < cfg.Workers; w++ {
+		x.workerNode = append(x.workerNode, x.net.AddNode(cfg.Cluster.MachineOfWorker(w)).ID)
+		x.jitterRNG = append(x.jitterRNG, jitterRoot.Split(uint64(w)))
+		x.algoRNG = append(x.algoRNG, algoRoot.Split(uint64(w)))
+	}
+
+	// Replicas. Every replica re-derives the SAME initialization stream
+	// (seed → Split(1)) so all workers start with identical weights, as the
+	// algorithms assume.
+	x.reps = make([]*replica, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		if cfg.Real != nil {
+			ws := rng.New(cfg.Seed).Split(1)
+			x.reps[w] = newRealReplica(w, cfg, ws, shardRoot.Split(uint64(w)))
+		} else {
+			x.reps[w] = newCostReplica(w)
+		}
+	}
+
+	// Exchange-vector geometry.
+	if cfg.Real != nil {
+		m := x.reps[0].model
+		x.segments = m.Segments()
+		x.vecLen = m.NumParams()
+		x.byteScale = float64(cfg.Workload.Profile.TotalBytes()) / float64(x.vecLen*costmodel.BytesPerParam)
+	} else {
+		x.segments = cfg.Workload.Profile.Segments()
+		x.vecLen = int(cfg.Workload.Profile.TotalParams())
+		x.byteScale = 1
+	}
+
+	// PS shards (centralized algorithms only).
+	if cfg.Algo.Centralized() {
+		switch cfg.Sharding {
+		case ShardLayerWise:
+			x.assign = ps.LayerWise(x.segments, cfg.Shards)
+		case ShardBalanced:
+			x.assign = ps.Balanced(x.vecLen, cfg.Shards)
+		default:
+			x.assign = ps.Single(x.vecLen)
+		}
+		for s := range x.assign {
+			machine := s % cfg.Cluster.Machines
+			x.psNode = append(x.psNode, x.net.AddNode(machine).ID)
+		}
+		if cfg.Real != nil {
+			x.global = ps.NewGlobal(x.reps[0].params(), cfg.Momentum, cfg.WeightDecay)
+		} else {
+			x.global = ps.NewCostOnlyGlobal()
+		}
+	}
+
+	// DGC compressors. The PS applies sparse updates with a plain
+	// (momentum-free) step — momentum lives in the compressor — via
+	// Global.ApplySparse, which bypasses the optimizer state.
+	if cfg.DGC != nil {
+		if cfg.Real != nil {
+			dcfg := *cfg.DGC
+			if cfg.Algo == SSP {
+				// SSP transmits locally applied *updates*, which already
+				// carry the worker optimizer's momentum; DGC's momentum
+				// correction would apply it twice and destabilize training.
+				dcfg.NoMomentumCorrection = true
+			}
+			for w := 0; w < cfg.Workers; w++ {
+				x.dgc = append(x.dgc, grad.NewCompressor(dcfg, x.vecLen))
+			}
+		}
+		x.dgcIter = make([]int, cfg.Workers)
+	}
+	x.gatherDoneAt = make([]des.Time, cfg.Cluster.Machines)
+
+	if cfg.Real != nil {
+		x.evalModel = cfg.Real.Factory(rng.New(cfg.Seed).Split(1))
+	}
+
+	x.col = metrics.NewCollector(cfg.Workers)
+	return x
+}
+
+// bytesFor converts a parameter count of the exchanged vector into
+// paper-scale wire bytes.
+func (x *exp) bytesFor(nParams int) int64 {
+	return int64(float64(nParams*costmodel.BytesPerParam) * x.byteScale)
+}
+
+// fullBytes is the wire size of one full gradient/parameter message.
+func (x *exp) fullBytes() int64 { return x.bytesFor(x.vecLen) }
+
+// shardBytes is the wire size of shard s's segment.
+func (x *exp) shardBytes(s int) int64 { return x.bytesFor(x.assign.Params(s)) }
+
+// inbox returns worker w's mailbox.
+func (x *exp) inbox(w int) *des.Queue[simnet.Msg] {
+	return x.net.Node(x.workerNode[w]).Inbox
+}
+
+// psInbox returns shard s's mailbox.
+func (x *exp) psInbox(s int) *des.Queue[simnet.Msg] {
+	return x.net.Node(x.psNode[s]).Inbox
+}
+
+// machineGroup returns the node IDs of workers sharing worker w's machine
+// (only those that exist given cfg.Workers), in worker order.
+func (x *exp) machineGroup(w int) []int {
+	m := x.cfg.Cluster.MachineOfWorker(w)
+	var g []int
+	for _, ww := range x.cfg.Cluster.WorkersOnMachine(m) {
+		if ww < x.cfg.Workers {
+			g = append(g, x.workerNode[ww])
+		}
+	}
+	return g
+}
+
+// computePhase advances virtual time by one jittered iteration and runs the
+// real gradient computation. When overlap is true (wait-free BP and the
+// caller will invoke sendGrads next) only the forward time is slept here —
+// sendGrads interleaves the backward time with the per-shard sends. Returns
+// the gradient (nil in cost-only mode) and the jitter multiplier.
+func (x *exp) computePhase(p *des.Proc, w int, overlap bool) ([]float32, float64) {
+	wl := x.cfg.Workload
+	j := wl.SampleMult(x.jitterRNG[w])
+	mean := wl.MeanIterSec()
+	start := p.Now()
+	if overlap {
+		fwd := mean / (1 + wl.BwdMult) * j
+		p.Sleep(fwd)
+	} else {
+		p.Sleep(mean * j)
+	}
+	g := x.reps[w].computeGrad()
+	x.col.Workers[w].Breakdown.Add(metrics.Compute, p.Now()-start)
+	if x.cfg.Tracer != nil {
+		x.cfg.Tracer.Span("compute", "worker", start, p.Now(),
+			x.cfg.Cluster.MachineOfWorker(w), w)
+	}
+	x.noteIterSpread()
+	return g, j
+}
+
+// noteIterSpread records the instantaneous gap between the fastest and
+// slowest worker's iteration counters — the staleness the asynchronous
+// algorithms admit and SSP bounds.
+func (x *exp) noteIterSpread() {
+	min, max := x.reps[0].iter, x.reps[0].iter
+	for _, r := range x.reps[1:] {
+		if r.iter < min {
+			min = r.iter
+		}
+		if r.iter > max {
+			max = r.iter
+		}
+	}
+	if s := max - min; s > x.col.MaxSpread {
+		x.col.MaxSpread = s
+	}
+}
+
+// bwdTotal returns the jittered backward duration of one iteration.
+func (x *exp) bwdTotal(jitter float64) des.Time {
+	wl := x.cfg.Workload
+	return wl.MeanIterSec() * wl.BwdMult / (1 + wl.BwdMult) * jitter
+}
+
+// bwdAvailability returns, per shard, the backward-pass completion offset
+// (seconds from backward start, scaled by jitter) after which that shard's
+// entire gradient is available. Backward runs from the last segment to the
+// first, so a shard is available once backward has passed its lowest
+// segment.
+func (x *exp) bwdAvailability(jitter float64) []des.Time {
+	wl := x.cfg.Workload
+	totalBwd := wl.MeanIterSec() * wl.BwdMult / (1 + wl.BwdMult) * jitter
+	// Cumulative backward time by flat offset: segment i completes after
+	// all segments j > i have been processed plus its own time. Segment
+	// times are proportional to costs: in cost-only mode use per-layer
+	// FLOPs; in real mode approximate by parameter share.
+	segDone := make([]des.Time, len(x.segments)) // completion offset of segment i
+	weights := make([]float64, len(x.segments))
+	var totalW float64
+	for i, s := range x.segments {
+		var w float64
+		if x.cfg.Real == nil {
+			w = x.cfg.Workload.Profile.Layers[i].FwdFLOPs
+		} else {
+			w = float64(s.Len)
+		}
+		weights[i] = w
+		totalW += w
+	}
+	acc := 0.0
+	for i := len(x.segments) - 1; i >= 0; i-- {
+		acc += weights[i] / totalW * totalBwd
+		segDone[i] = acc
+	}
+	avail := make([]des.Time, len(x.assign))
+	for s, ranges := range x.assign {
+		var t des.Time
+		for _, r := range ranges {
+			// find segments overlapping this range; completion is the max.
+			for i, seg := range x.segments {
+				if seg.Off < r.Off+r.Len && seg.Off+seg.Len > r.Off {
+					if segDone[i] > t {
+						t = segDone[i]
+					}
+				}
+			}
+		}
+		avail[s] = t
+	}
+	return avail
+}
+
+// sendGrads transmits worker w's gradient to every PS shard, honoring
+// wait-free BP (which interleaves the backward sleep with per-shard sends,
+// ordered by when each shard's layers finish in the backward pass) and DGC
+// (which compresses the payload and shrinks wire bytes). useDGC is false
+// for intra-machine relays that are already aggregated. jitter is the
+// compute-time multiplier from computePhase, used to pace the backward
+// sleeps under wait-free BP.
+// wfbp controls whether this send path applies the wait-free-BP
+// choreography; callers disable it when the backward pass already completed
+// (e.g. BSP leaders that gathered machine-local gradients first).
+func (x *exp) sendGrads(p *des.Proc, w int, clock int, grads []float32, useDGC bool, jitter float64, wfbp bool) {
+	cfg := x.cfg
+
+	// DGC: compress once over the full vector; per-shard messages carry the
+	// slice of sparse entries that falls in the shard's ranges.
+	var sparse grad.Sparse
+	kind := kindGrad
+	ratio := 1.0
+	if cfg.DGC != nil && useDGC {
+		if x.dgc != nil {
+			sparse = x.dgc[w].Compress(grads)
+			ratio = float64(len(sparse.Idx)) / float64(x.vecLen)
+		} else {
+			ratio = costOnlyDGCRatio(cfg.DGC, x.dgcIter[w])
+		}
+		x.dgcIter[w]++
+		kind = kindSparseGrad
+	}
+
+	// 8-bit quantization (extension): lossy-compress the payload once and
+	// shrink every shard message to a quarter of the dense size.
+	quant := cfg.Quantize8 && useDGC
+	if quant && grads != nil {
+		qg := append([]float32(nil), grads...)
+		grad.QuantizeRoundTrip(qg)
+		grads = qg
+	}
+
+	var avail []des.Time
+	if wfbp {
+		avail = x.bwdAvailability(jitter)
+	}
+	bwdStart := p.Now()
+	slept := des.Time(0)
+	order := shardOrder(avail, len(x.assign))
+	for _, s := range order {
+		if wfbp {
+			if d := avail[s] - slept; d > 0 {
+				p.Sleep(d)
+				slept = avail[s]
+			}
+		}
+		msg := simnet.Msg{From: x.workerNode[w], To: x.psNode[s], Kind: kind, Clock: clock, Seg: s}
+		if kind == kindSparseGrad {
+			msg.Bytes = int64(float64(x.shardBytes(s)) * ratio * 2) // 8 B/entry vs 4 B dense
+			if msg.Bytes < 8 {
+				msg.Bytes = 8
+			}
+			if x.dgc != nil {
+				idx, val := sliceSparse(sparse, x.assign[s])
+				msg.SparseIdx = idx
+				msg.Vec = val
+			}
+		} else {
+			msg.Bytes = x.shardBytes(s)
+			if quant {
+				msg.Bytes = msg.Bytes/4 + 4
+			}
+			if grads != nil {
+				msg.Vec = append([]float32(nil), grads...) // full vector; shard reads its ranges
+			}
+		}
+		x.net.Send(msg)
+	}
+	if wfbp {
+		if d := x.bwdTotal(jitter) - slept; d > 0 {
+			p.Sleep(d)
+		}
+		x.col.Workers[w].Breakdown.Add(metrics.Compute, p.Now()-bwdStart)
+	}
+}
+
+// shardOrder returns shard indices ordered by availability (ascending); if
+// avail is nil, natural order.
+func shardOrder(avail []des.Time, n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if avail == nil {
+		return order
+	}
+	// insertion sort; n is small and determinism matters.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && avail[order[j]] < avail[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}
+
+// sliceSparse extracts the sparse entries whose indices fall inside ranges.
+func sliceSparse(sp grad.Sparse, ranges []rangeT) ([]int32, []float32) {
+	var idx []int32
+	var val []float32
+	for j, i := range sp.Idx {
+		for _, r := range ranges {
+			if int(i) >= r.Off && int(i) < r.Off+r.Len {
+				idx = append(idx, i)
+				val = append(val, sp.Val[j])
+				break
+			}
+		}
+	}
+	return idx, val
+}
+
+// costOnlyDGCRatio mirrors grad.Compressor.CurrentRatio for cost-only runs
+// that track only the warm-up iteration count.
+func costOnlyDGCRatio(cfg *grad.DGCConfig, iter int) float64 {
+	if cfg.WarmupIters <= 0 || iter >= cfg.WarmupIters {
+		return cfg.Ratio
+	}
+	return math.Pow(cfg.Ratio, float64(iter)/float64(cfg.WarmupIters))
+}
+
+// addRanges accumulates src into dst over the given flat ranges (both
+// full-length vectors).
+func addRanges(dst, src []float32, ranges []rangeT) {
+	for _, r := range ranges {
+		d := dst[r.Off : r.Off+r.Len]
+		s := src[r.Off : r.Off+r.Len]
+		for i, v := range s {
+			d[i] += v
+		}
+	}
+}
+
+// psAggSleep models the shard-side processing cost of applying one message.
+func psAggSleep(p *des.Proc, bytes int64) {
+	p.Sleep(float64(bytes) / costmodel.AggRateBytesPerSec)
+}
+
+// snapshotMsg builds a shard→worker parameter reply for shard s. When DGC
+// is active the reply wire size models a sparse refresh: the PS only ships
+// the parameters touched since the worker's last sync — roughly the union
+// of all workers' top-k updates over the pull period — because shipping the
+// full dense model back would cancel most of what gradient compression
+// saves. (The payload still carries the full vector in real mode; payload
+// contents and wire size are decoupled throughout the simulator.)
+func (x *exp) snapshotMsg(s, toNode int) simnet.Msg {
+	bytes := x.shardBytes(s)
+	if x.cfg.DGC != nil {
+		ratio := costOnlyDGCRatio(x.cfg.DGC, x.meanDGCIter())
+		period := 1
+		if x.cfg.Algo == SSP {
+			period = x.cfg.Staleness + 1
+		}
+		factor := 2 * ratio * float64(x.cfg.Workers) * float64(period)
+		if factor < 1 {
+			bytes = int64(float64(bytes) * factor)
+			if bytes < 8 {
+				bytes = 8
+			}
+		}
+	}
+	m := simnet.Msg{From: x.psNode[s], To: toNode, Kind: kindParams, Seg: s, Bytes: bytes}
+	if x.global.MathOn() {
+		vec := make([]float32, x.vecLen)
+		x.global.Snapshot(x.assign[s], vec)
+		m.Vec = vec
+	}
+	return m
+}
+
+// meanDGCIter returns the average per-worker compression iteration, used to
+// evaluate the warm-up ratio from the PS side.
+func (x *exp) meanDGCIter() int {
+	if len(x.dgcIter) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, v := range x.dgcIter {
+		sum += v
+	}
+	return sum / len(x.dgcIter)
+}
+
+// evalGlobal evaluates the "global model" — PS params for centralized
+// algorithms, the average of all replicas for decentralized ones — on the
+// test set and appends a trace point. No-op in cost-only mode.
+func (x *exp) evalGlobal(iter int) {
+	if x.cfg.Real == nil {
+		return
+	}
+	params := x.globalParams()
+	x.evalModel.SetFlatParams(params)
+	test := x.cfg.Real.Test
+	n := test.N()
+	if x.cfg.Real.EvalMax > 0 && x.cfg.Real.EvalMax < n {
+		n = x.cfg.Real.EvalMax
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	xb, yb := test.Gather(idx, nil, nil)
+	_, acc := x.evalModel.Evaluate(xb, yb)
+
+	var loss float64
+	cnt := 0
+	for _, r := range x.reps {
+		if r.lossInit {
+			loss += r.lossEWMA
+			cnt++
+		}
+	}
+	if cnt > 0 {
+		loss /= float64(cnt)
+	}
+	epoch := float64(iter*x.cfg.Real.Batch*x.cfg.Workers) / float64(x.cfg.Real.Train.N())
+	x.col.AddTrace(metrics.TracePoint{
+		Iter:       iter,
+		Epoch:      epoch,
+		VirtualSec: x.eng.Now(),
+		TrainLoss:  loss,
+		TestErr:    1 - acc,
+	})
+}
+
+// globalParams returns the parameters of the evaluated global model.
+func (x *exp) globalParams() []float32 {
+	if x.global != nil && x.global.MathOn() {
+		out := make([]float32, x.vecLen)
+		copy(out, x.global.Params)
+		return out
+	}
+	// Decentralized (or BSP-like without math): average of replicas.
+	out := make([]float32, x.vecLen)
+	cnt := 0
+	for _, r := range x.reps {
+		if !r.mathOn() {
+			continue
+		}
+		p := r.params()
+		for i, v := range p {
+			out[i] += v
+		}
+		cnt++
+	}
+	if cnt > 0 {
+		inv := 1 / float32(cnt)
+		for i := range out {
+			out[i] *= inv
+		}
+	}
+	return out
+}
+
+// maybeEval runs the periodic evaluation from worker 0's loop.
+func (x *exp) maybeEval(w, iter int) {
+	if w != 0 || x.cfg.Real == nil {
+		return
+	}
+	ev := x.cfg.Real.EvalEvery
+	if ev > 0 && iter%ev == 0 {
+		x.evalGlobal(iter)
+	}
+}
+
+// finish records completion for worker w.
+func (x *exp) finish(w int) {
+	x.col.Workers[w].Iters = x.reps[w].iter
+	x.col.Workers[w].FinishedAt = x.eng.Now()
+}
+
+// Run executes the configured experiment to completion and returns its
+// results. It is the package's main entry point.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	x := setup(&cfg)
+	switch cfg.Algo {
+	case BSP:
+		runBSP(x)
+	case ASP:
+		runASP(x)
+	case SSP:
+		runSSP(x)
+	case EASGD:
+		runEASGD(x)
+	case ARSGD:
+		runARSGD(x)
+	case GoSGD:
+		runGoSGD(x)
+	case ADPSGD:
+		runADPSGD(x)
+	case DPSGD:
+		runDPSGD(x)
+	case AdaComm:
+		runAdaComm(x)
+	case Hogwild:
+		runHogwild(x)
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q", cfg.Algo)
+	}
+	x.eng.Run(0)
+	stuck := x.eng.Stuck()
+	if len(stuck) > 0 && !expectedStuck(cfg.Algo) {
+		x.eng.Kill()
+		return nil, fmt.Errorf("core: %s deadlocked: stuck procs %v", cfg.Algo, stuck)
+	}
+
+	res := &Result{
+		StuckProcs: stuck,
+		Config:     cfg,
+		Metrics:    x.col,
+		Net:        x.net.Stats(),
+		VirtualSec: x.col.MakespanSec(),
+	}
+	res.Throughput = x.col.ThroughputSamplesPerSec(cfg.Workload.Batch)
+	res.BytesPerIterPerWorker = float64(res.Net.TotalBytes) / float64(cfg.Iters*cfg.Workers)
+	if cfg.Real != nil {
+		// Skip the final evaluation if the periodic evaluator already
+		// sampled the last iteration (avoids a duplicate trace point).
+		if n := len(x.col.Trace); n == 0 || x.col.Trace[n-1].Iter != cfg.Iters {
+			x.evalGlobal(cfg.Iters)
+		}
+		last := x.col.Trace[len(x.col.Trace)-1]
+		res.FinalTestAcc = 1 - last.TestErr
+		res.FinalTrainLoss = last.TrainLoss
+		res.ReplicaSpreadL2 = x.replicaSpread()
+	}
+	x.eng.Kill()
+	return res, nil
+}
+
+// replicaSpread computes max_w ‖x_w − x̄‖ / ‖x̄‖ over the live replicas.
+func (x *exp) replicaSpread() float64 {
+	mean := make([]float64, x.vecLen)
+	cnt := 0
+	for _, r := range x.reps {
+		if !r.mathOn() {
+			return 0
+		}
+		for i, v := range r.params() {
+			mean[i] += float64(v)
+		}
+		cnt++
+	}
+	if cnt == 0 {
+		return 0
+	}
+	var meanNorm float64
+	for i := range mean {
+		mean[i] /= float64(cnt)
+		meanNorm += mean[i] * mean[i]
+	}
+	meanNorm = math.Sqrt(meanNorm)
+	if meanNorm == 0 {
+		return 0
+	}
+	var worst float64
+	for _, r := range x.reps {
+		var d float64
+		for i, v := range r.params() {
+			diff := float64(v) - mean[i]
+			d += diff * diff
+		}
+		if d = math.Sqrt(d); d > worst {
+			worst = d
+		}
+	}
+	return worst / meanNorm
+}
+
+// GradientBytes returns the traffic spent on gradient messages (dense plus
+// DGC-sparse) — the quantity DGC compresses.
+func (r *Result) GradientBytes() int64 {
+	return r.Net.BytesByKind[kindGrad] + r.Net.BytesByKind[kindSparseGrad]
+}
+
+// ParamReplyBytes returns the traffic spent on PS→worker parameter replies.
+func (r *Result) ParamReplyBytes() int64 {
+	return r.Net.BytesByKind[kindParams]
+}
+
+// expectedStuck reports whether leftover blocked server procs are normal
+// for the algorithm (PS shards and passive peers outlive the workers).
+func expectedStuck(a Algo) bool {
+	switch a {
+	case ASP, SSP, EASGD, AdaComm, GoSGD, ADPSGD, BSP:
+		return true
+	}
+	return false
+}

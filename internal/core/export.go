@@ -1,0 +1,87 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+
+	"disttrain/internal/metrics"
+)
+
+// Summary is a JSON-serializable digest of a Result, for piping experiment
+// outcomes into external plotting/analysis tooling.
+type Summary struct {
+	Algo       string  `json:"algo"`
+	Workers    int     `json:"workers"`
+	Machines   int     `json:"machines"`
+	Model      string  `json:"model"`
+	InterGbps  float64 `json:"inter_gbps"`
+	Iters      int     `json:"iters"`
+	Seed       uint64  `json:"seed"`
+	Sharding   string  `json:"sharding,omitempty"`
+	Shards     int     `json:"shards,omitempty"`
+	WaitFreeBP bool    `json:"wait_free_bp,omitempty"`
+	DGC        bool    `json:"dgc,omitempty"`
+	Quantize8  bool    `json:"quantize8,omitempty"`
+	LocalAgg   bool    `json:"local_agg,omitempty"`
+
+	VirtualSec            float64 `json:"virtual_sec"`
+	Throughput            float64 `json:"throughput_samples_per_sec"`
+	TotalBytes            int64   `json:"total_bytes"`
+	CrossMachineBytes     int64   `json:"cross_machine_bytes"`
+	BytesPerIterPerWorker float64 `json:"bytes_per_iter_per_worker"`
+	MaxIterSpread         int     `json:"max_iter_spread"`
+	ReplicaSpreadL2       float64 `json:"replica_spread_l2,omitempty"`
+
+	ComputeSec   float64 `json:"compute_sec"`
+	LocalAggSec  float64 `json:"local_agg_sec"`
+	GlobalAggSec float64 `json:"global_agg_sec"`
+	NetworkSec   float64 `json:"network_sec"`
+
+	FinalTestAcc   float64              `json:"final_test_acc,omitempty"`
+	FinalTrainLoss float64              `json:"final_train_loss,omitempty"`
+	Trace          []metrics.TracePoint `json:"trace,omitempty"`
+}
+
+// Summary builds the digest.
+func (r *Result) Summary() Summary {
+	b := r.Metrics.MeanBreakdown()
+	return Summary{
+		Algo:       string(r.Config.Algo),
+		Workers:    r.Config.Workers,
+		Machines:   r.Config.Cluster.Machines,
+		Model:      r.Config.Workload.Profile.Name,
+		InterGbps:  r.Config.Cluster.InterBytesPerSec * 8 / 1e9,
+		Iters:      r.Config.Iters,
+		Seed:       r.Config.Seed,
+		Sharding:   string(r.Config.Sharding),
+		Shards:     r.Config.Shards,
+		WaitFreeBP: r.Config.WaitFreeBP,
+		DGC:        r.Config.DGC != nil,
+		Quantize8:  r.Config.Quantize8,
+		LocalAgg:   r.Config.LocalAgg,
+
+		VirtualSec:            r.VirtualSec,
+		Throughput:            r.Throughput,
+		TotalBytes:            r.Net.TotalBytes,
+		CrossMachineBytes:     r.Net.CrossMachineBytes,
+		BytesPerIterPerWorker: r.BytesPerIterPerWorker,
+		MaxIterSpread:         r.Metrics.MaxSpread,
+		ReplicaSpreadL2:       r.ReplicaSpreadL2,
+
+		ComputeSec:   b[metrics.Compute],
+		LocalAggSec:  b[metrics.LocalAgg],
+		GlobalAggSec: b[metrics.GlobalAgg],
+		NetworkSec:   b[metrics.Network],
+
+		FinalTestAcc:   r.FinalTestAcc,
+		FinalTrainLoss: r.FinalTrainLoss,
+		Trace:          r.Metrics.Trace,
+	}
+}
+
+// WriteJSON writes the summary as indented JSON.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Summary())
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+
+	"disttrain/internal/des"
+	"disttrain/internal/simnet"
+)
+
+// runGoSGD implements Gossip SGD (Section IV-B, after Blot et al.): every
+// iteration each worker trains locally, then with probability p picks a
+// uniformly random peer and pushes its parameters to it *asymmetrically* —
+// it does not wait for any response (the push-sum style the paper calls
+// asymmetric communication). Each worker carries a mixing weight; a sender
+// halves its weight and ships one half with its parameters, and a receiver
+// folds the incoming pair in with a weighted average, which keeps the
+// network-wide average unbiased.
+//
+// Receives are processed at iteration boundaries, modeling the paper's
+// background communication thread.
+func runGoSGD(x *exp) {
+	cfg := x.cfg
+	W := cfg.Workers
+
+	weights := make([]float64, W)
+	for i := range weights {
+		weights[i] = 1
+	}
+
+	for w := 0; w < W; w++ {
+		w := w
+		x.eng.Spawn(fmt.Sprintf("gosgd-worker%d", w), func(p *des.Proc) {
+			inbox := x.inbox(w)
+			r := x.algoRNG[w]
+			drain := func() {
+				for {
+					m, ok := inbox.TryRecv()
+					if !ok {
+						return
+					}
+					if m.Kind != kindGossip {
+						panic(fmt.Sprintf("gosgd worker: unexpected kind %d", m.Kind))
+					}
+					weights[w] = x.reps[w].weightedMerge(weights[w], m.Vec, m.Aux)
+				}
+			}
+			for it := 1; it <= cfg.Iters; it++ {
+				grads, _ := x.computePhase(p, w, false)
+				x.reps[w].localStep(grads, cfg.LR.At(it-1))
+				drain()
+
+				if r.Bernoulli(cfg.GossipP) {
+					// Choose a target uniformly among the other workers.
+					t := r.Intn(W - 1)
+					if t >= w {
+						t++
+					}
+					half := weights[w] / 2
+					weights[w] = half
+					var payload []float32
+					if x.reps[w].mathOn() {
+						payload = x.reps[w].params()
+					}
+					// Asymmetric: fire and forget; the sender immediately
+					// proceeds to its next iteration.
+					x.net.Send(simnet.Msg{From: x.workerNode[w], To: x.workerNode[t],
+						Kind: kindGossip, Clock: it, Aux: half,
+						Bytes: x.fullBytes(), Vec: payload})
+				}
+				x.maybeEval(w, it)
+			}
+			drain()
+			x.finish(w)
+		})
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"disttrain/internal/cluster"
+)
+
+func hogwildConfig(workers, iters int, seed uint64) Config {
+	cfg := realConfig(Hogwild, workers, iters, seed)
+	cfg.Cluster = cluster.Config{
+		Machines:          1,
+		WorkersPerMachine: workers,
+		InterBytesPerSec:  cluster.Gbps(10),
+		IntraBytesPerSec:  cluster.Gbps(128),
+		LatencySec:        1e-6,
+	}
+	return cfg
+}
+
+func TestHogwildLearns(t *testing.T) {
+	res, err := Run(hogwildConfig(4, 150, 51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalTestAcc < 0.9 {
+		t.Fatalf("hogwild acc %.3f", res.FinalTestAcc)
+	}
+}
+
+func TestHogwildNoNetworkTraffic(t *testing.T) {
+	res, err := Run(hogwildConfig(4, 30, 52))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Net.TotalBytes != 0 {
+		t.Fatalf("hogwild sent %d bytes — shared memory uses none", res.Net.TotalBytes)
+	}
+}
+
+func TestHogwildSharedReplica(t *testing.T) {
+	// All workers update one vector, so the replica spread is exactly zero.
+	res, err := Run(hogwildConfig(4, 50, 53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReplicaSpreadL2 != 0 {
+		t.Fatalf("shared-memory replicas diverged: %v", res.ReplicaSpreadL2)
+	}
+}
+
+func TestHogwildRequiresSingleMachine(t *testing.T) {
+	cfg := realConfig(Hogwild, 8, 10, 54) // Paper56G(8) = 2 machines
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("hogwild accepted a multi-machine cluster")
+	}
+}
+
+func TestHogwildLinearThroughput(t *testing.T) {
+	// With zero communication, throughput scales ~linearly with workers.
+	t1, err := Run(hogwildConfig(1, 30, 55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4, err := Run(hogwildConfig(4, 30, 55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := t4.Throughput / t1.Throughput
+	if ratio < 3.7 || ratio > 4.3 {
+		t.Fatalf("4-worker hogwild speedup %.2f, want ~4", ratio)
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"disttrain/internal/data"
+	"disttrain/internal/nn"
+	"disttrain/internal/opt"
+	"disttrain/internal/rng"
+	"disttrain/internal/tensor"
+)
+
+// replica is one worker's local training state. In real mode it wraps an
+// actual model, data shard and optimizer; in cost-only mode every method is
+// a cheap no-op so the algorithms can run unchanged.
+type replica struct {
+	id int
+
+	// real-mode state (nil in cost-only mode)
+	model   *nn.Model
+	sampler *data.Sampler
+	train   *data.Dataset
+	localO  *opt.SGD
+	augment *data.Augment
+	augRNG  *rng.RNG
+
+	xbuf  *tensor.Tensor
+	ybuf  []int
+	grads []float32
+
+	// lossEWMA tracks recent training loss for traces.
+	lossEWMA float64
+	lossInit bool
+
+	iter int
+}
+
+// newRealReplica builds worker w's replica: model initialized from the
+// shared init stream (all replicas start identical), its own data shard and
+// batch sampler.
+func newRealReplica(w int, cfg *Config, initStream *rng.RNG, shardStream *rng.RNG) *replica {
+	r := &replica{id: w}
+	r.model = cfg.Real.Factory(initStream)
+	r.train = cfg.Real.Train
+	shard := data.ShardIndices(cfg.Real.Train.N(), cfg.Workers, w)
+	r.sampler = data.NewSampler(shard, cfg.Real.Batch, shardStream)
+	r.localO = opt.NewSGD(r.model.NumParams(), cfg.Momentum, cfg.WeightDecay)
+	r.grads = make([]float32, r.model.NumParams())
+	if cfg.Real.Augment != nil {
+		r.augment = cfg.Real.Augment
+		r.augRNG = shardStream.Split(0xa06)
+	}
+	return r
+}
+
+// newCostReplica builds a math-free replica.
+func newCostReplica(w int) *replica { return &replica{id: w} }
+
+// mathOn reports whether this replica does real parameter math.
+func (r *replica) mathOn() bool { return r.model != nil }
+
+// size returns the flat parameter count (0 in cost-only mode).
+func (r *replica) size() int {
+	if r.model == nil {
+		return 0
+	}
+	return r.model.NumParams()
+}
+
+// computeGrad runs one forward/backward pass on the next mini-batch and
+// returns the replica's gradient buffer (valid until the next call), or nil
+// in cost-only mode. The replica's iteration counter advances either way.
+func (r *replica) computeGrad() []float32 {
+	r.iter++
+	if r.model == nil {
+		return nil
+	}
+	idx := r.sampler.Next()
+	r.xbuf, r.ybuf = r.train.Gather(idx, r.xbuf, r.ybuf)
+	if r.augment != nil {
+		r.augment.Apply(r.xbuf, r.augRNG)
+	}
+	r.model.ZeroGrads()
+	loss, _ := r.model.Loss(r.xbuf, r.ybuf)
+	if !r.lossInit {
+		r.lossEWMA, r.lossInit = loss, true
+	} else {
+		r.lossEWMA = 0.9*r.lossEWMA + 0.1*loss
+	}
+	return r.model.FlatGrads(r.grads)
+}
+
+// localStep applies one local SGD step with gradient g (no-op on nil).
+func (r *replica) localStep(g []float32, lr float32) {
+	if r.model == nil || g == nil {
+		return
+	}
+	flat := r.model.FlatParams(nil)
+	r.localO.Step(flat, g, lr)
+	r.model.SetFlatParams(flat)
+}
+
+// params returns a fresh copy of the flat parameters (nil in cost-only).
+func (r *replica) params() []float32 {
+	if r.model == nil {
+		return nil
+	}
+	return r.model.FlatParams(nil)
+}
+
+// setParams overwrites the full parameter vector (no-op on nil).
+func (r *replica) setParams(src []float32) {
+	if r.model == nil || src == nil {
+		return
+	}
+	r.model.SetFlatParams(src)
+}
+
+// setRanges overwrites only the given flat ranges from src (full-length).
+func (r *replica) setRanges(ranges []rangeT, src []float32) {
+	if r.model == nil || src == nil {
+		return
+	}
+	flat := r.model.FlatParams(nil)
+	for _, rg := range ranges {
+		copy(flat[rg.Off:rg.Off+rg.Len], src[rg.Off:rg.Off+rg.Len])
+	}
+	r.model.SetFlatParams(flat)
+}
+
+// average sets params ← (params + other)/2, the AD-PSGD/gossip merge.
+func (r *replica) average(other []float32) {
+	if r.model == nil || other == nil {
+		return
+	}
+	flat := r.model.FlatParams(nil)
+	for i := range flat {
+		flat[i] = 0.5 * (flat[i] + other[i])
+	}
+	r.model.SetFlatParams(flat)
+}
+
+// weightedMerge performs GoSGD's merge: x ← (w·x + ws·xs)/(w+ws), returning
+// the new local weight w+ws.
+func (r *replica) weightedMerge(own float64, xs []float32, ws float64) float64 {
+	if r.model == nil || xs == nil {
+		return own + ws
+	}
+	flat := r.model.FlatParams(nil)
+	a := float32(own / (own + ws))
+	b := float32(ws / (own + ws))
+	for i := range flat {
+		flat[i] = a*flat[i] + b*xs[i]
+	}
+	r.model.SetFlatParams(flat)
+	return own + ws
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"disttrain/internal/cluster"
+	"disttrain/internal/costmodel"
+	"disttrain/internal/data"
+	"disttrain/internal/nn"
+	"disttrain/internal/opt"
+	"disttrain/internal/rng"
+)
+
+func testReplica(t *testing.T, w int) *replica {
+	t.Helper()
+	r := rng.New(100)
+	ds := data.GenGauss(r, 100, 3, 0.3)
+	cfg := &Config{
+		Algo:     BSP,
+		Cluster:  cluster.Paper56G(2),
+		Workers:  2,
+		Workload: costmodel.NewWorkload(costmodel.ResNet50(), costmodel.TitanV(), 128),
+		Iters:    10,
+		Momentum: 0.9,
+		LR:       opt.Schedule{Base: 0.1},
+		Real: &RealConfig{
+			Factory: func(rr *rng.RNG) *nn.Model { return nn.NewMLP(rr, 2, 4, 3) },
+			Train:   ds,
+			Test:    ds,
+			Batch:   8,
+		},
+	}
+	return newRealReplica(w, cfg, rng.New(1).Split(1), rng.New(2))
+}
+
+func TestReplicaComputeGradAdvancesIter(t *testing.T) {
+	r := testReplica(t, 0)
+	if r.iter != 0 {
+		t.Fatalf("fresh iter %d", r.iter)
+	}
+	g := r.computeGrad()
+	if g == nil || r.iter != 1 {
+		t.Fatalf("grad nil=%v iter=%d", g == nil, r.iter)
+	}
+	if !opt.IsFinite(g) {
+		t.Fatal("non-finite gradient")
+	}
+}
+
+func TestReplicaIdenticalInit(t *testing.T) {
+	a, b := testReplica(t, 0), testReplica(t, 1)
+	pa, pb := a.params(), b.params()
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("replicas start different despite shared init stream")
+		}
+	}
+}
+
+func TestReplicaAverage(t *testing.T) {
+	r := testReplica(t, 0)
+	orig := r.params()
+	other := make([]float32, len(orig))
+	for i := range other {
+		other[i] = orig[i] + 2
+	}
+	r.average(other)
+	got := r.params()
+	for i := range got {
+		if math.Abs(float64(got[i]-(orig[i]+1))) > 1e-6 {
+			t.Fatalf("average wrong at %d", i)
+		}
+	}
+}
+
+func TestReplicaWeightedMerge(t *testing.T) {
+	r := testReplica(t, 0)
+	orig := r.params()
+	other := make([]float32, len(orig))
+	for i := range other {
+		other[i] = orig[i] + 3
+	}
+	// own weight 1, incoming weight 0.5 -> x = (1*x + 0.5*(x+3))/1.5 = x+1
+	newW := r.weightedMerge(1, other, 0.5)
+	if math.Abs(newW-1.5) > 1e-12 {
+		t.Fatalf("merged weight %v", newW)
+	}
+	got := r.params()
+	for i := range got {
+		if math.Abs(float64(got[i]-(orig[i]+1))) > 1e-5 {
+			t.Fatalf("weighted merge wrong at %d: %v vs %v", i, got[i], orig[i]+1)
+		}
+	}
+}
+
+func TestReplicaSetRanges(t *testing.T) {
+	r := testReplica(t, 0)
+	n := r.size()
+	src := make([]float32, n)
+	for i := range src {
+		src[i] = 42
+	}
+	r.setRanges([]rangeT{{Off: 0, Len: 3}, {Off: n - 2, Len: 2}}, src)
+	got := r.params()
+	if got[0] != 42 || got[2] != 42 || got[n-1] != 42 {
+		t.Fatal("ranges not written")
+	}
+	if got[4] == 42 {
+		t.Fatal("out-of-range index written")
+	}
+}
+
+func TestReplicaLocalStepMovesParams(t *testing.T) {
+	r := testReplica(t, 0)
+	before := r.params()
+	g := r.computeGrad()
+	r.localStep(g, 0.1)
+	after := r.params()
+	moved := false
+	for i := range after {
+		if after[i] != before[i] {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("localStep did not move parameters")
+	}
+}
+
+func TestCostReplicaNoOps(t *testing.T) {
+	r := newCostReplica(3)
+	if r.mathOn() || r.size() != 0 {
+		t.Fatal("cost replica claims math")
+	}
+	if g := r.computeGrad(); g != nil {
+		t.Fatal("cost replica produced a gradient")
+	}
+	if r.iter != 1 {
+		t.Fatalf("iter = %d", r.iter)
+	}
+	// All of these must be safe no-ops on nil state.
+	r.localStep(nil, 0.1)
+	r.setParams(nil)
+	r.setRanges([]rangeT{{Off: 0, Len: 4}}, nil)
+	r.average(nil)
+	if w := r.weightedMerge(1, nil, 0.5); w != 1.5 {
+		t.Fatalf("cost merge weight %v", w)
+	}
+	if p := r.params(); p != nil {
+		t.Fatal("cost replica returned params")
+	}
+}
+
+func TestReplicaLossEWMA(t *testing.T) {
+	r := testReplica(t, 0)
+	r.computeGrad()
+	if !r.lossInit || r.lossEWMA <= 0 {
+		t.Fatal("loss EWMA not initialized")
+	}
+	first := r.lossEWMA
+	for i := 0; i < 5; i++ {
+		r.computeGrad()
+	}
+	if r.lossEWMA == first {
+		t.Fatal("loss EWMA frozen")
+	}
+}

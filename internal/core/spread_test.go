@@ -1,0 +1,51 @@
+package core
+
+import "testing"
+
+// TestReplicaSpreadOrdering verifies the paper's core causal claim at the
+// parameter level: synchronous algorithms keep all replicas identical;
+// every-iteration asynchronous aggregation keeps them close; intermittent
+// or asymmetric aggregation lets them drift apart. The drift ordering is
+// what produces the accuracy ordering of Tables II/III.
+func TestReplicaSpreadOrdering(t *testing.T) {
+	spread := map[Algo]float64{}
+	for _, algo := range []Algo{BSP, ARSGD, ADPSGD, EASGD, GoSGD} {
+		cfg := realConfig(algo, 4, 120, 41)
+		cfg.Tau = 8
+		cfg.GossipP = 0.05
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spread[algo] = res.ReplicaSpreadL2
+	}
+
+	// Synchronous: bit-identical replicas (spread ~ 0 modulo fp noise).
+	for _, algo := range []Algo{BSP, ARSGD} {
+		if spread[algo] > 1e-5 {
+			t.Fatalf("%s replica spread %.2e, want ~0", algo, spread[algo])
+		}
+	}
+	// Rare gossip must leave more divergence than AD-PSGD's every-iteration
+	// symmetric averaging.
+	if spread[GoSGD] <= spread[ADPSGD] {
+		t.Fatalf("GoSGD spread %.3e not above AD-PSGD %.3e", spread[GoSGD], spread[ADPSGD])
+	}
+	// Everything asynchronous has nonzero spread.
+	for _, algo := range []Algo{ADPSGD, EASGD, GoSGD} {
+		if spread[algo] == 0 {
+			t.Fatalf("%s spread exactly zero", algo)
+		}
+	}
+}
+
+// TestCostOnlySpreadIsZero: no math, no spread.
+func TestCostOnlySpreadIsZero(t *testing.T) {
+	res, err := Run(costConfig(GoSGD, 4, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReplicaSpreadL2 != 0 {
+		t.Fatalf("cost-only spread = %v", res.ReplicaSpreadL2)
+	}
+}

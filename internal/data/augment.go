@@ -1,0 +1,81 @@
+package data
+
+import (
+	"disttrain/internal/rng"
+	"disttrain/internal/tensor"
+)
+
+// Augment is a random image augmentation policy applied to training batches
+// (never to evaluation data): random spatial shifts with zero padding and
+// random horizontal flips — the standard light policy for small image
+// classification, analogous to the crop/flip pipeline ImageNet training
+// uses.
+type Augment struct {
+	// MaxShift is the maximum absolute shift, in pixels, applied
+	// independently per axis (uniform in [-MaxShift, MaxShift]).
+	MaxShift int
+	// FlipProb is the probability of a horizontal mirror.
+	FlipProb float64
+}
+
+// Apply augments a batch of [B, C, H, W] images in place, drawing from r.
+// Non-4D inputs (vector datasets) pass through untouched.
+func (a Augment) Apply(x *tensor.Tensor, r *rng.RNG) {
+	if len(x.Shape) != 4 || (a.MaxShift == 0 && a.FlipProb == 0) {
+		return
+	}
+	b, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	sample := c * h * w
+	scratch := make([]float32, sample)
+	for i := 0; i < b; i++ {
+		img := x.Data[i*sample : (i+1)*sample]
+		if a.MaxShift > 0 {
+			dx := r.Intn(2*a.MaxShift+1) - a.MaxShift
+			dy := r.Intn(2*a.MaxShift+1) - a.MaxShift
+			if dx != 0 || dy != 0 {
+				shiftImage(img, scratch, c, h, w, dx, dy)
+			}
+		}
+		if a.FlipProb > 0 && r.Bernoulli(a.FlipProb) {
+			flipImage(img, c, h, w)
+		}
+	}
+}
+
+// shiftImage translates every channel by (dx, dy), filling exposed pixels
+// with zero. scratch must hold one sample.
+func shiftImage(img, scratch []float32, c, h, w, dx, dy int) {
+	copy(scratch, img)
+	for i := range img {
+		img[i] = 0
+	}
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for y := 0; y < h; y++ {
+			sy := y - dy
+			if sy < 0 || sy >= h {
+				continue
+			}
+			for x := 0; x < w; x++ {
+				sx := x - dx
+				if sx < 0 || sx >= w {
+					continue
+				}
+				img[base+y*w+x] = scratch[base+sy*w+sx]
+			}
+		}
+	}
+}
+
+// flipImage mirrors every channel horizontally in place.
+func flipImage(img []float32, c, h, w int) {
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for y := 0; y < h; y++ {
+			row := img[base+y*w : base+y*w+w]
+			for i, j := 0, w-1; i < j; i, j = i+1, j-1 {
+				row[i], row[j] = row[j], row[i]
+			}
+		}
+	}
+}

@@ -1,0 +1,277 @@
+// Package des is a deterministic discrete-event simulation engine.
+//
+// It exists because the paper's performance results (scalability, time
+// breakdowns, optimization effects) were measured on a 24-GPU cluster we do
+// not have; the substitution is to run the same algorithms against a
+// virtual clock. Simulated processes are goroutines, but exactly one runs
+// at a time and control is handed off explicitly, so a given seed and
+// configuration always produces the identical event trace — tests depend on
+// this bit-for-bit reproducibility.
+//
+// Processes are written in ordinary blocking style:
+//
+//	eng.Spawn("worker", func(p *des.Proc) {
+//	    p.Sleep(0.010)            // compute for 10 virtual ms
+//	    replies.Push(msg)         // deliver instantly
+//	    m := inbox.Recv(p)        // block until a message arrives
+//	    _ = m
+//	})
+//	eng.Run(0)
+//
+// The engine loop pops the earliest event — ties broken by schedule order —
+// advances the virtual clock, and either runs a callback inline or resumes
+// the owning process goroutine, blocking until that process yields again.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is virtual time in seconds.
+type Time = float64
+
+type event struct {
+	t    Time
+	seq  uint64
+	fn   func() // inline callback, or nil for a process wakeup
+	proc *Proc
+}
+
+type eventPQ []*event
+
+func (q eventPQ) Len() int { return len(q) }
+func (q eventPQ) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventPQ) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventPQ) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventPQ) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// Engine is a single-threaded discrete-event simulator.
+type Engine struct {
+	now     Time
+	pq      eventPQ
+	seq     uint64
+	ack     chan struct{}
+	procs   []*Proc
+	killing bool
+	events  uint64 // processed events, for stats/tests
+}
+
+// NewEngine creates an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{ack: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Events returns the number of events processed so far.
+func (e *Engine) Events() uint64 { return e.events }
+
+// Schedule runs fn at absolute virtual time t (>= Now).
+func (e *Engine) Schedule(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("des: schedule at %v before now %v", t, e.now))
+	}
+	e.push(&event{t: t, fn: fn})
+}
+
+// After runs fn d seconds from now.
+func (e *Engine) After(d Time, fn func()) { e.Schedule(e.now+d, fn) }
+
+func (e *Engine) push(ev *event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.pq, ev)
+}
+
+// Proc is a simulated process. All Proc methods must be called only from
+// the process's own goroutine (inside the body passed to Spawn).
+type Proc struct {
+	Name   string
+	eng    *Engine
+	resume chan struct{}
+	done   bool
+	// blocked marks a proc that yielded without a scheduled wakeup; used to
+	// report stuck processes (e.g. the AD-PSGD deadlock demonstration).
+	blocked bool
+}
+
+type procKilled struct{}
+
+// Spawn starts a new process at the current virtual time. The body runs the
+// first time the engine reaches the start event.
+func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
+	p := &Proc{Name: name, eng: e, resume: make(chan struct{})}
+	e.procs = append(e.procs, p)
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(procKilled); !ok {
+					panic(r)
+				}
+			}
+			p.done = true
+			e.ack <- struct{}{}
+		}()
+		body(p)
+	}()
+	e.push(&event{t: e.now, proc: p})
+	return p
+}
+
+// Run processes events until the queue is empty, or until virtual time
+// exceeds `until` if until > 0 (events beyond the horizon stay queued).
+func (e *Engine) Run(until Time) {
+	for e.pq.Len() > 0 {
+		ev := e.pq[0]
+		if until > 0 && ev.t > until {
+			e.now = until
+			return
+		}
+		heap.Pop(&e.pq)
+		e.now = ev.t
+		e.events++
+		if ev.proc != nil {
+			if ev.proc.done {
+				continue
+			}
+			ev.proc.blocked = false
+			ev.proc.resume <- struct{}{}
+			<-e.ack
+		} else if ev.fn != nil {
+			ev.fn()
+		}
+	}
+}
+
+// Stuck returns the names of processes that are blocked with no pending
+// wakeup — after Run returns, these are deadlocked (or waiting on input
+// that will never arrive).
+func (e *Engine) Stuck() []string {
+	var s []string
+	for _, p := range e.procs {
+		if !p.done && p.blocked {
+			s = append(s, p.Name)
+		}
+	}
+	sort.Strings(s)
+	return s
+}
+
+// Kill unwinds every non-finished process goroutine. Call when done with an
+// engine whose processes run forever (server loops), so goroutines do not
+// leak across many experiments in one Go process.
+func (e *Engine) Kill() {
+	e.killing = true
+	for _, p := range e.procs {
+		if !p.done {
+			p.resume <- struct{}{}
+			<-e.ack
+		}
+	}
+	e.killing = false
+}
+
+// yield hands control back to the engine and blocks until resumed.
+func (p *Proc) yield() {
+	p.eng.ack <- struct{}{}
+	<-p.resume
+	if p.eng.killing {
+		panic(procKilled{})
+	}
+}
+
+// Sleep advances the process by d seconds of virtual time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic("des: negative sleep")
+	}
+	e := p.eng
+	e.push(&event{t: e.now + d, proc: p})
+	p.yield()
+}
+
+// Block parks the process until something wakes it (Queue.Recv uses this).
+func (p *Proc) block() {
+	p.blocked = true
+	p.yield()
+}
+
+// wake schedules the process to resume at the current time.
+func (p *Proc) wake() {
+	p.eng.push(&event{t: p.eng.now, proc: p})
+}
+
+// Now returns the engine's current virtual time.
+func (p *Proc) Now() Time { return p.eng.Now() }
+
+// Queue is an unbounded FIFO mailbox connecting processes (and callbacks)
+// inside one engine. Push never blocks; Recv blocks the calling process
+// until an item is available.
+type Queue[T any] struct {
+	eng     *Engine
+	items   []T
+	waiting []*Proc
+}
+
+// NewQueue creates a mailbox on the engine.
+func NewQueue[T any](e *Engine) *Queue[T] {
+	return &Queue[T]{eng: e}
+}
+
+// Push appends an item and wakes one waiting receiver, if any. Safe to call
+// from event callbacks or from any process.
+func (q *Queue[T]) Push(v T) {
+	q.items = append(q.items, v)
+	if len(q.waiting) > 0 {
+		p := q.waiting[0]
+		q.waiting = q.waiting[1:]
+		p.wake()
+	}
+}
+
+// Recv removes and returns the oldest item, blocking p until one exists.
+func (q *Queue[T]) Recv(p *Proc) T {
+	for len(q.items) == 0 {
+		q.waiting = append(q.waiting, p)
+		p.block()
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	// If items remain and receivers still wait (multi-consumer), cascade.
+	if len(q.items) > 0 && len(q.waiting) > 0 {
+		nxt := q.waiting[0]
+		q.waiting = q.waiting[1:]
+		nxt.wake()
+	}
+	return v
+}
+
+// TryRecv removes and returns the oldest item without blocking.
+func (q *Queue[T]) TryRecv() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }

@@ -1,0 +1,268 @@
+package grad
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"disttrain/internal/rng"
+)
+
+func TestTopKIndicesKnown(t *testing.T) {
+	v := []float32{0.1, -5, 2, 0.01, 3, -4}
+	got := topKIndices(v, 3)
+	want := []int{1, 4, 5} // |−5|, |3|, |−4| → sorted by index
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("topK = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTopKAllWhenKLarge(t *testing.T) {
+	v := []float32{1, 2, 3}
+	got := topKIndices(v, 10)
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTopKProperty(t *testing.T) {
+	// Every selected |value| must be >= every unselected |value|.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 5 + r.Intn(200)
+		k := 1 + r.Intn(n)
+		v := make([]float32, n)
+		for i := range v {
+			v[i] = float32(r.NormFloat64())
+		}
+		idx := topKIndices(v, k)
+		if len(idx) != k {
+			return false
+		}
+		sel := make(map[int]bool, k)
+		var minSel float64 = math.Inf(1)
+		for _, i := range idx {
+			sel[i] = true
+			if a := math.Abs(float64(v[i])); a < minSel {
+				minSel = a
+			}
+		}
+		for i := range v {
+			if !sel[i] && math.Abs(float64(v[i])) > minSel+1e-12 {
+				return false
+			}
+		}
+		return sort.IntsAreSorted(idx)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressSelectsLargest(t *testing.T) {
+	cfg := DGCConfig{Ratio: 0.25, Momentum: 0, ClipNorm: 0}
+	c := NewCompressor(cfg, 8)
+	g := []float32{0, 0, 10, 0, 0, -20, 0, 0}
+	sp := c.Compress(g)
+	if len(sp.Idx) != 2 {
+		t.Fatalf("k = %d, want 2", len(sp.Idx))
+	}
+	if sp.Idx[0] != 2 || sp.Idx[1] != 5 {
+		t.Fatalf("idx = %v", sp.Idx)
+	}
+	if sp.Val[0] != 10 || sp.Val[1] != -20 {
+		t.Fatalf("val = %v", sp.Val)
+	}
+}
+
+func TestResidualAccumulation(t *testing.T) {
+	// Entries not transmitted must accumulate locally and eventually win.
+	cfg := DGCConfig{Ratio: 1.0 / 8.0, Momentum: 0, ClipNorm: 0}
+	c := NewCompressor(cfg, 8)
+	g := []float32{1, 0, 0, 0, 0, 0, 0, 5}
+	sp := c.Compress(g) // index 7 wins
+	if sp.Idx[0] != 7 {
+		t.Fatalf("first pick %v", sp.Idx)
+	}
+	// index 0 keeps accumulating 1 per step; index 7 resets after send.
+	sp = c.Compress([]float32{1, 0, 0, 0, 0, 0, 0, 0})
+	if sp.Idx[0] != 0 {
+		t.Fatalf("second pick %v, want accumulated index 0", sp.Idx)
+	}
+	if math.Abs(float64(sp.Val[0])-2) > 1e-6 {
+		t.Fatalf("accumulated value = %v, want 2", sp.Val[0])
+	}
+}
+
+func TestNoGradientIsLost(t *testing.T) {
+	// Without momentum/clipping, sum(transmitted) + sum(residual) must equal
+	// sum(all gradients fed in): sparsification delays but never drops mass.
+	cfg := DGCConfig{Ratio: 0.1, Momentum: 0, ClipNorm: 0}
+	n := 50
+	c := NewCompressor(cfg, n)
+	r := rng.New(3)
+	dense := make([]float32, n)
+	var fedSum float64
+	for step := 0; step < 20; step++ {
+		g := make([]float32, n)
+		for i := range g {
+			g[i] = float32(r.NormFloat64())
+			fedSum += float64(g[i])
+		}
+		sp := c.Compress(g)
+		Decompress(sp, 1, dense)
+	}
+	var got float64
+	for _, v := range dense {
+		got += float64(v)
+	}
+	for _, v := range c.Residual() {
+		got += float64(v)
+	}
+	if math.Abs(got-fedSum) > 1e-3 {
+		t.Fatalf("mass: transmitted+residual %v, fed %v", got, fedSum)
+	}
+}
+
+func TestMomentumCorrection(t *testing.T) {
+	// With momentum m and a constant gradient, u converges to g/(1-m); the
+	// first compress sends v = u_1 = g.
+	cfg := DGCConfig{Ratio: 1, Momentum: 0.9, ClipNorm: 0}
+	c := NewCompressor(cfg, 2)
+	sp := c.Compress([]float32{1, 1})
+	if math.Abs(float64(sp.Val[0])-1) > 1e-6 {
+		t.Fatalf("first send %v", sp.Val[0])
+	}
+	// Factor masking zeroed u after send; so next send is again 1.
+	sp = c.Compress([]float32{1, 1})
+	if math.Abs(float64(sp.Val[0])-1) > 1e-6 {
+		t.Fatalf("masked momentum: second send %v, want 1", sp.Val[0])
+	}
+}
+
+func TestFactorMaskingAblation(t *testing.T) {
+	cfg := DGCConfig{Ratio: 1, Momentum: 0.9, ClipNorm: 0, NoFactorMasking: true}
+	c := NewCompressor(cfg, 1)
+	c.Compress([]float32{1})
+	sp := c.Compress([]float32{1})
+	// Without masking u survives: u2 = 0.9*1 + 1 = 1.9.
+	if math.Abs(float64(sp.Val[0])-1.9) > 1e-6 {
+		t.Fatalf("unmasked second send %v, want 1.9", sp.Val[0])
+	}
+}
+
+func TestWarmupRampsSparsity(t *testing.T) {
+	cfg := DGCConfig{Ratio: 0.001, Momentum: 0, WarmupIters: 100}
+	c := NewCompressor(cfg, 1000)
+	r0 := c.CurrentRatio()
+	if r0 != 1 {
+		t.Fatalf("warmup start ratio %v, want 1 (dense)", r0)
+	}
+	g := make([]float32, 1000)
+	for i := range g {
+		g[i] = 1
+	}
+	prev := 1.0
+	for step := 0; step < 100; step++ {
+		c.Compress(g)
+		cur := c.CurrentRatio()
+		if cur > prev+1e-12 {
+			t.Fatalf("warmup ratio increased at %d: %v -> %v", step, prev, cur)
+		}
+		prev = cur
+	}
+	if got := c.CurrentRatio(); got != 0.001 {
+		t.Fatalf("post-warmup ratio %v", got)
+	}
+}
+
+func TestWireBytes(t *testing.T) {
+	sp := Sparse{Idx: make([]int32, 10), Val: make([]float32, 10), Dense: 100}
+	if sp.WireBytes() != 80 {
+		t.Fatalf("wire bytes = %d", sp.WireBytes())
+	}
+}
+
+func TestCompressionRatioOnWire(t *testing.T) {
+	// Post-warm-up DGC must cut wire size by ~99.8% (8 bytes per 0.1%).
+	n := 100000
+	cfg := DGCConfig{Ratio: 0.001, Momentum: 0.9, ClipNorm: 2}
+	c := NewCompressor(cfg, n)
+	r := rng.New(4)
+	g := make([]float32, n)
+	for i := range g {
+		g[i] = float32(r.NormFloat64())
+	}
+	sp := c.Compress(g)
+	dense := int64(n * 4)
+	if sp.WireBytes() > dense/100 {
+		t.Fatalf("wire %d vs dense %d: insufficient compression", sp.WireBytes(), dense)
+	}
+}
+
+func TestDecompressScale(t *testing.T) {
+	dense := make([]float32, 4)
+	Decompress(Sparse{Idx: []int32{1, 3}, Val: []float32{2, -4}, Dense: 4}, 0.5, dense)
+	if dense[1] != 1 || dense[3] != -2 || dense[0] != 0 {
+		t.Fatalf("dense = %v", dense)
+	}
+}
+
+func TestDecompressLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Decompress(Sparse{Idx: []int32{0}, Val: []float32{1}, Dense: 4}, 1, make([]float32, 3))
+}
+
+func TestValidate(t *testing.T) {
+	if (DGCConfig{Ratio: 0}).Validate() == nil {
+		t.Fatal("ratio 0 accepted")
+	}
+	if (DGCConfig{Ratio: 2}).Validate() == nil {
+		t.Fatal("ratio 2 accepted")
+	}
+	if err := DefaultDGC(0.9, 10).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClippingBoundsContribution(t *testing.T) {
+	cfg := DGCConfig{Ratio: 1, Momentum: 0, ClipNorm: 1}
+	c := NewCompressor(cfg, 2)
+	sp := c.Compress([]float32{30, 40}) // norm 50 -> clipped to 1
+	norm := math.Hypot(float64(sp.Val[0]), float64(sp.Val[1]))
+	if math.Abs(norm-1) > 1e-5 {
+		t.Fatalf("clipped norm %v", norm)
+	}
+	// Clipping must not modify the caller's gradient.
+	g := []float32{30, 40}
+	c2 := NewCompressor(cfg, 2)
+	c2.Compress(g)
+	if g[0] != 30 || g[1] != 40 {
+		t.Fatal("Compress mutated caller's gradient")
+	}
+}
+
+func BenchmarkCompress100k(b *testing.B) {
+	n := 100000
+	c := NewCompressor(DefaultDGC(0.9, 0), n)
+	r := rng.New(1)
+	g := make([]float32, n)
+	for i := range g {
+		g[i] = float32(r.NormFloat64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Compress(g)
+	}
+}

@@ -1,0 +1,76 @@
+package grad
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzQuantizeRoundTrip checks that quantization never panics, never emits
+// non-finite values for finite input, and keeps per-element error within
+// half a quantization step.
+func FuzzQuantizeRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 0, 128, 63, 0, 0, 0, 64})         // [1, 2]
+	f.Add([]byte{0, 0, 0, 0})                         // [0]
+	f.Add([]byte{255, 255, 127, 127, 1, 0, 128, 255}) // extremes
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		n := len(raw) / 4
+		if n == 0 {
+			return
+		}
+		v := make([]float32, n)
+		var maxAbs float64
+		for i := 0; i < n; i++ {
+			bits := uint32(raw[i*4]) | uint32(raw[i*4+1])<<8 |
+				uint32(raw[i*4+2])<<16 | uint32(raw[i*4+3])<<24
+			v[i] = math.Float32frombits(bits)
+			if math.IsNaN(float64(v[i])) || math.IsInf(float64(v[i]), 0) {
+				return // only finite inputs are in-contract
+			}
+			if a := math.Abs(float64(v[i])); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		orig := append([]float32(nil), v...)
+		q := Quantize8(v)
+		out := make([]float32, n)
+		Dequantize8(q, out)
+		step := maxAbs / 127
+		for i := range out {
+			if math.IsNaN(float64(out[i])) {
+				t.Fatalf("NaN output for finite input %v", orig[i])
+			}
+			if math.Abs(float64(orig[i]-out[i])) > step/2+1e-6*maxAbs+1e-30 {
+				t.Fatalf("error beyond half step at %d: %v -> %v (step %v)", i, orig[i], out[i], step)
+			}
+		}
+	})
+}
+
+// FuzzDGCCompress checks that the compressor tolerates arbitrary finite
+// gradients without panicking and always emits sorted, in-range indices.
+func FuzzDGCCompress(f *testing.F) {
+	f.Add(uint16(8), int16(100), int16(-3))
+	f.Add(uint16(1), int16(0), int16(0))
+	f.Add(uint16(500), int16(32767), int16(1))
+	f.Fuzz(func(t *testing.T, n16 uint16, a, b int16) {
+		n := int(n16)%512 + 1
+		c := NewCompressor(DGCConfig{Ratio: 0.1, Momentum: 0.9, ClipNorm: 2}, n)
+		g := make([]float32, n)
+		for i := range g {
+			g[i] = float32(a)*0.001 + float32(b)*0.01*float32(i%7)
+		}
+		sp := c.Compress(g)
+		if len(sp.Idx) != len(sp.Val) {
+			t.Fatal("idx/val length mismatch")
+		}
+		prev := int32(-1)
+		for _, i := range sp.Idx {
+			if i <= prev || int(i) >= n {
+				t.Fatalf("indices not sorted/in-range: %v", sp.Idx)
+			}
+			prev = i
+		}
+		dense := make([]float32, n)
+		Decompress(sp, 1, dense)
+	})
+}

@@ -1,0 +1,72 @@
+package grad
+
+import "fmt"
+
+// Quantized8 is an 8-bit uniformly quantized vector: each value is
+// reconstructed as Scale·int8. Wire size is one byte per element plus the
+// scale — a fixed 4× compression against float32.
+type Quantized8 struct {
+	Scale float32
+	Q     []int8
+}
+
+// WireBytes returns the transmitted size (1 byte/element + 4-byte scale).
+func (q Quantized8) WireBytes() int64 { return int64(len(q.Q)) + 4 }
+
+// Quantize8 quantizes v to 8 bits with a symmetric per-vector scale chosen
+// from the maximum magnitude. The zero vector quantizes to scale 0.
+func Quantize8(v []float32) Quantized8 {
+	var maxAbs float32
+	for _, x := range v {
+		a := x
+		if a < 0 {
+			a = -a
+		}
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	q := Quantized8{Q: make([]int8, len(v))}
+	if maxAbs == 0 {
+		return q
+	}
+	q.Scale = maxAbs / 127
+	inv := 127 / maxAbs
+	for i, x := range v {
+		r := x * inv
+		// round half away from zero, clamp to int8
+		var iv int32
+		if r >= 0 {
+			iv = int32(r + 0.5)
+		} else {
+			iv = int32(r - 0.5)
+		}
+		if iv > 127 {
+			iv = 127
+		}
+		if iv < -127 {
+			iv = -127
+		}
+		q.Q[i] = int8(iv)
+	}
+	return q
+}
+
+// Dequantize8 reconstructs the vector into dst (length must match).
+func Dequantize8(q Quantized8, dst []float32) {
+	if len(dst) != len(q.Q) {
+		panic(fmt.Sprintf("grad: dequantize into %d, want %d", len(dst), len(q.Q)))
+	}
+	for i, x := range q.Q {
+		dst[i] = q.Scale * float32(x)
+	}
+}
+
+// QuantizeRoundTrip applies the quantize→dequantize loss to v in place —
+// what a receiver of the quantized gradient observes. Returns the wire size
+// the transfer would need.
+func QuantizeRoundTrip(v []float32) int64 {
+	q := Quantize8(v)
+	Dequantize8(q, v)
+	return q.WireBytes()
+}

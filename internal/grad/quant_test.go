@@ -1,0 +1,107 @@
+package grad
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"disttrain/internal/rng"
+)
+
+func TestQuantizeRoundTripBoundedError(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(200)
+		v := make([]float32, n)
+		var maxAbs float64
+		for i := range v {
+			v[i] = float32(r.NormFloat64() * 3)
+			if a := math.Abs(float64(v[i])); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		q := Quantize8(v)
+		out := make([]float32, n)
+		Dequantize8(q, out)
+		// Error per element is bounded by half a quantization step (plus
+		// float32 rounding proportional to the scale).
+		step := maxAbs / 127
+		for i := range v {
+			if math.Abs(float64(v[i]-out[i])) > step/2+1e-6*maxAbs+1e-30 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeZeroVector(t *testing.T) {
+	v := make([]float32, 5)
+	q := Quantize8(v)
+	if q.Scale != 0 {
+		t.Fatalf("scale = %v", q.Scale)
+	}
+	out := []float32{1, 1, 1, 1, 1}
+	Dequantize8(q, out)
+	for _, x := range out {
+		if x != 0 {
+			t.Fatal("zero vector did not reconstruct to zero")
+		}
+	}
+}
+
+func TestQuantizePreservesExtremes(t *testing.T) {
+	v := []float32{-4, 0, 4}
+	q := Quantize8(v)
+	out := make([]float32, 3)
+	Dequantize8(q, out)
+	if out[0] != -4 || out[2] != 4 {
+		t.Fatalf("extremes not exact: %v", out)
+	}
+	if out[1] != 0 {
+		t.Fatalf("zero moved: %v", out[1])
+	}
+}
+
+func TestQuantizeWireBytes(t *testing.T) {
+	q := Quantize8(make([]float32, 100))
+	if q.WireBytes() != 104 {
+		t.Fatalf("wire = %d", q.WireBytes())
+	}
+}
+
+func TestQuantizeRoundTripInPlace(t *testing.T) {
+	v := []float32{1, -2, 3}
+	bytes := QuantizeRoundTrip(v)
+	if bytes != 7 {
+		t.Fatalf("bytes = %d", bytes)
+	}
+	if math.Abs(float64(v[2]-3)) > 3.0/254+1e-6 {
+		t.Fatalf("round trip moved max: %v", v[2])
+	}
+}
+
+func TestDequantizeLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dequantize8(Quantized8{Scale: 1, Q: make([]int8, 3)}, make([]float32, 2))
+}
+
+func BenchmarkQuantize8(b *testing.B) {
+	r := rng.New(1)
+	v := make([]float32, 1<<16)
+	for i := range v {
+		v[i] = float32(r.NormFloat64())
+	}
+	b.SetBytes(int64(len(v) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Quantize8(v)
+	}
+}

@@ -1,0 +1,355 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"disttrain/internal/rng"
+	"disttrain/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = x·Wᵀ + b, with x of shape [B, In].
+// W is stored [Out, In].
+type Dense struct {
+	name     string
+	In, Out  int
+	w, b     *Param
+	x        *tensor.Tensor // cached input
+	y        *tensor.Tensor
+	dx       *tensor.Tensor
+	dwTmp    *tensor.Tensor
+	lastSize int
+}
+
+// NewDense creates a dense layer with He-initialized weights.
+func NewDense(name string, in, out int, r *rng.RNG) *Dense {
+	d := &Dense{name: name, In: in, Out: out}
+	w := tensor.New(out, in)
+	w.RandNormal(r, math.Sqrt(2/float64(in)))
+	d.w = &Param{Name: name + ".w", W: w, G: tensor.New(out, in)}
+	d.b = &Param{Name: name + ".b", W: tensor.New(out), G: tensor.New(out)}
+	d.dwTmp = tensor.New(out, in)
+	return d
+}
+
+func (d *Dense) Name() string     { return d.name }
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(x.Shape) != 2 || x.Shape[1] != d.In {
+		panic(fmt.Sprintf("nn: dense %s got input %v, want [B %d]", d.name, x.Shape, d.In))
+	}
+	b := x.Shape[0]
+	if d.y == nil || d.lastSize != b {
+		d.y = tensor.New(b, d.Out)
+		d.dx = tensor.New(b, d.In)
+		d.lastSize = b
+	}
+	d.x = x
+	tensor.MatMulTransB(x, d.w.W, d.y)
+	yd, bd := d.y.Data, d.b.W.Data
+	for i := 0; i < b; i++ {
+		row := yd[i*d.Out : i*d.Out+d.Out]
+		for j := range row {
+			row[j] += bd[j]
+		}
+	}
+	return d.y
+}
+
+func (d *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	b := dout.Shape[0]
+	// dW += doutᵀ·x
+	tensor.MatMulTransA(dout, d.x, d.dwTmp)
+	d.w.G.AddScaled(1, d.dwTmp)
+	// db += column sums of dout
+	gd, dd := d.b.G.Data, dout.Data
+	for i := 0; i < b; i++ {
+		row := dd[i*d.Out : i*d.Out+d.Out]
+		for j, v := range row {
+			gd[j] += v
+		}
+	}
+	// dx = dout·W
+	tensor.MatMul(dout, d.w.W, d.dx)
+	return d.dx
+}
+
+// ReLU applies max(0, x) elementwise.
+type ReLU struct {
+	name string
+	mask []bool
+	y    *tensor.Tensor
+	dx   *tensor.Tensor
+}
+
+// NewReLU creates a ReLU activation layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+func (l *ReLU) Name() string     { return l.name }
+func (l *ReLU) Params() []*Param { return nil }
+
+func (l *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := x.Size()
+	if l.y == nil || l.y.Size() != n {
+		l.y = tensor.New(x.Shape...)
+		l.dx = tensor.New(x.Shape...)
+		l.mask = make([]bool, n)
+	}
+	l.y.Shape = append(l.y.Shape[:0], x.Shape...)
+	l.dx.Shape = append(l.dx.Shape[:0], x.Shape...)
+	yd := l.y.Data
+	for i, v := range x.Data {
+		if v > 0 {
+			yd[i] = v
+			l.mask[i] = true
+		} else {
+			yd[i] = 0
+			l.mask[i] = false
+		}
+	}
+	return l.y
+}
+
+func (l *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dd := l.dx.Data
+	for i, v := range dout.Data {
+		if l.mask[i] {
+			dd[i] = v
+		} else {
+			dd[i] = 0
+		}
+	}
+	return l.dx
+}
+
+// Conv2D is a 2-D convolution over [B, C, H, W] inputs, implemented by
+// im2col lowering to GEMM. Weights are stored [OutC, InC·kh·kw].
+type Conv2D struct {
+	name                  string
+	InC, OutC             int
+	K, Stride, Pad        int
+	w, b                  *Param
+	colsBatch             []*tensor.Tensor // cached per-sample im2col matrices
+	x                     *tensor.Tensor
+	y, dx                 *tensor.Tensor
+	dwTmp, dcols          *tensor.Tensor
+	h, wIn, outH, outW    int
+	lastBatch, lastInSize int
+}
+
+// NewConv2D creates a convolution layer with He-initialized weights.
+func NewConv2D(name string, inC, outC, k, stride, pad int, r *rng.RNG) *Conv2D {
+	c := &Conv2D{name: name, InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad}
+	fanIn := inC * k * k
+	w := tensor.New(outC, fanIn)
+	w.RandNormal(r, math.Sqrt(2/float64(fanIn)))
+	c.w = &Param{Name: name + ".w", W: w, G: tensor.New(outC, fanIn)}
+	c.b = &Param{Name: name + ".b", W: tensor.New(outC), G: tensor.New(outC)}
+	c.dwTmp = tensor.New(outC, fanIn)
+	return c
+}
+
+func (c *Conv2D) Name() string     { return c.name }
+func (c *Conv2D) Params() []*Param { return []*Param{c.w, c.b} }
+
+func (c *Conv2D) setup(x *tensor.Tensor) {
+	b := x.Shape[0]
+	c.h, c.wIn = x.Shape[2], x.Shape[3]
+	c.outH = (c.h+2*c.Pad-c.K)/c.Stride + 1
+	c.outW = (c.wIn+2*c.Pad-c.K)/c.Stride + 1
+	rows := c.InC * c.K * c.K
+	cols := c.outH * c.outW
+	if c.lastBatch != b || c.lastInSize != x.Size() {
+		c.colsBatch = make([]*tensor.Tensor, b)
+		for i := range c.colsBatch {
+			c.colsBatch[i] = tensor.New(rows, cols)
+		}
+		c.y = tensor.New(b, c.OutC, c.outH, c.outW)
+		c.dx = tensor.New(x.Shape...)
+		c.dcols = tensor.New(rows, cols)
+		c.lastBatch, c.lastInSize = b, x.Size()
+	}
+}
+
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(x.Shape) != 4 || x.Shape[1] != c.InC {
+		panic(fmt.Sprintf("nn: conv %s got input %v, want [B %d H W]", c.name, x.Shape, c.InC))
+	}
+	c.setup(x)
+	c.x = x
+	b := x.Shape[0]
+	sampleIn := c.InC * c.h * c.wIn
+	sampleOut := c.OutC * c.outH * c.outW
+	nCols := c.outH * c.outW
+	for i := 0; i < b; i++ {
+		in3 := tensor.FromSlice(x.Data[i*sampleIn:(i+1)*sampleIn], c.InC, c.h, c.wIn)
+		tensor.Im2col(in3, c.K, c.K, c.Stride, c.Pad, c.colsBatch[i])
+		out2 := tensor.FromSlice(c.y.Data[i*sampleOut:(i+1)*sampleOut], c.OutC, nCols)
+		tensor.MatMul(c.w.W, c.colsBatch[i], out2)
+		// bias per output channel
+		bd := c.b.W.Data
+		for ch := 0; ch < c.OutC; ch++ {
+			row := out2.Data[ch*nCols : ch*nCols+nCols]
+			bv := bd[ch]
+			for j := range row {
+				row[j] += bv
+			}
+		}
+	}
+	return c.y
+}
+
+func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	b := dout.Shape[0]
+	sampleOut := c.OutC * c.outH * c.outW
+	sampleIn := c.InC * c.h * c.wIn
+	nCols := c.outH * c.outW
+	gb := c.b.G.Data
+	for i := 0; i < b; i++ {
+		do2 := tensor.FromSlice(dout.Data[i*sampleOut:(i+1)*sampleOut], c.OutC, nCols)
+		// dW += dout·colsᵀ
+		tensor.MatMulTransB(do2, c.colsBatch[i], c.dwTmp)
+		c.w.G.AddScaled(1, c.dwTmp)
+		// db += per-channel sums
+		for ch := 0; ch < c.OutC; ch++ {
+			row := do2.Data[ch*nCols : ch*nCols+nCols]
+			var s float32
+			for _, v := range row {
+				s += v
+			}
+			gb[ch] += s
+		}
+		// dcols = Wᵀ·dout ; dx = col2im(dcols)
+		tensor.MatMulTransA(c.w.W, do2, c.dcols)
+		dx3 := tensor.FromSlice(c.dx.Data[i*sampleIn:(i+1)*sampleIn], c.InC, c.h, c.wIn)
+		tensor.Col2im(c.dcols, c.InC, c.h, c.wIn, c.K, c.K, c.Stride, c.Pad, dx3)
+	}
+	return c.dx
+}
+
+// MaxPool halves spatial dimensions with 2×2/stride-2 max pooling.
+type MaxPool struct {
+	name      string
+	idx       []int32
+	y, dx     *tensor.Tensor
+	lastIn    int
+	inShape   []int
+	sampleIn  int
+	sampleOut int
+}
+
+// NewMaxPool creates a 2×2 stride-2 max-pooling layer.
+func NewMaxPool(name string) *MaxPool { return &MaxPool{name: name} }
+
+func (l *MaxPool) Name() string     { return l.name }
+func (l *MaxPool) Params() []*Param { return nil }
+
+func (l *MaxPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	b, ch, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if h%2 != 0 || w%2 != 0 {
+		panic(fmt.Sprintf("nn: maxpool %s needs even spatial dims, got %v", l.name, x.Shape))
+	}
+	if l.y == nil || l.lastIn != x.Size() {
+		l.y = tensor.New(b, ch, h/2, w/2)
+		l.dx = tensor.New(x.Shape...)
+		l.idx = make([]int32, b*ch*(h/2)*(w/2))
+		l.lastIn = x.Size()
+		l.inShape = append([]int(nil), x.Shape...)
+		l.sampleIn = ch * h * w
+		l.sampleOut = ch * (h / 2) * (w / 2)
+	}
+	for i := 0; i < b; i++ {
+		in3 := tensor.FromSlice(x.Data[i*l.sampleIn:(i+1)*l.sampleIn], ch, h, w)
+		out3 := tensor.FromSlice(l.y.Data[i*l.sampleOut:(i+1)*l.sampleOut], ch, h/2, w/2)
+		tensor.MaxPool2x2(in3, out3, l.idx[i*l.sampleOut:(i+1)*l.sampleOut])
+	}
+	return l.y
+}
+
+func (l *MaxPool) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	b := dout.Shape[0]
+	ch, h, w := l.inShape[1], l.inShape[2], l.inShape[3]
+	for i := 0; i < b; i++ {
+		do3 := tensor.FromSlice(dout.Data[i*l.sampleOut:(i+1)*l.sampleOut], ch, h/2, w/2)
+		dx3 := tensor.FromSlice(l.dx.Data[i*l.sampleIn:(i+1)*l.sampleIn], ch, h, w)
+		tensor.MaxPool2x2Backward(do3, l.idx[i*l.sampleOut:(i+1)*l.sampleOut], dx3)
+	}
+	return l.dx
+}
+
+// Flatten reshapes [B, ...] to [B, rest] without copying.
+type Flatten struct {
+	name    string
+	inShape []int
+	y, dx   *tensor.Tensor
+}
+
+// NewFlatten creates a flattening layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+func (l *Flatten) Name() string     { return l.name }
+func (l *Flatten) Params() []*Param { return nil }
+
+func (l *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	l.inShape = append(l.inShape[:0], x.Shape...)
+	rest := x.Size() / x.Shape[0]
+	l.y = tensor.FromSlice(x.Data, x.Shape[0], rest)
+	return l.y
+}
+
+func (l *Flatten) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	l.dx = tensor.FromSlice(dout.Data, l.inShape...)
+	return l.dx
+}
+
+// Residual wraps an inner layer stack F and computes y = F(x) + x, the
+// skip-connection building block of ResNet-style models. Input and output
+// shapes of the inner stack must match.
+type Residual struct {
+	name  string
+	inner []Layer
+	y, dx *tensor.Tensor
+}
+
+// NewResidual creates a residual block around the inner layers.
+func NewResidual(name string, inner ...Layer) *Residual {
+	return &Residual{name: name, inner: inner}
+}
+
+func (l *Residual) Name() string { return l.name }
+
+func (l *Residual) Params() []*Param {
+	var ps []*Param
+	for _, in := range l.inner {
+		ps = append(ps, in.Params()...)
+	}
+	return ps
+}
+
+func (l *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	h := x
+	for _, in := range l.inner {
+		h = in.Forward(h, train)
+	}
+	if h.Size() != x.Size() {
+		panic(fmt.Sprintf("nn: residual %s shape mismatch: in %v out %v", l.name, x.Shape, h.Shape))
+	}
+	if l.y == nil || l.y.Size() != h.Size() {
+		l.y = tensor.New(h.Shape...)
+		l.dx = tensor.New(x.Shape...)
+	}
+	copy(l.y.Data, h.Data)
+	tensor.AxpyF32(1, x.Data, l.y.Data)
+	return l.y
+}
+
+func (l *Residual) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	d := dout
+	for i := len(l.inner) - 1; i >= 0; i-- {
+		d = l.inner[i].Backward(d)
+	}
+	copy(l.dx.Data, d.Data)
+	tensor.AxpyF32(1, dout.Data, l.dx.Data)
+	return l.dx
+}

@@ -1,0 +1,61 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"disttrain/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits
+// ([B, C]) against integer labels, the number of correct argmax
+// predictions, and dL/dlogits (scaled by 1/B so downstream gradients are
+// per-example means). probs is an optional scratch tensor of the same shape
+// reused across calls; the (possibly newly allocated) scratch is returned.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int, probs *tensor.Tensor) (loss float64, correct int, dlogits *tensor.Tensor, scratch *tensor.Tensor) {
+	b, c := logits.Shape[0], logits.Shape[1]
+	if len(labels) != b {
+		panic(fmt.Sprintf("nn: %d labels for batch of %d", len(labels), b))
+	}
+	if probs == nil || probs.Shape[0] != b || probs.Shape[1] != c {
+		probs = tensor.New(b, c)
+	}
+	ld, pd := logits.Data, probs.Data
+	inv := 1 / float32(b)
+	for i := 0; i < b; i++ {
+		row := ld[i*c : i*c+c]
+		prow := pd[i*c : i*c+c]
+		// max-subtraction for numerical stability; also find argmax.
+		maxV := row[0]
+		argmax := 0
+		for j, v := range row {
+			if v > maxV {
+				maxV, argmax = v, j
+			}
+		}
+		if argmax == labels[i] {
+			correct++
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - maxV))
+			prow[j] = float32(e)
+			sum += e
+		}
+		invSum := float32(1 / sum)
+		for j := range prow {
+			prow[j] *= invSum
+		}
+		p := float64(prow[labels[i]])
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+		// dL/dlogit = (softmax - onehot)/B, written in place over probs.
+		prow[labels[i]] -= 1
+		for j := range prow {
+			prow[j] *= inv
+		}
+	}
+	return loss / float64(b), correct, probs, probs
+}

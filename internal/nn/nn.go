@@ -1,0 +1,179 @@
+// Package nn is a small from-scratch neural-network stack: layers with
+// explicit forward/backward passes, models assembled from layers, and a
+// softmax cross-entropy loss.
+//
+// It exists so the distributed-training algorithms in internal/core exchange
+// *real* gradients with real SGD noise — the property the paper's accuracy
+// experiments depend on — while staying cheap enough to run dozens of
+// multi-worker configurations on a laptop.
+//
+// Parameters are exposed in two forms: per-layer tensors (used by the math)
+// and a flat []float32 view (used by every communication/aggregation code
+// path, and by layer-wise parameter sharding, which needs the segment
+// boundaries).
+package nn
+
+import (
+	"fmt"
+
+	"disttrain/internal/tensor"
+)
+
+// Param is one learnable tensor together with its gradient accumulator.
+type Param struct {
+	Name string
+	W    *tensor.Tensor
+	G    *tensor.Tensor
+}
+
+// Layer is a differentiable module. Forward must cache whatever Backward
+// needs; Backward receives dL/d(output) and returns dL/d(input), adding
+// dL/d(params) into the layer's gradient tensors (accumulate semantics so a
+// model can sum gradients over micro-batches).
+type Layer interface {
+	// Name identifies the layer for sharding and reporting.
+	Name() string
+	// Forward computes the layer output for a batch. train distinguishes
+	// training from evaluation for layers that behave differently.
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward propagates gradients; must be called after Forward.
+	Backward(dout *tensor.Tensor) *tensor.Tensor
+	// Params returns the learnable parameters (possibly empty).
+	Params() []*Param
+}
+
+// Segment describes a contiguous range of the model's flat parameter vector
+// belonging to one named tensor. Sharding assigns segments to PS shards.
+type Segment struct {
+	Name string
+	Off  int
+	Len  int
+}
+
+// Model is an ordered stack of layers with a softmax cross-entropy head.
+type Model struct {
+	Name   string
+	Layers []Layer
+
+	params []*Param
+	segs   []Segment
+	size   int
+
+	// caches reused across Loss calls
+	probs *tensor.Tensor
+}
+
+// NewModel assembles layers into a model and computes flat-vector segment
+// offsets.
+func NewModel(name string, layers ...Layer) *Model {
+	m := &Model{Name: name, Layers: layers}
+	off := 0
+	for _, l := range layers {
+		for _, p := range l.Params() {
+			m.params = append(m.params, p)
+			n := p.W.Size()
+			m.segs = append(m.segs, Segment{Name: p.Name, Off: off, Len: n})
+			off += n
+		}
+	}
+	m.size = off
+	return m
+}
+
+// NumParams returns the total number of learnable scalars.
+func (m *Model) NumParams() int { return m.size }
+
+// Params returns all learnable parameters in flat-vector order.
+func (m *Model) Params() []*Param { return m.params }
+
+// Segments returns the layer-wise layout of the flat parameter vector.
+func (m *Model) Segments() []Segment { return append([]Segment(nil), m.segs...) }
+
+// FlatParams copies the parameters into dst (allocated if nil) and returns it.
+func (m *Model) FlatParams(dst []float32) []float32 {
+	dst = m.ensure(dst)
+	for i, p := range m.params {
+		copy(dst[m.segs[i].Off:], p.W.Data)
+	}
+	return dst
+}
+
+// SetFlatParams overwrites the parameters from src.
+func (m *Model) SetFlatParams(src []float32) {
+	if len(src) != m.size {
+		panic(fmt.Sprintf("nn: SetFlatParams length %d, want %d", len(src), m.size))
+	}
+	for i, p := range m.params {
+		copy(p.W.Data, src[m.segs[i].Off:m.segs[i].Off+m.segs[i].Len])
+	}
+}
+
+// FlatGrads copies the accumulated gradients into dst (allocated if nil).
+func (m *Model) FlatGrads(dst []float32) []float32 {
+	dst = m.ensure(dst)
+	for i, p := range m.params {
+		copy(dst[m.segs[i].Off:], p.G.Data)
+	}
+	return dst
+}
+
+// ZeroGrads clears all gradient accumulators.
+func (m *Model) ZeroGrads() {
+	for _, p := range m.params {
+		p.G.Zero()
+	}
+}
+
+// AxpyParams adds alpha*src into the parameters (src is a flat vector).
+func (m *Model) AxpyParams(alpha float32, src []float32) {
+	if len(src) != m.size {
+		panic(fmt.Sprintf("nn: AxpyParams length %d, want %d", len(src), m.size))
+	}
+	for i, p := range m.params {
+		tensor.AxpyF32(alpha, src[m.segs[i].Off:m.segs[i].Off+m.segs[i].Len], p.W.Data)
+	}
+}
+
+func (m *Model) ensure(dst []float32) []float32 {
+	if dst == nil {
+		return make([]float32, m.size)
+	}
+	if len(dst) != m.size {
+		panic(fmt.Sprintf("nn: flat buffer length %d, want %d", len(dst), m.size))
+	}
+	return dst
+}
+
+// Forward runs the layer stack and returns logits of shape [B, classes].
+func (m *Model) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	h := x
+	for _, l := range m.Layers {
+		h = l.Forward(h, train)
+	}
+	return h
+}
+
+// Loss runs a full forward/backward pass for a batch: it computes the mean
+// softmax cross-entropy over (x, labels), accumulates parameter gradients,
+// and returns the loss value and the number of correct argmax predictions.
+// Gradients are ADDED to the accumulators; call ZeroGrads first for a fresh
+// mini-batch gradient.
+func (m *Model) Loss(x *tensor.Tensor, labels []int) (loss float64, correct int) {
+	logits := m.Forward(x, true)
+	var dlogits *tensor.Tensor
+	loss, correct, dlogits, m.probs = SoftmaxCrossEntropy(logits, labels, m.probs)
+	d := dlogits
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		d = m.Layers[i].Backward(d)
+	}
+	return loss, correct
+}
+
+// Evaluate computes mean loss and accuracy over a dataset slice without
+// touching gradients.
+func (m *Model) Evaluate(x *tensor.Tensor, labels []int) (loss float64, acc float64) {
+	logits := m.Forward(x, false)
+	l, correct, _, probs := SoftmaxCrossEntropy(logits, labels, m.probs)
+	m.probs = probs
+	return l, float64(correct) / float64(len(labels))
+}

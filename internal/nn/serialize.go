@@ -1,0 +1,112 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Checkpoint format: a small header guarding against shape drift, followed
+// by the raw little-endian float32 parameter vector.
+//
+//	magic   uint32  "DTCP"
+//	version uint32
+//	segs    uint32  number of segments
+//	per segment: nameLen uint32, name bytes, length uint32
+//	params  []float32
+const (
+	checkpointMagic   = 0x44544350 // "DTCP"
+	checkpointVersion = 1
+)
+
+// Save writes the model's parameters as a checkpoint.
+func (m *Model) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	writeU32 := func(v uint32) error { return binary.Write(bw, binary.LittleEndian, v) }
+	if err := writeU32(checkpointMagic); err != nil {
+		return err
+	}
+	if err := writeU32(checkpointVersion); err != nil {
+		return err
+	}
+	segs := m.Segments()
+	if err := writeU32(uint32(len(segs))); err != nil {
+		return err
+	}
+	for _, s := range segs {
+		if err := writeU32(uint32(len(s.Name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(s.Name); err != nil {
+			return err
+		}
+		if err := writeU32(uint32(s.Len)); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, m.FlatParams(nil)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Load restores parameters saved by Save into the model. The model's
+// architecture (segment names and sizes) must match the checkpoint exactly.
+func (m *Model) Load(r io.Reader) error {
+	br := bufio.NewReader(r)
+	readU32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	magic, err := readU32()
+	if err != nil {
+		return fmt.Errorf("nn: reading checkpoint header: %w", err)
+	}
+	if magic != checkpointMagic {
+		return fmt.Errorf("nn: not a checkpoint (magic %#x)", magic)
+	}
+	version, err := readU32()
+	if err != nil {
+		return err
+	}
+	if version != checkpointVersion {
+		return fmt.Errorf("nn: unsupported checkpoint version %d", version)
+	}
+	nSegs, err := readU32()
+	if err != nil {
+		return err
+	}
+	segs := m.Segments()
+	if int(nSegs) != len(segs) {
+		return fmt.Errorf("nn: checkpoint has %d segments, model has %d", nSegs, len(segs))
+	}
+	for i := 0; i < int(nSegs); i++ {
+		nameLen, err := readU32()
+		if err != nil {
+			return err
+		}
+		if nameLen > 4096 {
+			return fmt.Errorf("nn: implausible segment name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return err
+		}
+		segLen, err := readU32()
+		if err != nil {
+			return err
+		}
+		if string(name) != segs[i].Name || int(segLen) != segs[i].Len {
+			return fmt.Errorf("nn: checkpoint segment %d is %s[%d], model expects %s[%d]",
+				i, name, segLen, segs[i].Name, segs[i].Len)
+		}
+	}
+	flat := make([]float32, m.NumParams())
+	if err := binary.Read(br, binary.LittleEndian, flat); err != nil {
+		return fmt.Errorf("nn: reading parameters: %w", err)
+	}
+	m.SetFlatParams(flat)
+	return nil
+}

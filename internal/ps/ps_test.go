@@ -1,0 +1,211 @@
+package ps
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"disttrain/internal/nn"
+	"disttrain/internal/opt"
+	"disttrain/internal/rng"
+)
+
+func segsOf(lens ...int) []nn.Segment {
+	var segs []nn.Segment
+	off := 0
+	for i, l := range lens {
+		segs = append(segs, nn.Segment{Name: string(rune('a' + i)), Off: off, Len: l})
+		off += l
+	}
+	return segs
+}
+
+func TestLayerWisePartition(t *testing.T) {
+	segs := segsOf(10, 20, 30, 40)
+	a := LayerWise(segs, 2)
+	if err := a.Validate(100); err != nil {
+		t.Fatal(err)
+	}
+	// shard 0: layers 0,2 -> 40 params; shard 1: layers 1,3 -> 60 params.
+	if a.Params(0) != 40 || a.Params(1) != 60 {
+		t.Fatalf("params = %d/%d", a.Params(0), a.Params(1))
+	}
+}
+
+func TestLayerWiseSkew(t *testing.T) {
+	// A VGG-like skewed layer lands whole on one shard under layer-wise
+	// sharding — this is the bottleneck the paper identifies.
+	segs := segsOf(5, 5, 80, 5, 5)
+	a := LayerWise(segs, 4)
+	if a.MaxBytes() != 80*4 {
+		t.Fatalf("max shard bytes = %d, want 320", a.MaxBytes())
+	}
+}
+
+func TestBalancedPartition(t *testing.T) {
+	a := Balanced(100, 4)
+	if err := a.Validate(100); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 4; s++ {
+		if a.Params(s) != 25 {
+			t.Fatalf("shard %d has %d params", s, a.Params(s))
+		}
+	}
+}
+
+func TestBalancedBeatsLayerWiseOnSkew(t *testing.T) {
+	segs := segsOf(5, 5, 80, 5, 5)
+	lw := LayerWise(segs, 4)
+	bal := Balanced(100, 4)
+	if bal.MaxBytes() >= lw.MaxBytes() {
+		t.Fatalf("balanced max %d not < layer-wise max %d", bal.MaxBytes(), lw.MaxBytes())
+	}
+}
+
+func TestSinglePartition(t *testing.T) {
+	a := Single(42)
+	if err := a.Validate(42); err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 1 || a.Bytes(0) != 42*4 {
+		t.Fatalf("single = %+v", a)
+	}
+}
+
+func TestPartitionProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		nLayers := 1 + r.Intn(20)
+		lens := make([]int, nLayers)
+		total := 0
+		for i := range lens {
+			lens[i] = 1 + r.Intn(50)
+			total += lens[i]
+		}
+		shards := 1 + r.Intn(6)
+		if LayerWise(segsOf(lens...), shards).Validate(total) != nil {
+			return false
+		}
+		return Balanced(total, shards).Validate(total) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesOverlap(t *testing.T) {
+	a := Assignment{{Range{0, 10}}, {Range{5, 10}}}
+	if a.Validate(15) == nil {
+		t.Fatal("overlap accepted")
+	}
+}
+
+func TestValidateCatchesGap(t *testing.T) {
+	a := Assignment{{Range{0, 5}}, {Range{10, 5}}}
+	if a.Validate(15) == nil {
+		t.Fatal("gap accepted")
+	}
+}
+
+func TestGlobalApplyGradMatchesDirectSGD(t *testing.T) {
+	r := rng.New(1)
+	n := 30
+	init := make([]float32, n)
+	grads := make([]float32, n)
+	for i := range init {
+		init[i] = float32(r.NormFloat64())
+		grads[i] = float32(r.NormFloat64())
+	}
+	g := NewGlobal(init, 0.9, 0.01)
+	// Sharded application over Balanced(.,3) must equal one full step.
+	a := Balanced(n, 3)
+	for step := 0; step < 3; step++ {
+		for s := range a {
+			// each shard sees the full-length gradient vector
+			g.ApplyGrad(a[s], grads, 1, 0.1)
+		}
+	}
+	want := make([]float32, n)
+	copy(want, init)
+	ref := opt.NewSGD(n, 0.9, 0.01)
+	for step := 0; step < 3; step++ {
+		ref.Step(want, grads, 0.1)
+	}
+	for i := range want {
+		if math.Abs(float64(g.Params[i]-want[i])) > 1e-6 {
+			t.Fatalf("mismatch at %d: %v vs %v", i, g.Params[i], want[i])
+		}
+	}
+}
+
+func TestGlobalApplyGradScale(t *testing.T) {
+	init := []float32{0, 0}
+	g := NewGlobal(init, 0, 0)
+	grad := []float32{4, 8}
+	g.ApplyGrad([]Range{{0, 2}}, grad, 0.25, 1)
+	if g.Params[0] != -1 || g.Params[1] != -2 {
+		t.Fatalf("params = %v", g.Params)
+	}
+	// caller's gradient must be untouched
+	if grad[0] != 4 {
+		t.Fatal("ApplyGrad mutated caller gradient")
+	}
+}
+
+func TestCostOnlyGlobalNoOps(t *testing.T) {
+	g := NewCostOnlyGlobal()
+	if g.MathOn() {
+		t.Fatal("cost-only global claims math")
+	}
+	// All of these must be safe no-ops.
+	g.ApplyGrad([]Range{{0, 4}}, nil, 1, 0.1)
+	g.ApplySparse(nil, nil, 1, 0.1)
+	g.ElasticUpdate([]Range{{0, 4}}, nil, 0.5)
+	g.Snapshot([]Range{{0, 4}}, nil)
+}
+
+func TestElasticUpdateSymmetric(t *testing.T) {
+	g := NewGlobal([]float32{0, 0}, 0, 0)
+	wp := []float32{4, -4}
+	g.ElasticUpdate([]Range{{0, 2}}, wp, 0.5)
+	// diff = 0.5*(4-0)=2: global 0->2, worker 4->2.
+	if g.Params[0] != 2 || wp[0] != 2 {
+		t.Fatalf("global %v worker %v", g.Params, wp)
+	}
+	if g.Params[1] != -2 || wp[1] != -2 {
+		t.Fatalf("global %v worker %v", g.Params, wp)
+	}
+}
+
+func TestElasticUpdateConverges(t *testing.T) {
+	// Repeated elastic moves pull worker and center together.
+	g := NewGlobal([]float32{0}, 0, 0)
+	wp := []float32{10}
+	for i := 0; i < 50; i++ {
+		g.ElasticUpdate([]Range{{0, 1}}, wp, 0.3)
+	}
+	if math.Abs(float64(wp[0]-g.Params[0])) > 1e-3 {
+		t.Fatalf("did not converge: worker %v center %v", wp[0], g.Params[0])
+	}
+}
+
+func TestApplySparse(t *testing.T) {
+	g := NewGlobal([]float32{1, 1, 1, 1}, 0.9, 0)
+	g.ApplySparse([]int32{1, 3}, []float32{2, -2}, 0.5, 0.1)
+	if math.Abs(float64(g.Params[1])-0.9) > 1e-6 || math.Abs(float64(g.Params[3])-1.1) > 1e-6 {
+		t.Fatalf("params = %v", g.Params)
+	}
+	if g.Params[0] != 1 || g.Params[2] != 1 {
+		t.Fatal("untouched coordinates changed")
+	}
+}
+
+func TestSnapshotCopiesOnlyRanges(t *testing.T) {
+	g := NewGlobal([]float32{1, 2, 3, 4}, 0, 0)
+	dst := []float32{0, 0, 0, 0}
+	g.Snapshot([]Range{{1, 2}}, dst)
+	if dst[0] != 0 || dst[1] != 2 || dst[2] != 3 || dst[3] != 0 {
+		t.Fatalf("dst = %v", dst)
+	}
+}

@@ -1,0 +1,99 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart renders the figure as an ASCII line chart of the given plot size
+// (columns × rows, excluding axes). Each series draws with its own symbol;
+// overlapping points show the later series' symbol. Intended for terminal
+// inspection of convergence and scalability curves next to the exact
+// column tables.
+func (f *Figure) Chart(width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	symbols := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+	// Data bounds.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range f.Series {
+		for i := range s.X {
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+			points++
+		}
+	}
+	if points == 0 {
+		return "(empty chart)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(x, y float64, sym byte) {
+		c := int((x - minX) / (maxX - minX) * float64(width-1))
+		r := int((y - minY) / (maxY - minY) * float64(height-1))
+		r = height - 1 - r // row 0 at the top
+		grid[r][c] = sym
+	}
+	for si, s := range f.Series {
+		sym := symbols[si%len(symbols)]
+		// Connect consecutive points with linear interpolation so sparse
+		// series still read as lines.
+		for i := range s.X {
+			plot(s.X[i], s.Y[i], sym)
+			if i > 0 {
+				steps := width
+				for k := 1; k < steps; k++ {
+					t := float64(k) / float64(steps)
+					plot(s.X[i-1]+(s.X[i]-s.X[i-1])*t, s.Y[i-1]+(s.Y[i]-s.Y[i-1])*t, sym)
+				}
+			}
+		}
+	}
+
+	var b strings.Builder
+	if f.Title != "" {
+		fmt.Fprintf(&b, "%s\n", f.Title)
+	}
+	yLabelW := 9
+	for r, row := range grid {
+		var label string
+		switch r {
+		case 0:
+			label = FmtG(maxY)
+		case height - 1:
+			label = FmtG(minY)
+		}
+		fmt.Fprintf(&b, "%*s |%s\n", yLabelW, label, string(row))
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", yLabelW, "", strings.Repeat("-", width))
+	lo, hi := FmtG(minX), FmtG(maxX)
+	pad := width - len(lo) - len(hi)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%*s  %s%s%s\n", yLabelW, "", lo, strings.Repeat(" ", pad), hi)
+	// Legend.
+	var legend []string
+	for si, s := range f.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", symbols[si%len(symbols)], s.Name))
+	}
+	fmt.Fprintf(&b, "%*s  %s\n", yLabelW, "", strings.Join(legend, "  "))
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartBasicRender(t *testing.T) {
+	var f Figure
+	f.Title = "speedup"
+	s := f.NewSeries("bsp")
+	for i := 1; i <= 8; i++ {
+		s.Add(float64(i), float64(i))
+	}
+	out := f.Chart(40, 10)
+	if !strings.Contains(out, "speedup") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "*=bsp") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("no data points rendered")
+	}
+	// Axis labels: min and max of both axes appear.
+	for _, want := range []string{"1", "8"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing axis label %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestChartMultipleSeriesSymbols(t *testing.T) {
+	var f Figure
+	a := f.NewSeries("up")
+	b := f.NewSeries("down")
+	for i := 0; i < 5; i++ {
+		a.Add(float64(i), float64(i))
+		b.Add(float64(i), float64(4-i))
+	}
+	out := f.Chart(30, 8)
+	if !strings.Contains(out, "*=up") || !strings.Contains(out, "o=down") {
+		t.Fatalf("legend wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "o") {
+		t.Fatal("second series not drawn")
+	}
+}
+
+func TestChartEmptyAndDegenerate(t *testing.T) {
+	var f Figure
+	if out := f.Chart(20, 5); !strings.Contains(out, "empty") {
+		t.Fatalf("empty chart output: %q", out)
+	}
+	s := f.NewSeries("flat")
+	s.Add(1, 2) // single point, zero ranges
+	out := f.Chart(20, 5)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not rendered:\n%s", out)
+	}
+}
+
+func TestChartClampsTinySizes(t *testing.T) {
+	var f Figure
+	s := f.NewSeries("x")
+	s.Add(0, 0)
+	s.Add(1, 1)
+	out := f.Chart(1, 1) // must clamp, not panic
+	if len(out) == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestChartMonotoneSeriesOrientation(t *testing.T) {
+	// An increasing series must place its max-x point on the TOP row.
+	var f Figure
+	s := f.NewSeries("inc")
+	s.Add(0, 0)
+	s.Add(10, 10)
+	out := f.Chart(20, 6)
+	lines := strings.Split(out, "\n")
+	// lines[1] is the top plot row (after the title).
+	top := lines[1]
+	if !strings.Contains(top, "*") {
+		t.Fatalf("max not on top row:\n%s", out)
+	}
+	if !strings.HasSuffix(strings.TrimRight(top, " "), "*") {
+		t.Fatalf("max not at right edge:\n%s", out)
+	}
+}

@@ -1,0 +1,151 @@
+// Package report renders experiment results as aligned ASCII tables and
+// series blocks that mirror the paper's tables and figures, so a paperbench
+// run prints directly comparable artifacts.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid with a header row.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends one row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Series is a named sequence of (x, y) points — one line of a figure.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	XLabel string
+	YLabel string
+}
+
+// Add appends one point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Figure is a titled set of series sharing axes, rendered as a column table
+// (one x column, one y column per series) — the data behind a paper figure.
+type Figure struct {
+	Title  string
+	Series []*Series
+}
+
+// NewSeries creates, registers and returns a new series on the figure.
+func (f *Figure) NewSeries(name string) *Series {
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// String renders the figure as an aligned column table keyed by the union
+// of all x values (missing points print as "-").
+func (f *Figure) String() string {
+	// Union of x values, in first-seen order.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	t := Table{Title: f.Title, Header: []string{"x"}}
+	for _, s := range f.Series {
+		t.Header = append(t.Header, s.Name)
+	}
+	for _, x := range xs {
+		row := []string{FmtG(x)}
+		for _, s := range f.Series {
+			cell := "-"
+			for i, sx := range s.X {
+				if sx == x {
+					cell = FmtG(s.Y[i])
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+// Fmt formats a float with the given decimals.
+func Fmt(v float64, decimals int) string {
+	return fmt.Sprintf("%.*f", decimals, v)
+}
+
+// FmtG formats a float compactly (4 significant digits).
+func FmtG(v float64) string {
+	return fmt.Sprintf("%.4g", v)
+}
+
+// FmtBytes renders a byte count humanely (KB/MB/GB).
+func FmtBytes(b float64) string {
+	switch {
+	case b >= 1e9:
+		return fmt.Sprintf("%.2fGB", b/1e9)
+	case b >= 1e6:
+		return fmt.Sprintf("%.2fMB", b/1e6)
+	case b >= 1e3:
+		return fmt.Sprintf("%.2fKB", b/1e3)
+	default:
+		return fmt.Sprintf("%.0fB", b)
+	}
+}

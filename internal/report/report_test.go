@@ -1,0 +1,59 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := Table{Title: "T", Header: []string{"algo", "acc"}}
+	tb.AddRow("bsp", "0.75")
+	tb.AddRow("adpsgd", "0.74")
+	out := tb.String()
+	if !strings.Contains(out, "== T ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Column 2 must start at the same offset in every data line.
+	idx := strings.Index(lines[1], "acc")
+	if strings.Index(lines[3], "0.75") != idx {
+		t.Fatalf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestFigureUnionOfX(t *testing.T) {
+	var f Figure
+	a := f.NewSeries("a")
+	a.Add(1, 10)
+	a.Add(2, 20)
+	b := f.NewSeries("b")
+	b.Add(2, 200)
+	b.Add(3, 300)
+	out := f.String()
+	for _, want := range []string{"a", "b", "10", "200", "300", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if Fmt(0.12345, 2) != "0.12" {
+		t.Fatal(Fmt(0.12345, 2))
+	}
+	if FmtBytes(2.5e9) != "2.50GB" {
+		t.Fatal(FmtBytes(2.5e9))
+	}
+	if FmtBytes(3e6) != "3.00MB" {
+		t.Fatal(FmtBytes(3e6))
+	}
+	if FmtBytes(1500) != "1.50KB" {
+		t.Fatal(FmtBytes(1500))
+	}
+	if FmtBytes(12) != "12B" {
+		t.Fatal(FmtBytes(12))
+	}
+}

@@ -1,0 +1,132 @@
+package report
+
+import (
+	"fmt"
+	"html"
+	"math"
+	"strings"
+)
+
+// svgPalette holds the series stroke colors (colorblind-safe-ish).
+var svgPalette = []string{
+	"#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377", "#bbbbbb", "#000000",
+}
+
+// SVG renders the figure as a self-contained SVG line chart with axes,
+// ticks, and a legend — the publication-grade sibling of Chart. The
+// returned markup embeds directly into HTML.
+func (f *Figure) SVG(width, height int) string {
+	const (
+		padL = 56
+		padR = 16
+		padT = 28
+		padB = 42
+	)
+	if width < padL+padR+40 {
+		width = padL + padR + 40
+	}
+	if height < padT+padB+40 {
+		height = padT + padB + 40
+	}
+	plotW := float64(width - padL - padR)
+	plotH := float64(height - padT - padB)
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range f.Series {
+		for i := range s.X {
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+			points++
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`, width, height)
+	if f.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="18" font-size="13" font-weight="bold">%s</text>`,
+			padL, html.EscapeString(f.Title))
+	}
+	if points == 0 {
+		fmt.Fprintf(&b, `<text x="%d" y="%d">no data</text></svg>`, padL, height/2)
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	px := func(x float64) float64 { return float64(padL) + (x-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 { return float64(padT) + (1-(y-minY)/(maxY-minY))*plotH }
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`,
+		padL, height-padB, width-padR, height-padB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`,
+		padL, padT, padL, height-padB)
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		fx := minX + (maxX-minX)*float64(i)/4
+		fy := minY + (maxY-minY)*float64(i)/4
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle" fill="#333">%s</text>`,
+			px(fx), height-padB+16, FmtG(fx))
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" fill="#333">%s</text>`,
+			padL-6, py(fy)+4, FmtG(fy))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`,
+			padL, py(fy), width-padR, py(fy))
+	}
+
+	// Series polylines + point markers.
+	for si, s := range f.Series {
+		color := svgPalette[si%len(svgPalette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+		}
+		if len(pts) > 1 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`,
+				strings.Join(pts, " "), color)
+		}
+		for i := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.6" fill="%s"/>`,
+				px(s.X[i]), py(s.Y[i]), color)
+		}
+	}
+	// Legend, top-right.
+	lx := width - padR - 110
+	ly := padT + 4
+	for si, s := range f.Series {
+		color := svgPalette[si%len(svgPalette)]
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`, lx, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="#111">%s</text>`,
+			lx+14, ly+9, html.EscapeString(s.Name))
+		ly += 14
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// HTMLPage wraps pre-rendered text blocks (and raw "<svg"-prefixed blocks,
+// which are embedded as-is) into a minimal self-contained HTML report.
+func HTMLPage(title string, blocks []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<!DOCTYPE html><html><head><meta charset="utf-8"><title>%s</title>
+<style>
+ body { font-family: sans-serif; max-width: 1000px; margin: 2em auto; color: #111; }
+ pre { background: #f6f6f6; padding: 0.8em 1em; overflow-x: auto; border-radius: 4px; }
+ h1 { border-bottom: 2px solid #4477aa; padding-bottom: 0.2em; }
+</style></head><body><h1>%s</h1>
+`, html.EscapeString(title), html.EscapeString(title))
+	for _, blk := range blocks {
+		if strings.HasPrefix(strings.TrimSpace(blk), "<svg") {
+			b.WriteString(blk)
+			b.WriteString("\n")
+		} else {
+			fmt.Fprintf(&b, "<pre>%s</pre>\n", html.EscapeString(blk))
+		}
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSVGBasicStructure(t *testing.T) {
+	var f Figure
+	f.Title = "speedup & err"
+	s := f.NewSeries("bsp")
+	s.Add(1, 1)
+	s.Add(24, 20)
+	out := f.SVG(480, 300)
+	for _, want := range []string{"<svg", "</svg>", "polyline", "circle", "speedup &amp; err", "bsp"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in SVG", want)
+		}
+	}
+}
+
+func TestSVGEscapesSeriesNames(t *testing.T) {
+	var f Figure
+	s := f.NewSeries("<script>alert(1)</script>")
+	s.Add(0, 0)
+	out := f.SVG(300, 200)
+	if strings.Contains(out, "<script>") {
+		t.Fatal("series name not escaped")
+	}
+}
+
+func TestSVGEmptyFigure(t *testing.T) {
+	var f Figure
+	out := f.SVG(300, 200)
+	if !strings.Contains(out, "no data") {
+		t.Fatal("empty figure should say so")
+	}
+	if !strings.Contains(out, "</svg>") {
+		t.Fatal("unclosed SVG")
+	}
+}
+
+func TestSVGSinglePointNoNaN(t *testing.T) {
+	var f Figure
+	s := f.NewSeries("pt")
+	s.Add(5, 7)
+	out := f.SVG(300, 200)
+	if strings.Contains(out, "NaN") {
+		t.Fatal("NaN coordinates in SVG")
+	}
+}
+
+func TestSVGMinimumSizeClamped(t *testing.T) {
+	var f Figure
+	s := f.NewSeries("x")
+	s.Add(0, 0)
+	s.Add(1, 1)
+	out := f.SVG(1, 1)
+	if !strings.Contains(out, "<svg") {
+		t.Fatal("tiny size broke rendering")
+	}
+}
+
+func TestHTMLPageWrapsBlocks(t *testing.T) {
+	var f Figure
+	s := f.NewSeries("a")
+	s.Add(0, 0)
+	s.Add(1, 1)
+	page := HTMLPage("My <Report>", []string{"plain text & stuff", f.SVG(300, 200)})
+	if !strings.Contains(page, "My &lt;Report&gt;") {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(page, "plain text &amp; stuff") {
+		t.Fatal("text block not escaped")
+	}
+	if !strings.Contains(page, "<svg") {
+		t.Fatal("SVG block not embedded raw")
+	}
+	if !strings.Contains(page, "</html>") {
+		t.Fatal("unterminated page")
+	}
+}

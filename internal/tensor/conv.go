@@ -1,0 +1,145 @@
+package tensor
+
+import "fmt"
+
+// Im2col lowers a (C×H×W) input into a matrix of shape
+// (C·kh·kw) × (outH·outW) so convolution becomes a single GEMM.
+// stride and pad apply symmetrically; out must be pre-allocated with that
+// shape. Padding positions contribute zeros.
+func Im2col(in *Tensor, kh, kw, stride, pad int, out *Tensor) {
+	c, h, w := in.Shape[0], in.Shape[1], in.Shape[2]
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	rows := c * kh * kw
+	cols := outH * outW
+	if out.Shape[0] != rows || out.Shape[1] != cols {
+		panic(fmt.Sprintf("tensor: im2col out shape %v, want [%d %d]", out.Shape, rows, cols))
+	}
+	od := out.Data
+	id := in.Data
+	row := 0
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				dst := od[row*cols : row*cols+cols]
+				col := 0
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < outW; ox++ {
+							dst[col] = 0
+							col++
+						}
+						continue
+					}
+					rowBase := base + iy*w
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*stride - pad + kx
+						if ix < 0 || ix >= w {
+							dst[col] = 0
+						} else {
+							dst[col] = id[rowBase+ix]
+						}
+						col++
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// Col2im scatters the column matrix produced by Im2col back into an input
+// gradient of shape (C×H×W), accumulating where receptive fields overlap.
+// grad is zeroed first.
+func Col2im(cols *Tensor, c, h, w, kh, kw, stride, pad int, grad *Tensor) {
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	nCols := outH * outW
+	if cols.Shape[0] != c*kh*kw || cols.Shape[1] != nCols {
+		panic(fmt.Sprintf("tensor: col2im cols shape %v, want [%d %d]", cols.Shape, c*kh*kw, nCols))
+	}
+	if grad.Shape[0] != c || grad.Shape[1] != h || grad.Shape[2] != w {
+		panic(fmt.Sprintf("tensor: col2im grad shape %v, want [%d %d %d]", grad.Shape, c, h, w))
+	}
+	grad.Zero()
+	gd := grad.Data
+	cd := cols.Data
+	row := 0
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				src := cd[row*nCols : row*nCols+nCols]
+				col := 0
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
+						col += outW
+						continue
+					}
+					rowBase := base + iy*w
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*stride - pad + kx
+						if ix >= 0 && ix < w {
+							gd[rowBase+ix] += src[col]
+						}
+						col++
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// MaxPool2x2 applies 2×2 max pooling with stride 2 to a (C×H×W) tensor and
+// records the argmax index of each output cell into idx (same length as the
+// output) so the backward pass can route gradients. H and W must be even.
+func MaxPool2x2(in *Tensor, out *Tensor, idx []int32) {
+	c, h, w := in.Shape[0], in.Shape[1], in.Shape[2]
+	oh, ow := h/2, w/2
+	if out.Shape[0] != c || out.Shape[1] != oh || out.Shape[2] != ow {
+		panic(fmt.Sprintf("tensor: maxpool out shape %v, want [%d %d %d]", out.Shape, c, oh, ow))
+	}
+	if len(idx) != c*oh*ow {
+		panic("tensor: maxpool idx length mismatch")
+	}
+	id, od := in.Data, out.Data
+	o := 0
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for oy := 0; oy < oh; oy++ {
+			r0 := base + (2*oy)*w
+			r1 := r0 + w
+			for ox := 0; ox < ow; ox++ {
+				x := 2 * ox
+				best := id[r0+x]
+				bi := int32(r0 + x)
+				if v := id[r0+x+1]; v > best {
+					best, bi = v, int32(r0+x+1)
+				}
+				if v := id[r1+x]; v > best {
+					best, bi = v, int32(r1+x)
+				}
+				if v := id[r1+x+1]; v > best {
+					best, bi = v, int32(r1+x+1)
+				}
+				od[o] = best
+				idx[o] = bi
+				o++
+			}
+		}
+	}
+}
+
+// MaxPool2x2Backward scatters output gradients back to the argmax positions
+// recorded by MaxPool2x2. inGrad is zeroed first.
+func MaxPool2x2Backward(outGrad *Tensor, idx []int32, inGrad *Tensor) {
+	inGrad.Zero()
+	gd := inGrad.Data
+	for i, g := range outGrad.Data {
+		gd[idx[i]] += g
+	}
+}

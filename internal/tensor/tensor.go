@@ -1,0 +1,242 @@
+// Package tensor implements dense float32 tensors and the numeric kernels
+// the neural-network stack is built on: GEMM, im2col convolution lowering,
+// pooling, and elementwise/reduction helpers.
+//
+// The package is deliberately minimal — row-major contiguous storage only,
+// no views, no broadcasting beyond what the nn package needs — because its
+// job is to make the distributed-training algorithms under study (package
+// core) exercise real gradient math, not to be a general array library.
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"disttrain/internal/rng"
+)
+
+// Tensor is a dense row-major float32 array with an explicit shape.
+type Tensor struct {
+	Shape []int
+	Data  []float32
+}
+
+// New allocates a zero tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dim %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// FromSlice wraps data (not copied) with the given shape.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	t := &Tensor{Shape: append([]int(nil), shape...), Data: data}
+	if t.Size() != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v does not match data length %d", shape, len(data)))
+	}
+	return t
+}
+
+// Size returns the number of elements.
+func (t *Tensor) Size() int {
+	n := 1
+	for _, d := range t.Shape {
+		n *= d
+	}
+	return n
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Zero sets every element to zero.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// CopyFrom copies src's data into t. Sizes must match.
+func (t *Tensor) CopyFrom(src *Tensor) {
+	if len(t.Data) != len(src.Data) {
+		panic("tensor: CopyFrom size mismatch")
+	}
+	copy(t.Data, src.Data)
+}
+
+// At returns the element at the given indices (bounds unchecked beyond the
+// underlying slice; intended for tests and small code paths).
+func (t *Tensor) At(idx ...int) float32 {
+	return t.Data[t.offset(idx)]
+}
+
+// Set assigns the element at the given indices.
+func (t *Tensor) Set(v float32, idx ...int) {
+	t.Data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: %d indices for rank-%d tensor", len(idx), len(t.Shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %d out of range for dim %d (size %d)", x, i, t.Shape[i]))
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off
+}
+
+// RandNormal fills t with N(0, std²) variates from r.
+func (t *Tensor) RandNormal(r *rng.RNG, std float64) {
+	for i := range t.Data {
+		t.Data[i] = float32(r.NormFloat64() * std)
+	}
+}
+
+// RandUniform fills t with uniform variates in [lo, hi).
+func (t *Tensor) RandUniform(r *rng.RNG, lo, hi float64) {
+	for i := range t.Data {
+		t.Data[i] = float32(lo + (hi-lo)*r.Float64())
+	}
+}
+
+// AddScaled computes t += alpha*src elementwise.
+func (t *Tensor) AddScaled(alpha float32, src *Tensor) {
+	if len(t.Data) != len(src.Data) {
+		panic("tensor: AddScaled size mismatch")
+	}
+	AxpyF32(alpha, src.Data, t.Data)
+}
+
+// Scale multiplies every element by alpha.
+func (t *Tensor) Scale(alpha float32) {
+	for i := range t.Data {
+		t.Data[i] *= alpha
+	}
+}
+
+// L2Norm returns the Euclidean norm of the tensor, accumulated in float64
+// for stability.
+func (t *Tensor) L2Norm() float64 {
+	return L2NormF32(t.Data)
+}
+
+// AxpyF32 computes y += alpha*x for raw slices (the flat-parameter hot path
+// used by every aggregation algorithm).
+func AxpyF32(alpha float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic("tensor: axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// ScaleF32 computes x *= alpha in place.
+func ScaleF32(alpha float32, x []float32) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// L2NormF32 returns the Euclidean norm of x with float64 accumulation.
+func L2NormF32(x []float32) float64 {
+	var s float64
+	for _, v := range x {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// MatMul computes C = A·B where A is (m×k) and B is (k×n), all row-major.
+// C must be (m×n) and is overwritten. The k-loop is hoisted into the middle
+// position (ikj order) so the inner loop streams both B and C rows.
+func MatMul(a, b, c *Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 || c.Shape[0] != m || c.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %v x %v -> %v", a.Shape, b.Shape, c.Shape))
+	}
+	ad, bd, cd := a.Data, b.Data, c.Data
+	for i := 0; i < m; i++ {
+		ci := cd[i*n : i*n+n]
+		for x := range ci {
+			ci[x] = 0
+		}
+		ai := ad[i*k : i*k+k]
+		for p := 0; p < k; p++ {
+			av := ai[p]
+			if av == 0 {
+				continue
+			}
+			bp := bd[p*n : p*n+n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransA computes C = Aᵀ·B where A is (k×m), B is (k×n), C is (m×n).
+func MatMulTransA(a, b, c *Tensor) {
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 || c.Shape[0] != m || c.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: matmulTransA shape mismatch %v x %v -> %v", a.Shape, b.Shape, c.Shape))
+	}
+	c.Zero()
+	ad, bd, cd := a.Data, b.Data, c.Data
+	for p := 0; p < k; p++ {
+		ap := ad[p*m : p*m+m]
+		bp := bd[p*n : p*n+n]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			ci := cd[i*n : i*n+n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransB computes C = A·Bᵀ where A is (m×k), B is (n×k), C is (m×n).
+func MatMulTransB(a, b, c *Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 || c.Shape[0] != m || c.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: matmulTransB shape mismatch %v x %v -> %v", a.Shape, b.Shape, c.Shape))
+	}
+	ad, bd, cd := a.Data, b.Data, c.Data
+	for i := 0; i < m; i++ {
+		ai := ad[i*k : i*k+k]
+		for j := 0; j < n; j++ {
+			bj := bd[j*k : j*k+k]
+			var s float32
+			for p, av := range ai {
+				s += av * bj[p]
+			}
+			cd[i*n+j] = s
+		}
+	}
+}

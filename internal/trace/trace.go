@@ -1,0 +1,68 @@
+// Package trace records simulation timelines in the Chrome Trace Event
+// format (the JSON consumed by chrome://tracing and https://ui.perfetto.dev),
+// so a simulated training schedule — compute spans per worker, message
+// spans per NIC — can be inspected visually. One glance at an ASP trace
+// shows the PS ingress serialization the paper's Figure 3 quantifies.
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Event is one complete ("X" phase) trace event. Times are microseconds of
+// virtual time.
+type Event struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// Tracer accumulates events. Methods are safe for use from the (single
+// threaded) simulation; the mutex guards against accidental cross-engine
+// sharing.
+type Tracer struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// New creates an empty tracer.
+func New() *Tracer { return &Tracer{} }
+
+// Span records a complete event covering [startSec, endSec) of virtual
+// time. pid groups tracks (machine), tid is the track (worker/NIC id).
+func (t *Tracer) Span(name, cat string, startSec, endSec float64, pid, tid int) {
+	if t == nil || endSec < startSec {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, Event{
+		Name: name, Cat: cat, Ph: "X",
+		Ts: startSec * 1e6, Dur: (endSec - startSec) * 1e6,
+		Pid: pid, Tid: tid,
+	})
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// WriteJSON emits the events as a Chrome trace array, sorted by timestamp.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	evs := append([]Event(nil), t.events...)
+	t.mu.Unlock()
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Ts < evs[j].Ts })
+	enc := json.NewEncoder(w)
+	return enc.Encode(evs)
+}

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSpanRecordsMicroseconds(t *testing.T) {
+	tr := New()
+	tr.Span("compute", "worker", 1.5, 2.0, 0, 3)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []Event
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 {
+		t.Fatalf("%d events", len(evs))
+	}
+	e := evs[0]
+	if e.Ts != 1.5e6 || e.Dur != 0.5e6 || e.Ph != "X" || e.Tid != 3 {
+		t.Fatalf("event = %+v", e)
+	}
+}
+
+func TestWriteJSONSortsByTime(t *testing.T) {
+	tr := New()
+	tr.Span("b", "c", 5, 6, 0, 0)
+	tr.Span("a", "c", 1, 2, 0, 0)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []Event
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatal(err)
+	}
+	if evs[0].Name != "a" || evs[1].Name != "b" {
+		t.Fatalf("unsorted: %+v", evs)
+	}
+}
+
+func TestNegativeSpanIgnored(t *testing.T) {
+	tr := New()
+	tr.Span("bad", "c", 5, 4, 0, 0)
+	if tr.Len() != 0 {
+		t.Fatal("negative-duration span recorded")
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Span("x", "y", 0, 1, 0, 0) // must not panic
+}
+
+func TestEmptyTraceIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "[]") && strings.TrimSpace(buf.String()) != "null" {
+		// encoding/json encodes a nil slice as null; accept either form.
+		t.Fatalf("unexpected empty output: %q", buf.String())
+	}
+}

@@ -1,0 +1,286 @@
+package train
+
+import (
+	"fmt"
+
+	"disttrain/internal/cluster"
+	"disttrain/internal/core"
+	"disttrain/internal/costmodel"
+	"disttrain/internal/grad"
+	"disttrain/internal/metrics"
+	"disttrain/internal/opt"
+	"disttrain/internal/report"
+)
+
+// perfConfig builds a cost-only config for the performance experiments.
+func perfConfig(algo core.Algo, model string, workers int, gbps float64, iters int, seed uint64) core.Config {
+	var c cluster.Config
+	if gbps >= 56 {
+		c = cluster.Paper56G(workers)
+	} else {
+		c = cluster.Paper10G(workers)
+	}
+	profile, err := costmodel.ProfileByName(model)
+	if err != nil {
+		panic(err)
+	}
+	batch := 128
+	if model == "vgg16" {
+		batch = 96 // the paper's VGG-16 batch size
+	}
+	cfg := core.Config{
+		Algo:     algo,
+		Cluster:  c,
+		Workers:  workers,
+		Workload: costmodel.NewWorkload(profile, costmodel.TitanV(), batch),
+		Iters:    iters,
+		Seed:     seed,
+		Momentum: 0.9,
+		LR:       opt.Schedule{Base: 0.1},
+	}
+	switch algo {
+	case core.SSP:
+		cfg.Staleness = 3
+	case core.EASGD:
+		cfg.Tau = 4
+	case core.GoSGD:
+		cfg.GossipP = 0.01
+	}
+	return cfg
+}
+
+func perfIters(o Options) int {
+	if o.Quick {
+		return 8
+	}
+	return 30
+}
+
+// runTable1 verifies Table I's communication-complexity column: measured
+// bytes per iteration against the analytic O(·) for each algorithm.
+func runTable1(o Options) ([]string, error) {
+	const workers = 8
+	iters := perfIters(o)
+	M := float64(costmodel.ResNet50().TotalBytes())
+	N := float64(workers)
+	l := 4.0 // GPUs per machine
+
+	type row struct {
+		name    string
+		formula string
+		want    float64
+		cfg     core.Config
+	}
+	rows := []row{
+		{"BSP (+local agg)", "2MN/l", 2 * M * N / l, func() core.Config {
+			c := perfConfig(core.BSP, "resnet50", workers, 56, iters, o.seed())
+			c.LocalAgg = true
+			return c
+		}()},
+		{"ASP", "2MN", 2 * M * N, perfConfig(core.ASP, "resnet50", workers, 56, iters, o.seed())},
+		{"SSP (s=3)", "(1+1/(s+1))MN", (1 + 1.0/4) * M * N, perfConfig(core.SSP, "resnet50", workers, 56, iters, o.seed())},
+		{"EASGD (t=4)", "2MN/t", 2 * M * N / 4, perfConfig(core.EASGD, "resnet50", workers, 56, iters, o.seed())},
+		{"AR-SGD", "2M(N-1)", 2 * M * (N - 1), perfConfig(core.ARSGD, "resnet50", workers, 56, iters, o.seed())},
+		{"GoSGD (p=0.01)", "MNp", M * N * 0.01, func() core.Config {
+			c := perfConfig(core.GoSGD, "resnet50", workers, 56, iters, o.seed())
+			c.Iters = 200 // enough draws for the Bernoulli average to settle
+			return c
+		}()},
+		{"AD-PSGD", "MN", M * N, perfConfig(core.ADPSGD, "resnet50", workers, 56, iters, o.seed())},
+	}
+
+	t := report.Table{Title: "Table I — communication complexity per iteration (measured vs analytic)",
+		Header: []string{"algorithm", "analytic", "predicted", "measured", "ratio"}}
+	for _, r := range rows {
+		o.logf("table1: %s", r.name)
+		res, err := core.Run(r.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", r.name, err)
+		}
+		measured := float64(res.Net.TotalBytes) / float64(r.cfg.Iters)
+		if r.name == "BSP (+local agg)" {
+			// The formula counts PS traffic; intra-machine gathers are free
+			// in the paper's O(·) accounting.
+			measured = float64(res.GradientBytes()+res.ParamReplyBytes()) / float64(r.cfg.Iters)
+		}
+		t.AddRow(r.name, r.formula, report.FmtBytes(r.want), report.FmtBytes(measured),
+			report.Fmt(measured/r.want, 2))
+	}
+	return []string{t.String()}, nil
+}
+
+// fig2Algos are the five algorithms the paper's scalability study keeps
+// (EASGD and GoSGD are excluded for their accuracy loss).
+func fig2Algos() []core.Algo {
+	return []core.Algo{core.BSP, core.ASP, core.SSP, core.ARSGD, core.ADPSGD}
+}
+
+// fig2Tune applies the scalability-run optimizations the paper uses: the
+// two accuracy-neutral ones (parameter sharding, wait-free BP) plus BSP's
+// local aggregation.
+func fig2Tune(cfg *core.Config) {
+	if cfg.Algo.Centralized() {
+		cfg.Sharding = core.ShardLayerWise
+	}
+	if cfg.Algo.SendsGradients() {
+		cfg.WaitFreeBP = true
+	}
+	if cfg.Algo == core.BSP {
+		cfg.LocalAgg = true
+	}
+}
+
+// runFig2 reproduces Fig. 2: throughput speedup over a single GPU as the
+// worker count grows, for ResNet-50 and VGG-16 on 10 and 56 Gbps networks.
+func runFig2(o Options) ([]string, error) {
+	iters := perfIters(o)
+	workersGrid := []int{1, 2, 4, 8, 16, 24}
+	if o.Quick {
+		workersGrid = []int{1, 4, 8}
+	}
+	var out []string
+	for _, model := range []string{"resnet50", "vgg16"} {
+		for _, gbps := range []float64{10, 56} {
+			fig := report.Figure{Title: fmt.Sprintf("Fig. 2 — %s speedup vs workers (%gGbps)", model, gbps)}
+			for _, algo := range fig2Algos() {
+				s := fig.NewSeries(string(algo))
+				for _, w := range workersGrid {
+					if w < 2 && algo == core.ADPSGD {
+						s.Add(float64(w), 1)
+						continue
+					}
+					cfg := perfConfig(algo, model, w, gbps, iters, o.seed())
+					fig2Tune(&cfg)
+					o.logf("fig2: %s %s %gG %dw", model, algo, gbps, w)
+					res, err := core.Run(cfg)
+					if err != nil {
+						return nil, fmt.Errorf("fig2 %s/%s/%d: %w", model, algo, w, err)
+					}
+					base := float64(cfg.Workload.Batch) / cfg.Workload.MeanIterSec()
+					s.Add(float64(w), res.Throughput/base)
+				}
+			}
+			out = append(out, fig.String(), fig.Chart(56, 12))
+		}
+	}
+	return out, nil
+}
+
+// runFig3 reproduces Fig. 3: the per-iteration time breakdown (computation,
+// local aggregation, global aggregation, network) of each algorithm at the
+// full cluster size.
+func runFig3(o Options) ([]string, error) {
+	iters := perfIters(o)
+	workers := 24
+	if o.Quick {
+		workers = 8
+	}
+	var out []string
+	for _, model := range []string{"resnet50", "vgg16"} {
+		for _, gbps := range []float64{10, 56} {
+			t := report.Table{
+				Title: fmt.Sprintf("Fig. 3 — time breakdown per iteration, %s @ %gGbps, %d workers (seconds)",
+					model, gbps, workers),
+				Header: []string{"algorithm", "compute", "local-agg", "global-agg", "network", "total"},
+			}
+			for _, algo := range fig2Algos() {
+				cfg := perfConfig(algo, model, workers, gbps, iters, o.seed())
+				fig2Tune(&cfg)
+				o.logf("fig3: %s %s %gG", model, algo, gbps)
+				res, err := core.Run(cfg)
+				if err != nil {
+					return nil, err
+				}
+				b := res.Metrics.MeanBreakdown()
+				per := float64(iters)
+				t.AddRow(string(algo),
+					report.Fmt(b[metrics.Compute]/per, 3),
+					report.Fmt(b[metrics.LocalAgg]/per, 3),
+					report.Fmt(b[metrics.GlobalAgg]/per, 3),
+					report.Fmt(b[metrics.Network]/per, 3),
+					report.Fmt(b.Total()/per, 3))
+			}
+			out = append(out, t.String())
+		}
+	}
+	return out, nil
+}
+
+// runFig4 reproduces Fig. 4: training throughput of the centralized
+// gradient-sending algorithms as the three optimizations are applied
+// cumulatively (parameter sharding → wait-free BP → DGC).
+func runFig4(o Options) ([]string, error) {
+	iters := perfIters(o)
+	workerGrid := []int{8, 16, 24}
+	if o.Quick {
+		workerGrid = []int{8}
+	}
+	algos := []core.Algo{core.BSP, core.ASP, core.SSP}
+
+	type variant struct {
+		name string
+		tune func(*core.Config)
+	}
+	variants := []variant{
+		{"base", func(c *core.Config) {
+			if c.Algo == core.BSP {
+				c.LocalAgg = true
+			}
+		}},
+		{"+shard", func(c *core.Config) {
+			if c.Algo == core.BSP {
+				c.LocalAgg = true
+			}
+			c.Sharding = core.ShardLayerWise
+		}},
+		{"+wfbp", func(c *core.Config) {
+			if c.Algo == core.BSP {
+				c.LocalAgg = true
+			}
+			c.Sharding = core.ShardLayerWise
+			c.WaitFreeBP = true
+		}},
+		{"+dgc", func(c *core.Config) {
+			if c.Algo == core.BSP {
+				c.LocalAgg = true
+			}
+			c.Sharding = core.ShardLayerWise
+			c.WaitFreeBP = true
+			d := grad.DefaultDGC(0.9, 0)
+			c.DGC = &d
+		}},
+	}
+
+	var out []string
+	for _, model := range []string{"resnet50", "vgg16"} {
+		for _, gbps := range []float64{10, 56} {
+			t := report.Table{
+				Title: fmt.Sprintf("Fig. 4 — speedup with cumulative optimizations, %s @ %gGbps",
+					model, gbps),
+				Header: []string{"algorithm", "variant"},
+			}
+			for _, w := range workerGrid {
+				t.Header = append(t.Header, fmt.Sprintf("N=%d", w))
+			}
+			for _, algo := range algos {
+				for _, v := range variants {
+					row := []string{string(algo), v.name}
+					for _, w := range workerGrid {
+						cfg := perfConfig(algo, model, w, gbps, iters, o.seed())
+						v.tune(&cfg)
+						o.logf("fig4: %s %s %gG %s N=%d", model, algo, gbps, v.name, w)
+						res, err := core.Run(cfg)
+						if err != nil {
+							return nil, err
+						}
+						base := float64(cfg.Workload.Batch) / cfg.Workload.MeanIterSec()
+						row = append(row, report.Fmt(res.Throughput/base, 2))
+					}
+					t.AddRow(row...)
+				}
+			}
+			out = append(out, t.String())
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,151 @@
+package train
+
+import (
+	"strings"
+	"testing"
+
+	"disttrain/internal/core"
+)
+
+func TestExperimentsRegistryComplete(t *testing.T) {
+	want := []string{"table1", "table2", "fig1", "table3", "fig2", "fig3", "fig4", "table4", "ext"}
+	got := Experiments()
+	if len(got) != len(want) {
+		t.Fatalf("%d experiments, want %d", len(got), len(want))
+	}
+	for i, id := range want {
+		if got[i].ID != id {
+			t.Fatalf("experiment %d = %s, want %s", i, got[i].ID, id)
+		}
+		if got[i].Title == "" || got[i].Run == nil {
+			t.Fatalf("experiment %s incomplete", id)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("fig2")
+	if err != nil || e.ID != "fig2" {
+		t.Fatalf("ByID(fig2) = %v, %v", e.ID, err)
+	}
+	if _, err := ByID("fig9"); err == nil {
+		t.Fatal("unknown ID accepted")
+	}
+}
+
+// TestAllExperimentsQuick runs every paper artifact in Quick mode and
+// checks each produces a rendered block mentioning its own identity.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			blocks, err := e.Run(Options{Quick: true, Seed: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(blocks) == 0 {
+				t.Fatal("no output blocks")
+			}
+			for _, b := range blocks {
+				if strings.TrimSpace(b) == "" {
+					t.Fatal("empty block")
+				}
+			}
+		})
+	}
+}
+
+func TestQuickTable2Shapes(t *testing.T) {
+	// In quick mode the sync algorithms and the every-iteration async ones
+	// must solve the easy task; and all seven rows must be present.
+	results, err := accuracyRuns(Options{Quick: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 7 {
+		t.Fatalf("%d results", len(results))
+	}
+	acc := map[core.Algo]float64{}
+	for _, r := range results {
+		acc[r.Config.Algo] = r.FinalTestAcc
+	}
+	for _, a := range []core.Algo{core.BSP, core.ARSGD, core.ASP, core.ADPSGD} {
+		if acc[a] < 0.85 {
+			t.Fatalf("%s quick accuracy %.3f", a, acc[a])
+		}
+	}
+}
+
+func TestQuickFig2Shapes(t *testing.T) {
+	blocks, err := runFig2(Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 8 { // (table + chart) x 2 models x 2 networks
+		t.Fatalf("%d fig2 blocks, want 8", len(blocks))
+	}
+	for _, b := range blocks {
+		for _, algo := range []string{"bsp", "asp", "ssp", "arsgd", "adpsgd"} {
+			if !strings.Contains(b, algo) {
+				t.Fatalf("missing %s in:\n%s", algo, b)
+			}
+		}
+	}
+}
+
+func TestAccuracyRunsCached(t *testing.T) {
+	o := Options{Quick: true, Seed: 4}
+	r1, err := accuracyRuns(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := accuracyRuns(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &r1[0] != &r2[0] {
+		t.Fatal("accuracy runs not cached across table2/fig1")
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	run := func() string {
+		// separate seed from other tests to dodge the cache
+		blocks, err := runTable1(Options{Quick: true, Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.Join(blocks, "\n")
+	}
+	if run() != run() {
+		t.Fatal("table1 output not deterministic")
+	}
+}
+
+func TestConfigBuildsValidConfigs(t *testing.T) {
+	s := newAccuracySetup(Options{Quick: true, Seed: 1})
+	for _, algo := range core.Algos() {
+		cfg := s.config(algo, 4, 1)
+		applyPaperHyper(&cfg, true)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+	}
+}
+
+func TestPerfConfigBuildsValidConfigs(t *testing.T) {
+	for _, algo := range fig2Algos() {
+		cfg := perfConfig(algo, "vgg16", 24, 10, 5, 1)
+		fig2Tune(&cfg)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if cfg.Workload.Batch != 96 {
+			t.Fatalf("vgg16 batch = %d, want the paper's 96", cfg.Workload.Batch)
+		}
+	}
+	cfg := perfConfig(core.BSP, "resnet50", 8, 56, 5, 1)
+	if cfg.Workload.Batch != 128 {
+		t.Fatalf("resnet50 batch = %d, want 128", cfg.Workload.Batch)
+	}
+}
