@@ -10,6 +10,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -73,7 +74,7 @@ func runReporting(b *testing.B, cfg core.Config) {
 	b.Helper()
 	var last *core.Result
 	for i := 0; i < b.N; i++ {
-		res, err := core.Run(cfg)
+		res, err := core.Run(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -9,110 +9,45 @@
 // Real-math (accuracy) run on the synthetic shapes task:
 //
 //	disttrain -algo adpsgd -workers 8 -iters 200 -real -dataset shapes16 -net minicnn
+//
+// Fault-injection run (deterministic chaos):
+//
+//	disttrain -algo bsp -workers 8 -iters 60 -elastic -faults 'crash@iter20:w3:restart=5'
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
-	"disttrain/internal/cluster"
+	"disttrain/internal/cli"
 	"disttrain/internal/core"
-	"disttrain/internal/costmodel"
-	"disttrain/internal/data"
-	"disttrain/internal/grad"
 	"disttrain/internal/metrics"
-	"disttrain/internal/nn"
-	"disttrain/internal/opt"
 	"disttrain/internal/report"
-	"disttrain/internal/rng"
 	"disttrain/internal/trace"
 )
 
 func main() {
+	f := cli.Register(flag.CommandLine)
 	var (
-		algo     = flag.String("algo", "bsp", "algorithm: bsp|asp|ssp|easgd|arsgd|gosgd|adpsgd|dpsgd|hogwild|adacomm")
 		jsonOut  = flag.Bool("json", false, "emit a JSON summary instead of tables")
-		workers  = flag.Int("workers", 8, "number of workers (GPUs)")
-		model    = flag.String("model", "resnet50", "cost model: resnet50|vgg16")
-		gbps     = flag.Float64("gbps", 56, "inter-machine bandwidth (10 or 56)")
-		iters    = flag.Int("iters", 30, "training iterations per worker")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		shard    = flag.String("shard", "none", "PS sharding: none|layerwise|balanced")
-		wfbp     = flag.Bool("wfbp", false, "enable wait-free backpropagation")
-		dgc      = flag.Bool("dgc", false, "enable deep gradient compression")
-		localAgg = flag.Bool("localagg", false, "enable BSP local aggregation")
-		stale    = flag.Int("staleness", 3, "SSP staleness threshold s")
-		tau      = flag.Int("tau", 8, "EASGD communication period")
-		gossipP  = flag.Float64("p", 0.01, "GoSGD gossip probability")
-		lr       = flag.Float64("lr", 0.1, "learning-rate base")
-
 		sweep    = flag.String("sweep", "", "comma-separated worker counts; runs the config per count and prints a speedup figure (cost-only)")
 		traceOut = flag.String("traceout", "", "write a Chrome trace (chrome://tracing) of the run to this path")
-		real     = flag.Bool("real", false, "real gradient math (accuracy mode)")
-		dataset  = flag.String("dataset", "shapes16", "real mode dataset: shapes16|gauss|spiral")
-		netName  = flag.String("net", "minicnn", "real mode model: mlp|minicnn|miniresnet|minivgg")
-		batch    = flag.Int("batch", 8, "real mode per-worker batch size")
 	)
 	flag.Parse()
 
-	profile, err := costmodel.ProfileByName(*model)
+	cfg, err := f.Config()
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
-	var clu cluster.Config
-	if *gbps >= 56 {
-		clu = cluster.Paper56G(*workers)
-	} else {
-		clu = cluster.Paper10G(*workers)
-	}
-	cfg := core.Config{
-		Algo:       core.Algo(*algo),
-		Cluster:    clu,
-		Workers:    *workers,
-		Workload:   costmodel.NewWorkload(profile, costmodel.TitanV(), 128),
-		Iters:      *iters,
-		Seed:       *seed,
-		Momentum:   0.9,
-		LR:         opt.Schedule{Base: *lr},
-		Staleness:  *stale,
-		Tau:        *tau,
-		GossipP:    *gossipP,
-		Sharding:   core.Sharding(*shard),
-		WaitFreeBP: *wfbp,
-		LocalAgg:   *localAgg,
-	}
-	if *dgc {
-		d := grad.DefaultDGC(0.9, *iters/5)
-		cfg.DGC = &d
-	}
-	if *real {
-		r := rng.New(*seed * 31)
-		ds, err := data.ByName(*dataset, r, 4000)
-		if err != nil {
-			fatal(err)
-		}
-		trainDS, testDS := ds.Split(r.Split(1), 600)
-		factory, err := nn.FactoryByName(*netName, ds.Classes)
-		if err != nil {
-			fatal(err)
-		}
-		cfg.WeightDecay = 1e-4
-		cfg.LR = opt.Schedule{Base: *lr, WarmupIters: *iters / 20}
-		cfg.Real = &core.RealConfig{
-			Factory:   factory,
-			Train:     trainDS,
-			Test:      testDS,
-			Batch:     *batch,
-			EvalEvery: max(1, *iters/10),
-			EvalMax:   500,
-		}
-	}
+	ctx, stop := cli.Context()
+	defer stop()
 
 	if *sweep != "" {
-		runSweep(cfg, *sweep, *gbps)
+		runSweep(ctx, cfg, *sweep, f.Gbps)
 		return
 	}
 
@@ -122,49 +57,56 @@ func main() {
 		cfg.Tracer = tracer
 	}
 
-	res, err := core.Run(cfg)
-	if err != nil {
-		fatal(err)
-	}
+	res := cli.MustRun(ctx, cfg)
 	if tracer != nil {
-		f, err := os.Create(*traceOut)
+		w, err := os.Create(*traceOut)
 		if err != nil {
-			fatal(err)
+			cli.Fatal(err)
 		}
-		if err := tracer.WriteJSON(f); err != nil {
-			fatal(err)
+		if err := tracer.WriteJSON(w); err != nil {
+			cli.Fatal(err)
 		}
-		if err := f.Close(); err != nil {
-			fatal(err)
+		if err := w.Close(); err != nil {
+			cli.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "trace written to %s (open in chrome://tracing)\n", *traceOut)
 	}
 
 	if *jsonOut {
 		if err := res.WriteJSON(os.Stdout); err != nil {
-			fatal(err)
+			cli.Fatal(err)
 		}
 		return
 	}
 
-	t := report.Table{Title: fmt.Sprintf("%s on %s, %d workers @ %gGbps", *algo, *model, *workers, *gbps),
+	t := report.Table{Title: fmt.Sprintf("%s on %s, %d workers @ %gGbps", f.Algo, f.Model, f.Workers, f.Gbps),
 		Header: []string{"metric", "value"}}
 	t.AddRow("virtual time", report.Fmt(res.VirtualSec, 3)+" s")
 	t.AddRow("throughput", report.Fmt(res.Throughput, 1)+" samples/s")
-	t.AddRow("speedup vs 1 GPU", report.Fmt(res.Throughput/(float64(cfg.Workload.Batch)/cfg.Workload.MeanIterSec()), 2)+"x")
+	t.AddRow("speedup vs 1 GPU", report.Fmt(res.Throughput/cli.SpeedupBase(cfg.Workload), 2)+"x")
 	t.AddRow("total traffic", report.FmtBytes(float64(res.Net.TotalBytes)))
 	t.AddRow("bytes/iter/worker", report.FmtBytes(res.BytesPerIterPerWorker))
 	b := res.Metrics.MeanBreakdown()
 	for _, ph := range []metrics.Phase{metrics.Compute, metrics.LocalAgg, metrics.GlobalAgg, metrics.Network} {
 		t.AddRow("time: "+ph.String(), fmt.Sprintf("%s s (%.0f%%)", report.Fmt(b[ph], 3), 100*b.Frac(ph)))
 	}
-	if *real {
+	if fs := res.Metrics.Faults; fs.Any() || res.StalledWorkers > 0 {
+		t.AddRow("faults", fmt.Sprintf("%d crashes, %d restarts, %d timeouts", fs.Crashes, fs.Restarts, fs.Timeouts))
+		t.AddRow("iterations lost/recovered", fmt.Sprintf("%d / %d", fs.LostIters, fs.RecoveredIters))
+		if res.Net.DroppedMsgs > 0 {
+			t.AddRow("messages dropped", fmt.Sprintf("%d (%s)", res.Net.DroppedMsgs, report.FmtBytes(float64(res.Net.DroppedBytes))))
+		}
+		if res.StalledWorkers > 0 {
+			t.AddRow("stalled workers", strconv.Itoa(res.StalledWorkers)+" (run never finished; throughput reported as 0)")
+		}
+	}
+	if f.Real {
 		t.AddRow("final test accuracy", report.Fmt(res.FinalTestAcc, 4))
 		t.AddRow("final train loss", report.Fmt(res.FinalTrainLoss, 4))
 	}
 	fmt.Print(t.String())
 
-	if *real && len(res.Metrics.Trace) > 0 {
+	if f.Real && len(res.Metrics.Trace) > 0 {
 		fig := report.Figure{Title: "convergence (test error vs iteration)"}
 		s := fig.NewSeries("test-err")
 		for _, tp := range res.Metrics.Trace {
@@ -177,51 +119,32 @@ func main() {
 
 // runSweep re-runs the configuration at each worker count and prints the
 // speedup curve (table + ASCII chart) over the single-GPU baseline.
-func runSweep(cfg core.Config, list string, gbps float64) {
+func runSweep(ctx context.Context, cfg core.Config, list string, gbps float64) {
 	var counts []int
 	for _, part := range strings.Split(list, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n < 1 {
-			fatal(fmt.Errorf("bad -sweep entry %q", part))
+			cli.Fatal(fmt.Errorf("bad -sweep entry %q", part))
 		}
 		counts = append(counts, n)
 	}
 	fig := report.Figure{Title: fmt.Sprintf("%s %s speedup vs workers (%gGbps)",
 		cfg.Algo, cfg.Workload.Profile.Name, gbps)}
 	s := fig.NewSeries(string(cfg.Algo))
-	base := float64(cfg.Workload.Batch) / cfg.Workload.MeanIterSec()
+	base := cli.SpeedupBase(cfg.Workload)
 	for _, n := range counts {
 		c := cfg
-		if gbps >= 56 {
-			c.Cluster = cluster.Paper56G(n)
-		} else {
-			c.Cluster = cluster.Paper10G(n)
-		}
+		c.Cluster = cli.Cluster(gbps, n)
 		c.Workers = n
 		c.Real = nil // sweeps are cost-only
 		if n < 2 && (c.Algo == core.ADPSGD || c.Algo == core.GoSGD) {
 			s.Add(float64(n), 1)
 			continue
 		}
-		res, err := core.Run(c)
-		if err != nil {
-			fatal(err)
-		}
+		res := cli.MustRun(ctx, c)
 		s.Add(float64(n), res.Throughput/base)
 	}
 	fmt.Print(fig.String())
 	fmt.Println()
 	fmt.Print(fig.Chart(56, 12))
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "disttrain:", err)
-	os.Exit(1)
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -8,8 +8,8 @@ package main
 
 import (
 	"fmt"
-	"log"
 
+	"disttrain/internal/cli"
 	"disttrain/internal/cluster"
 	"disttrain/internal/core"
 	"disttrain/internal/costmodel"
@@ -21,9 +21,9 @@ import (
 )
 
 func main() {
-	r := rng.New(7)
-	ds := data.GenShapes16(r, 3000)
-	train, test := ds.Split(r.Split(1), 500)
+	train, test := cli.ShapesData(7, 3000, 500)
+	ctx, stop := cli.Context()
+	defer stop()
 	const workers = 8
 	const iters = 200
 
@@ -65,10 +65,7 @@ func main() {
 				EvalMax:   500,
 			},
 		}
-		res, err := core.Run(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
+		res := cli.MustRun(ctx, cfg)
 		reach := "never"
 		if at, ok := res.Metrics.TimeToErr(0.25); ok {
 			reach = report.Fmt(at, 1)

@@ -1,0 +1,100 @@
+// Chaos study: the same deterministic fault schedule — a permanent worker
+// crash, a transient compute brown-out, and a window of 5% message loss —
+// replayed against faithful BSP, elastic BSP, and AD-PSGD.
+//
+// The three runs tell the fault-tolerance story of the paper's algorithm
+// families: a faithful synchronous barrier stalls forever on the first
+// permanent crash; elastic membership pays a small accuracy-relevant cost
+// (the dead worker's iterations) but keeps the cluster busy; AD-PSGD's
+// random pairwise gossip barely notices, because actives just re-draw
+// partners away from the dead peer.
+//
+//	go run ./examples/chaos_study
+//	go run ./examples/chaos_study -faults 'crash@iter10:w2;degrade@5:x8:for=20'
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"disttrain/internal/cli"
+	"disttrain/internal/cluster"
+	"disttrain/internal/core"
+	"disttrain/internal/costmodel"
+	"disttrain/internal/fault"
+	"disttrain/internal/opt"
+	"disttrain/internal/report"
+)
+
+func main() {
+	var (
+		spec    = flag.String("faults", "crash@iter20:w3; slow@10:w1:x4:for=20; drop@15:p=0.05:for=20", "fault schedule spec")
+		workers = flag.Int("workers", 8, "number of workers")
+		iters   = flag.Int("iters", 60, "iterations per worker")
+	)
+	flag.Parse()
+
+	sched, err := cli.LoadFaults(*spec, "")
+	if err != nil {
+		cli.Fatal(err)
+	}
+	ctx, stop := cli.Context()
+	defer stop()
+
+	build := func(algo core.Algo, elastic bool, faults *fault.Schedule) core.Config {
+		return core.Config{
+			Algo:     algo,
+			Cluster:  cluster.Paper56G(*workers),
+			Workers:  *workers,
+			Workload: costmodel.NewWorkload(costmodel.ResNet50(), costmodel.TitanV(), 128),
+			Iters:    *iters,
+			Seed:     11,
+			Momentum: 0.9,
+			LR:       opt.Schedule{Base: 0.1},
+			Elastic:  elastic,
+			Faults:   faults,
+		}
+	}
+
+	fmt.Println("schedule:")
+	for _, e := range sched.Events {
+		fmt.Printf("  %s\n", e)
+	}
+	fmt.Println()
+
+	t := report.Table{
+		Title: "one fault schedule, three recovery disciplines",
+		Header: []string{"run", "virtual-sec", "samples/s", "iters lost",
+			"timeouts", "dropped", "stalled"},
+	}
+	for _, rc := range []struct {
+		name    string
+		algo    core.Algo
+		elastic bool
+	}{
+		{"BSP (faithful)", core.BSP, false},
+		{"BSP (elastic)", core.BSP, true},
+		{"AD-PSGD", core.ADPSGD, false},
+	} {
+		res := cli.MustRun(ctx, build(rc.algo, rc.elastic, sched))
+		clean := cli.MustRun(ctx, build(rc.algo, rc.elastic, nil))
+		f := res.Metrics.Faults
+		thr := report.Fmt(res.Throughput, 0)
+		if res.StalledWorkers > 0 {
+			thr = "0 (hung)"
+		}
+		t.AddRow(rc.name,
+			fmt.Sprintf("%s (clean %s)", report.Fmt(res.VirtualSec, 1), report.Fmt(clean.VirtualSec, 1)),
+			thr,
+			fmt.Sprintf("%d", f.LostIters),
+			fmt.Sprintf("%d", f.Timeouts),
+			fmt.Sprintf("%d", res.Net.DroppedMsgs),
+			fmt.Sprintf("%d", res.StalledWorkers))
+	}
+	fmt.Print(t.String())
+	fmt.Println("\nfaithful BSP freezes at the barrier of the crash round — its virtual")
+	fmt.Println("time is just the stall point. elastic BSP drops the dead rank from the")
+	fmt.Println("membership and finishes; AD-PSGD re-draws gossip partners away from")
+	fmt.Println("the dead peer, so only the compute brown-out (which no algorithm can")
+	fmt.Println("dodge) shows up in its time.")
+}

@@ -7,8 +7,8 @@ package main
 
 import (
 	"fmt"
-	"log"
 
+	"disttrain/internal/cli"
 	"disttrain/internal/cluster"
 	"disttrain/internal/core"
 	"disttrain/internal/costmodel"
@@ -21,9 +21,9 @@ import (
 )
 
 func main() {
-	r := rng.New(3)
-	ds := data.GenShapes16(r, 2500)
-	train, test := ds.Split(r.Split(1), 400)
+	train, test := cli.ShapesData(3, 2500, 400)
+	ctx, stop := cli.Context()
+	defer stop()
 	const workers = 8
 	const iters = 200
 
@@ -56,14 +56,8 @@ func main() {
 		return cfg
 	}
 
-	base, err := core.Run(build(false))
-	if err != nil {
-		log.Fatal(err)
-	}
-	dgc, err := core.Run(build(true))
-	if err != nil {
-		log.Fatal(err)
-	}
+	base := cli.MustRun(ctx, build(false))
+	dgc := cli.MustRun(ctx, build(true))
 
 	t := report.Table{Title: "ASP + MiniVGG on a 10Gbps cluster, with and without DGC",
 		Header: []string{"metric", "baseline", "with DGC"}}

@@ -7,8 +7,8 @@ package main
 
 import (
 	"fmt"
-	"log"
 
+	"disttrain/internal/cli"
 	"disttrain/internal/cluster"
 	"disttrain/internal/core"
 	"disttrain/internal/costmodel"
@@ -20,9 +20,7 @@ import (
 
 func main() {
 	// 1. A deterministic synthetic dataset (the ImageNet stand-in).
-	r := rng.New(42)
-	ds := data.GenShapes16(r, 3000)
-	train, test := ds.Split(r.Split(1), 500)
+	train, test := cli.ShapesData(42, 3000, 500)
 
 	// 2. An experiment: 8 workers on 2 machines, 56 Gbps network, BSP with
 	//    local aggregation — the paper's baseline configuration.
@@ -46,11 +44,11 @@ func main() {
 		},
 	}
 
-	// 3. Run it.
-	res, err := core.Run(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// 3. Run it. cli.Context wires Ctrl-C into core.Run's cancellation;
+	// MustRun exits with the validation error if the config is malformed.
+	ctx, stop := cli.Context()
+	defer stop()
+	res := cli.MustRun(ctx, cfg)
 
 	fmt.Printf("final test accuracy: %.3f\n", res.FinalTestAcc)
 	fmt.Printf("virtual training time: %.1f s (as if on 8 TITAN V GPUs)\n", res.VirtualSec)

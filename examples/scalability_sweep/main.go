@@ -8,8 +8,8 @@ package main
 
 import (
 	"fmt"
-	"log"
 
+	"disttrain/internal/cli"
 	"disttrain/internal/cluster"
 	"disttrain/internal/core"
 	"disttrain/internal/costmodel"
@@ -18,6 +18,8 @@ import (
 )
 
 func main() {
+	ctx, stop := cli.Context()
+	defer stop()
 	algos := []core.Algo{core.BSP, core.ASP, core.ARSGD, core.ADPSGD}
 	workerGrid := []int{1, 2, 4, 8, 16, 24}
 
@@ -50,12 +52,8 @@ func main() {
 				if algo.Centralized() {
 					cfg.Sharding = core.ShardLayerWise
 				}
-				res, err := core.Run(cfg)
-				if err != nil {
-					log.Fatal(err)
-				}
-				base := float64(cfg.Workload.Batch) / cfg.Workload.MeanIterSec()
-				s.Add(float64(w), res.Throughput/base)
+				res := cli.MustRun(ctx, cfg)
+				s.Add(float64(w), res.Throughput/cli.SpeedupBase(cfg.Workload))
 			}
 		}
 		fmt.Print(fig.String())

@@ -8,8 +8,8 @@ package main
 
 import (
 	"fmt"
-	"log"
 
+	"disttrain/internal/cli"
 	"disttrain/internal/cluster"
 	"disttrain/internal/core"
 	"disttrain/internal/costmodel"
@@ -18,6 +18,8 @@ import (
 )
 
 func main() {
+	ctx, stop := cli.Context()
+	defer stop()
 	algos := []core.Algo{core.BSP, core.ARSGD, core.ASP, core.DPSGD, core.ADPSGD}
 	probs := []float64{0, 0.05, 0.1, 0.2}
 
@@ -50,10 +52,7 @@ func main() {
 			}
 			cfg.Workload.GPU.StragglerProb = p
 			cfg.Workload.GPU.StragglerMult = 6
-			res, err := core.Run(cfg)
-			if err != nil {
-				log.Fatal(err)
-			}
+			res := cli.MustRun(ctx, cfg)
 			if p == 0 {
 				clean = res.Throughput
 				row = append(row, report.Fmt(res.Throughput, 0))

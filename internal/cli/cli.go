@@ -1,0 +1,222 @@
+// Package cli holds the flag and setup boilerplate shared by cmd/disttrain
+// and the runnable examples: experiment-flag registration, config assembly,
+// cluster selection, fault-schedule loading, signal-aware contexts, and
+// run-or-die helpers. Keeping it in one place means every entry point
+// exposes the same knobs with the same semantics.
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"disttrain/internal/cluster"
+	"disttrain/internal/core"
+	"disttrain/internal/costmodel"
+	"disttrain/internal/data"
+	"disttrain/internal/fault"
+	"disttrain/internal/grad"
+	"disttrain/internal/nn"
+	"disttrain/internal/opt"
+	"disttrain/internal/rng"
+)
+
+// Flags is the bundle of experiment flags shared by the CLI tools. Register
+// binds them onto a FlagSet; Config assembles a validated-ready core.Config
+// after parsing.
+type Flags struct {
+	Algo      string
+	Workers   int
+	Model     string
+	Gbps      float64
+	Iters     int
+	Seed      uint64
+	Shard     string
+	WFBP      bool
+	DGC       bool
+	LocalAgg  bool
+	Staleness int
+	Tau       int
+	GossipP   float64
+	LR        float64
+
+	Real    bool
+	Dataset string
+	Net     string
+	Batch   int
+
+	FaultSpec string
+	FaultFile string
+	Elastic   bool
+	Timeout   float64
+}
+
+// Register binds the shared experiment flags onto fs and returns the
+// destination struct. Call fs.Parse (or flag.Parse for the default set)
+// before reading it.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Algo, "algo", "bsp", "algorithm: bsp|asp|ssp|easgd|arsgd|gosgd|adpsgd|dpsgd|hogwild|adacomm")
+	fs.IntVar(&f.Workers, "workers", 8, "number of workers (GPUs)")
+	fs.StringVar(&f.Model, "model", "resnet50", "cost model: resnet50|vgg16")
+	fs.Float64Var(&f.Gbps, "gbps", 56, "inter-machine bandwidth (10 or 56)")
+	fs.IntVar(&f.Iters, "iters", 30, "training iterations per worker")
+	fs.Uint64Var(&f.Seed, "seed", 1, "random seed")
+	fs.StringVar(&f.Shard, "shard", "none", "PS sharding: none|layerwise|balanced")
+	fs.BoolVar(&f.WFBP, "wfbp", false, "enable wait-free backpropagation")
+	fs.BoolVar(&f.DGC, "dgc", false, "enable deep gradient compression")
+	fs.BoolVar(&f.LocalAgg, "localagg", false, "enable BSP local aggregation")
+	fs.IntVar(&f.Staleness, "staleness", 3, "SSP staleness threshold s")
+	fs.IntVar(&f.Tau, "tau", 8, "EASGD communication period")
+	fs.Float64Var(&f.GossipP, "p", 0.01, "GoSGD gossip probability")
+	fs.Float64Var(&f.LR, "lr", 0.1, "learning-rate base")
+
+	fs.BoolVar(&f.Real, "real", false, "real gradient math (accuracy mode)")
+	fs.StringVar(&f.Dataset, "dataset", "shapes16", "real mode dataset: shapes16|gauss|spiral")
+	fs.StringVar(&f.Net, "net", "minicnn", "real mode model: mlp|minicnn|miniresnet|minivgg")
+	fs.IntVar(&f.Batch, "batch", 8, "real mode per-worker batch size")
+
+	fs.StringVar(&f.FaultSpec, "faults", "", "fault schedule spec, e.g. 'crash@iter20:w3:restart=5;drop@10:p=0.05:for=60'")
+	fs.StringVar(&f.FaultFile, "faultsjson", "", "JSON file with a fault schedule ({\"events\": [...]})")
+	fs.BoolVar(&f.Elastic, "elastic", false, "elastic membership: barriers exclude crashed workers instead of stalling")
+	fs.Float64Var(&f.Timeout, "timeout", 0, "barrier timeout in virtual seconds (0 = 5 mean iterations)")
+	return f
+}
+
+// Config assembles a core.Config from the parsed flags. The config is not
+// yet validated — core.Run validates it — but schedule files are read and
+// parsed here so syntax errors surface before any simulation starts.
+func (f *Flags) Config() (core.Config, error) {
+	profile, err := costmodel.ProfileByName(f.Model)
+	if err != nil {
+		return core.Config{}, err
+	}
+	cfg := core.Config{
+		Algo:       core.Algo(f.Algo),
+		Cluster:    Cluster(f.Gbps, f.Workers),
+		Workers:    f.Workers,
+		Workload:   costmodel.NewWorkload(profile, costmodel.TitanV(), 128),
+		Iters:      f.Iters,
+		Seed:       f.Seed,
+		Momentum:   0.9,
+		LR:         opt.Schedule{Base: f.LR},
+		Staleness:  f.Staleness,
+		Tau:        f.Tau,
+		GossipP:    f.GossipP,
+		Sharding:   core.Sharding(f.Shard),
+		WaitFreeBP: f.WFBP,
+		LocalAgg:   f.LocalAgg,
+
+		Elastic:           f.Elastic,
+		BarrierTimeoutSec: f.Timeout,
+	}
+	cfg.Faults, err = LoadFaults(f.FaultSpec, f.FaultFile)
+	if err != nil {
+		return core.Config{}, err
+	}
+	if f.DGC {
+		d := grad.DefaultDGC(0.9, f.Iters/5)
+		cfg.DGC = &d
+	}
+	if f.Real {
+		r := rng.New(f.Seed * 31)
+		ds, err := data.ByName(f.Dataset, r, 4000)
+		if err != nil {
+			return core.Config{}, err
+		}
+		trainDS, testDS := ds.Split(r.Split(1), 600)
+		factory, err := nn.FactoryByName(f.Net, ds.Classes)
+		if err != nil {
+			return core.Config{}, err
+		}
+		cfg.WeightDecay = 1e-4
+		cfg.LR = opt.Schedule{Base: f.LR, WarmupIters: f.Iters / 20}
+		cfg.Real = &core.RealConfig{
+			Factory:   factory,
+			Train:     trainDS,
+			Test:      testDS,
+			Batch:     f.Batch,
+			EvalEvery: max(1, f.Iters/10),
+			EvalMax:   500,
+		}
+	}
+	return cfg, nil
+}
+
+// LoadFaults builds a fault schedule from a compact spec string and/or a
+// JSON schedule file; events from both are combined. Returns nil when both
+// are empty.
+func LoadFaults(spec, file string) (*fault.Schedule, error) {
+	var s *fault.Schedule
+	if spec != "" {
+		var err error
+		if s, err = fault.ParseSpec(spec); err != nil {
+			return nil, err
+		}
+	}
+	if file != "" {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("fault schedule file: %w", err)
+		}
+		var fs fault.Schedule
+		if err := json.Unmarshal(raw, &fs); err != nil {
+			return nil, fmt.Errorf("fault schedule file %s: %w", file, err)
+		}
+		if s == nil {
+			s = &fs
+		} else {
+			s.Events = append(s.Events, fs.Events...)
+		}
+	}
+	return s, nil
+}
+
+// Cluster returns the paper's 56 Gbps InfiniBand cluster shape for gbps >=
+// 56 and the 10 Gbps Ethernet shape otherwise.
+func Cluster(gbps float64, workers int) cluster.Config {
+	if gbps >= 56 {
+		return cluster.Paper56G(workers)
+	}
+	return cluster.Paper10G(workers)
+}
+
+// Context returns a context canceled on SIGINT/SIGTERM, so an interrupted
+// run unwinds through core.Run's cancellation path instead of dying
+// mid-print.
+func Context() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// MustRun runs one experiment and exits the process on error.
+func MustRun(ctx context.Context, cfg core.Config) *core.Result {
+	res, err := core.Run(ctx, cfg)
+	if err != nil {
+		Fatal(err)
+	}
+	return res
+}
+
+// ShapesData deterministically generates the shapes16 dataset and splits
+// off a test set — the setup stanza every accuracy example starts with.
+func ShapesData(seed uint64, n, testN int) (train, test *data.Dataset) {
+	r := rng.New(seed)
+	return data.GenShapes16(r, n).Split(r.Split(1), testN)
+}
+
+// SpeedupBase is the single-GPU throughput baseline (samples/s) speedup
+// figures divide by.
+func SpeedupBase(w costmodel.Workload) float64 {
+	return float64(w.Batch) / w.MeanIterSec()
+}
+
+// Fatal prints the error prefixed with the program name and exits.
+func Fatal(err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", filepath.Base(os.Args[0]), err)
+	os.Exit(1)
+}

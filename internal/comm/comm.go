@@ -1,12 +1,17 @@
 // Package comm implements the collective operations the decentralized
 // algorithms and local aggregation are built on, as blocking calls made
 // from simulated processes: ring AllReduce (reduce-scatter + all-gather,
-// the MPI/MPICH algorithm the paper uses for AR-SGD) and intra-machine
-// gather/broadcast for BSP's local aggregation.
+// the MPI/MPICH algorithm the paper uses for AR-SGD), a binomial-tree
+// AllReduce, and intra-machine gather/broadcast for BSP's local
+// aggregation.
 //
 // Every collective works in two modes: with real payload vectors (accuracy
 // experiments) and with nil payloads where only message sizes drive the
 // simulation (cost-only scalability experiments).
+//
+// The entry point is Collective with a CollectiveOpts; the positional
+// helpers (RingAllReduce, TreeAllReduce, LocalGather, LocalBroadcast) are
+// deprecated wrappers kept for existing call sites.
 package comm
 
 import (
@@ -17,32 +22,120 @@ import (
 	"disttrain/internal/tensor"
 )
 
-// RingAllReduce performs an in-place sum-AllReduce of vec across the
-// participants' nodes. Every participant must call it with the same ids and
-// kind; self is the caller's index into ids. vec may be nil in cost-only
-// mode, in which case virtualLen supplies the element count used for chunk
-// sizing. totalBytes is the wire size of the full vector.
-//
-// Returns the wire seconds accumulated by this participant's receives —
-// the "network" share of the collective for time-breakdown metrics.
-func RingAllReduce(p *des.Proc, net *simnet.Net, ids []int, self int, vec []float32, virtualLen int, totalBytes int64, kind int) des.Time {
-	n := len(ids)
+// Op selects the collective operation.
+type Op int
+
+// The supported collectives.
+const (
+	// OpRingAllReduce is an in-place sum-AllReduce: reduce-scatter followed
+	// by all-gather around a ring.
+	OpRingAllReduce Op = iota
+	// OpTreeAllReduce is a binomial reduce-to-root plus broadcast.
+	OpTreeAllReduce
+	// OpGather sums every member's vector into the group leader's
+	// (Nodes[0]); members return immediately after sending.
+	OpGather
+	// OpBroadcast ships the leader's vector to every member; members block
+	// for it.
+	OpBroadcast
+)
+
+// CollectiveOpts parameterizes one collective call. Every participant must
+// invoke Collective with the same Op, Nodes, Kind and Clock; Self is the
+// caller's index into Nodes.
+type CollectiveOpts struct {
+	Op  Op
+	Net *simnet.Net
+	// Nodes lists the participants' node IDs; Self indexes the caller.
+	Nodes []int
+	Self  int
+	// Vec is the payload (mutated in place by the reducing ops); nil in
+	// cost-only mode, where VirtualLen supplies the element count used for
+	// chunk sizing.
+	Vec        []float32
+	VirtualLen int
+	// Bytes is the wire size of the full vector.
+	Bytes int64
+	// Kind tags the messages on the simulated network.
+	Kind int
+	// Clock tags the round. With a Stash attached, receives are filtered on
+	// (Kind, Clock) and messages from other rounds are buffered — required
+	// when the participant set changes between rounds (fault injection) and
+	// a fast peer's next-round traffic can overtake the current round.
+	// Without a Stash, any mismatched message panics (the strict discipline
+	// of fixed-membership collectives).
+	Clock int
+	Stash *[]simnet.Msg
+}
+
+// Collective runs the configured operation, blocking the calling process
+// until its role completes. It returns the caller's resulting vector (the
+// received vector for OpBroadcast members, Vec otherwise) and the wire
+// seconds accumulated by this participant's receives — the "network" share
+// of the collective for time-breakdown metrics.
+func Collective(p *des.Proc, o CollectiveOpts) ([]float32, des.Time) {
+	switch o.Op {
+	case OpRingAllReduce:
+		return o.Vec, ringAllReduce(p, &o)
+	case OpTreeAllReduce:
+		return o.Vec, treeAllReduce(p, &o)
+	case OpGather:
+		return o.Vec, localGather(p, &o)
+	case OpBroadcast:
+		return localBroadcast(p, &o)
+	default:
+		panic(fmt.Sprintf("comm: unknown op %d", o.Op))
+	}
+}
+
+// recvMatch returns the next message matching (Kind, Clock, and Seg when
+// useSeg). With a stash attached, non-matching messages are buffered for
+// later calls; without one, a mismatch panics.
+func recvMatch(p *des.Proc, o *CollectiveOpts, wantSeg int, useSeg bool) simnet.Msg {
+	inbox := o.Net.Node(o.Nodes[o.Self]).Inbox
+	match := func(m simnet.Msg) bool {
+		return m.Kind == o.Kind && m.Clock == o.Clock && (!useSeg || m.Seg == wantSeg)
+	}
+	if o.Stash != nil {
+		for i, m := range *o.Stash {
+			if match(m) {
+				*o.Stash = append((*o.Stash)[:i], (*o.Stash)[i+1:]...)
+				return m
+			}
+		}
+	}
+	for {
+		m := inbox.Recv(p)
+		if match(m) {
+			return m
+		}
+		if o.Stash == nil {
+			panic(fmt.Sprintf("comm: got kind %d clock %d seg %d, want kind %d clock %d seg %d",
+				m.Kind, m.Clock, m.Seg, o.Kind, o.Clock, wantSeg))
+		}
+		*o.Stash = append(*o.Stash, m)
+	}
+}
+
+func ringAllReduce(p *des.Proc, o *CollectiveOpts) des.Time {
+	n := len(o.Nodes)
 	if n == 1 {
 		return 0
 	}
+	virtualLen := o.VirtualLen
+	vec := o.Vec
 	if vec != nil {
 		virtualLen = len(vec)
 	}
 	if virtualLen <= 0 {
-		panic("comm: RingAllReduce needs a positive length")
+		panic("comm: ring allreduce needs a positive length")
 	}
 	chunkLo := func(c int) int { return virtualLen * c / n }
 	chunkHi := func(c int) int { return virtualLen * (c + 1) / n }
 	chunkBytes := func(c int) int64 {
-		return totalBytes * int64(chunkHi(c)-chunkLo(c)) / int64(virtualLen)
+		return o.Bytes * int64(chunkHi(c)-chunkLo(c)) / int64(virtualLen)
 	}
-	right := ids[(self+1)%n]
-	inbox := net.Node(ids[self]).Inbox
+	right := o.Nodes[(o.Self+1)%n]
 	var wire des.Time
 
 	sendChunk := func(c int, add bool) {
@@ -50,32 +143,27 @@ func RingAllReduce(p *des.Proc, net *simnet.Net, ids []int, self int, vec []floa
 		if vec != nil {
 			payload = append([]float32(nil), vec[chunkLo(c):chunkHi(c)]...)
 		}
-		net.Send(simnet.Msg{From: ids[self], To: right, Kind: kind, Seg: c, Bytes: chunkBytes(c), Vec: payload, Aux: b2f(add)})
-	}
-	recvChunk := func(wantChunk int) simnet.Msg {
-		m := inbox.Recv(p)
-		if m.Kind != kind || m.Seg != wantChunk {
-			panic(fmt.Sprintf("comm: allreduce got kind %d seg %d, want %d/%d", m.Kind, m.Seg, kind, wantChunk))
-		}
-		wire += m.WireSec
-		return m
+		o.Net.Send(simnet.Msg{From: o.Nodes[o.Self], To: right, Kind: o.Kind, Clock: o.Clock,
+			Seg: c, Bytes: chunkBytes(c), Vec: payload, Aux: b2f(add)})
 	}
 
 	// Reduce-scatter: after n-1 steps, participant i holds the full sum of
 	// chunk (i+1) mod n.
 	for s := 0; s < n-1; s++ {
-		sendChunk(((self-s)%n+n)%n, true)
-		c := ((self-s-1)%n + n) % n
-		m := recvChunk(c)
+		sendChunk(((o.Self-s)%n+n)%n, true)
+		c := ((o.Self-s-1)%n + n) % n
+		m := recvMatch(p, o, c, true)
+		wire += m.WireSec
 		if vec != nil {
 			tensor.AxpyF32(1, m.Vec, vec[chunkLo(c):chunkHi(c)])
 		}
 	}
 	// All-gather: circulate the reduced chunks.
 	for s := 0; s < n-1; s++ {
-		sendChunk(((self+1-s)%n+n)%n, false)
-		c := ((self-s)%n + n) % n
-		m := recvChunk(c)
+		sendChunk(((o.Self+1-s)%n+n)%n, false)
+		c := ((o.Self-s)%n + n) % n
+		m := recvMatch(p, o, c, true)
+		wire += m.WireSec
 		if vec != nil {
 			copy(vec[chunkLo(c):chunkHi(c)], m.Vec)
 		}
@@ -90,28 +178,16 @@ func b2f(b bool) float64 {
 	return 0
 }
 
-// TreeAllReduce performs a sum-AllReduce as a binomial reduce-to-root
-// followed by a binomial broadcast — the algorithm MPI implementations
-// prefer for small messages, where ring AllReduce's 2(N−1) latency hops
-// dominate. Each participant moves O(M·log N) bytes instead of the ring's
-// O(M) per link, so for large vectors the ring wins; see
-// BenchmarkAblationAllReduce for the crossover.
-//
-// Semantics mirror RingAllReduce: every participant calls it with the same
-// ids/kind, vec may be nil in cost-only mode, and the wire seconds of this
-// participant's receives are returned.
-func TreeAllReduce(p *des.Proc, net *simnet.Net, ids []int, self int, vec []float32, virtualLen int, totalBytes int64, kind int) des.Time {
-	n := len(ids)
+func treeAllReduce(p *des.Proc, o *CollectiveOpts) des.Time {
+	n := len(o.Nodes)
 	if n == 1 {
 		return 0
 	}
-	if vec != nil {
-		virtualLen = len(vec)
+	vec := o.Vec
+	if vec == nil && o.VirtualLen <= 0 {
+		panic("comm: tree allreduce needs a positive length")
 	}
-	if virtualLen <= 0 {
-		panic("comm: TreeAllReduce needs a positive length")
-	}
-	inbox := net.Node(ids[self]).Inbox
+	self := o.Self
 	var wire des.Time
 
 	send := func(to int) {
@@ -119,13 +195,11 @@ func TreeAllReduce(p *des.Proc, net *simnet.Net, ids []int, self int, vec []floa
 		if vec != nil {
 			payload = append([]float32(nil), vec...)
 		}
-		net.Send(simnet.Msg{From: ids[self], To: ids[to], Kind: kind, Bytes: totalBytes, Vec: payload})
+		o.Net.Send(simnet.Msg{From: o.Nodes[self], To: o.Nodes[to], Kind: o.Kind, Clock: o.Clock,
+			Bytes: o.Bytes, Vec: payload})
 	}
 	recv := func(add bool) {
-		m := inbox.Recv(p)
-		if m.Kind != kind {
-			panic(fmt.Sprintf("comm: tree allreduce got kind %d, want %d", m.Kind, kind))
-		}
+		m := recvMatch(p, o, 0, false)
 		wire += m.WireSec
 		if vec != nil && m.Vec != nil {
 			if add {
@@ -164,62 +238,97 @@ func TreeAllReduce(p *des.Proc, net *simnet.Net, ids []int, self int, vec []floa
 	return wire
 }
 
-// LocalGather implements the member side and leader side of intra-machine
-// gradient aggregation (the paper's "local aggregation"): every member
-// sends its vector to the group leader, which sums them into its own vec.
-// group lists the node IDs on one machine; self is the caller's index.
-// Members return immediately after sending (their wait happens when the
-// leader later broadcasts); the leader blocks until all members arrive.
-func LocalGather(p *des.Proc, net *simnet.Net, group []int, self int, vec []float32, totalBytes int64, kind int) des.Time {
-	if len(group) == 1 {
+func localGather(p *des.Proc, o *CollectiveOpts) des.Time {
+	if len(o.Nodes) == 1 {
 		return 0
 	}
 	const leader = 0
-	if self != leader {
+	if o.Self != leader {
 		var payload []float32
-		if vec != nil {
-			payload = append([]float32(nil), vec...)
+		if o.Vec != nil {
+			payload = append([]float32(nil), o.Vec...)
 		}
-		net.Send(simnet.Msg{From: group[self], To: group[leader], Kind: kind, Bytes: totalBytes, Vec: payload})
+		o.Net.Send(simnet.Msg{From: o.Nodes[o.Self], To: o.Nodes[leader], Kind: o.Kind, Clock: o.Clock,
+			Bytes: o.Bytes, Vec: payload})
 		return 0
 	}
-	inbox := net.Node(group[leader]).Inbox
 	var wire des.Time
-	for i := 0; i < len(group)-1; i++ {
-		m := inbox.Recv(p)
-		if m.Kind != kind {
-			panic(fmt.Sprintf("comm: local gather got kind %d, want %d", m.Kind, kind))
-		}
+	for i := 0; i < len(o.Nodes)-1; i++ {
+		m := recvMatch(p, o, 0, false)
 		wire += m.WireSec
-		if vec != nil && m.Vec != nil {
-			tensor.AxpyF32(1, m.Vec, vec)
+		if o.Vec != nil && m.Vec != nil {
+			tensor.AxpyF32(1, m.Vec, o.Vec)
 		}
 	}
 	return wire
 }
 
-// LocalBroadcast sends vec from the group leader to every member (leader
-// side), or receives it (member side), returning the received vector and
-// wire time. The leader's own vec is returned unchanged on the leader.
-func LocalBroadcast(p *des.Proc, net *simnet.Net, group []int, self int, vec []float32, totalBytes int64, kind int) ([]float32, des.Time) {
-	if len(group) == 1 {
-		return vec, 0
+func localBroadcast(p *des.Proc, o *CollectiveOpts) ([]float32, des.Time) {
+	if len(o.Nodes) == 1 {
+		return o.Vec, 0
 	}
 	const leader = 0
-	if self == leader {
-		for i := 1; i < len(group); i++ {
+	if o.Self == leader {
+		for i := 1; i < len(o.Nodes); i++ {
 			var payload []float32
-			if vec != nil {
-				payload = append([]float32(nil), vec...)
+			if o.Vec != nil {
+				payload = append([]float32(nil), o.Vec...)
 			}
-			net.Send(simnet.Msg{From: group[leader], To: group[i], Kind: kind, Bytes: totalBytes, Vec: payload})
+			o.Net.Send(simnet.Msg{From: o.Nodes[leader], To: o.Nodes[i], Kind: o.Kind, Clock: o.Clock,
+				Bytes: o.Bytes, Vec: payload})
 		}
-		return vec, 0
+		return o.Vec, 0
 	}
-	inbox := net.Node(group[self]).Inbox
-	m := inbox.Recv(p)
-	if m.Kind != kind {
-		panic(fmt.Sprintf("comm: local broadcast got kind %d, want %d", m.Kind, kind))
-	}
+	m := recvMatch(p, o, 0, false)
 	return m.Vec, m.WireSec
+}
+
+// RingAllReduce performs an in-place sum-AllReduce of vec across the
+// participants' nodes. Every participant must call it with the same ids and
+// kind; self is the caller's index into ids. vec may be nil in cost-only
+// mode, in which case virtualLen supplies the element count used for chunk
+// sizing. totalBytes is the wire size of the full vector.
+//
+// Returns the wire seconds accumulated by this participant's receives.
+//
+// Deprecated: use Collective with OpRingAllReduce.
+func RingAllReduce(p *des.Proc, net *simnet.Net, ids []int, self int, vec []float32, virtualLen int, totalBytes int64, kind int) des.Time {
+	_, wire := Collective(p, CollectiveOpts{Op: OpRingAllReduce, Net: net, Nodes: ids, Self: self,
+		Vec: vec, VirtualLen: virtualLen, Bytes: totalBytes, Kind: kind})
+	return wire
+}
+
+// TreeAllReduce performs a sum-AllReduce as a binomial reduce-to-root
+// followed by a binomial broadcast — the algorithm MPI implementations
+// prefer for small messages, where ring AllReduce's 2(N−1) latency hops
+// dominate. Each participant moves O(M·log N) bytes instead of the ring's
+// O(M) per link, so for large vectors the ring wins; see
+// BenchmarkAblationAllReduce for the crossover.
+//
+// Deprecated: use Collective with OpTreeAllReduce.
+func TreeAllReduce(p *des.Proc, net *simnet.Net, ids []int, self int, vec []float32, virtualLen int, totalBytes int64, kind int) des.Time {
+	_, wire := Collective(p, CollectiveOpts{Op: OpTreeAllReduce, Net: net, Nodes: ids, Self: self,
+		Vec: vec, VirtualLen: virtualLen, Bytes: totalBytes, Kind: kind})
+	return wire
+}
+
+// LocalGather implements the member side and leader side of intra-machine
+// gradient aggregation (the paper's "local aggregation"): every member
+// sends its vector to the group leader, which sums them into its own vec.
+//
+// Deprecated: use Collective with OpGather.
+func LocalGather(p *des.Proc, net *simnet.Net, group []int, self int, vec []float32, totalBytes int64, kind int) des.Time {
+	_, wire := Collective(p, CollectiveOpts{Op: OpGather, Net: net, Nodes: group, Self: self,
+		Vec: vec, Bytes: totalBytes, Kind: kind})
+	return wire
+}
+
+// LocalBroadcast sends vec from the group leader to every member (leader
+// side), or receives it (member side), returning the received vector and
+// wire time.
+//
+// Deprecated: use Collective with OpBroadcast.
+func LocalBroadcast(p *des.Proc, net *simnet.Net, group []int, self int, vec []float32, totalBytes int64, kind int) ([]float32, des.Time) {
+	return Collective(p, CollectiveOpts{Op: OpBroadcast, Net: net, Nodes: group, Self: self,
+		Vec: vec, Bytes: totalBytes, Kind: kind})
 }

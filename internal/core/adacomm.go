@@ -55,6 +55,13 @@ func runAdaComm(x *exp) {
 			var firstLoss float64
 			sinceSync := 0
 			for it := 1; it <= cfg.Iters; it++ {
+				// Fault schedules are rejected for AdaComm in Validate; the
+				// gate only serves context cancellation here.
+				nit, ok := x.gate(p, w, it)
+				if !ok {
+					break
+				}
+				it = nit
 				grads, _ := x.computePhase(p, w, false)
 				x.reps[w].localStep(grads, cfg.LR.At(it-1))
 				sinceSync++
@@ -105,7 +112,7 @@ func runAdaComm(x *exp) {
 					bd.Add(metrics.Network, wire)
 					bd.Add(metrics.GlobalAgg, p.Now()-t0-wire)
 				}
-				x.maybeEval(w, it)
+				x.iterDone(w, it)
 			}
 			x.finish(w)
 		})

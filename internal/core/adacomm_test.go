@@ -1,6 +1,9 @@
 package core
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func adaCommConfig(workers, iters int, seed uint64) Config {
 	cfg := realConfig(AdaComm, workers, iters, seed)
@@ -12,7 +15,7 @@ func TestAdaCommRunsCostOnly(t *testing.T) {
 	cfg := costConfig(EASGD, 8, 20)
 	cfg.Algo = AdaComm
 	cfg.Tau = 8
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,7 +25,7 @@ func TestAdaCommRunsCostOnly(t *testing.T) {
 }
 
 func TestAdaCommLearns(t *testing.T) {
-	res, err := Run(adaCommConfig(4, 150, 85))
+	res, err := Run(context.Background(), adaCommConfig(4, 150, 85))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,19 +40,19 @@ func TestAdaCommTrafficBetweenExtremes(t *testing.T) {
 	ada := costConfig(EASGD, 8, 40)
 	ada.Algo = AdaComm
 	ada.Tau = 8
-	rAda, err := Run(ada)
+	rAda, err := Run(context.Background(), ada)
 	if err != nil {
 		t.Fatal(err)
 	}
 	loose := costConfig(EASGD, 8, 40)
 	loose.Tau = 8
-	rLoose, err := Run(loose)
+	rLoose, err := Run(context.Background(), loose)
 	if err != nil {
 		t.Fatal(err)
 	}
 	tight := costConfig(EASGD, 8, 40)
 	tight.Tau = 1
-	rTight, err := Run(tight)
+	rTight, err := Run(context.Background(), tight)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,13 +65,13 @@ func TestAdaCommTrafficBetweenExtremes(t *testing.T) {
 func TestAdaCommBeatsFixedTauAccuracy(t *testing.T) {
 	// The point of adapting: tighter late-stage coupling should match or
 	// beat the fixed large period at equal τ0.
-	ada, err := Run(adaCommConfig(8, 150, 86))
+	ada, err := Run(context.Background(), adaCommConfig(8, 150, 86))
 	if err != nil {
 		t.Fatal(err)
 	}
 	fixed := realConfig(EASGD, 8, 150, 86)
 	fixed.Tau = 8
-	rf, err := Run(fixed)
+	rf, err := Run(context.Background(), fixed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +84,7 @@ func TestAdaCommValidation(t *testing.T) {
 	cfg := costConfig(EASGD, 4, 5)
 	cfg.Algo = AdaComm
 	cfg.Tau = 0
-	if _, err := Run(cfg); err == nil {
+	if _, err := Run(context.Background(), cfg); err == nil {
 		t.Fatal("tau 0 accepted")
 	}
 }

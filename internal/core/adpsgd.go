@@ -40,13 +40,22 @@ func runADPSGD(x *exp) {
 
 		// Compute process: train continuously on (possibly mid-averaging)
 		// local parameters, exactly the lock-free behavior AD-PSGD allows.
+		// A restart just pauses the token stream; the closing sentinel
+		// (pushed on completion or permanent death) retires the comm
+		// process.
 		x.eng.Spawn(fmt.Sprintf("adpsgd-compute%d", w), func(p *des.Proc) {
 			for it := 1; it <= cfg.Iters; it++ {
+				nit, ok := x.gate(p, w, it)
+				if !ok {
+					break
+				}
+				it = nit
 				grads, _ := x.computePhase(p, w, false)
 				x.reps[w].localStep(grads, cfg.LR.At(it-1))
 				tokens.Push(it)
-				x.maybeEval(w, it)
+				x.iterDone(w, it)
 			}
+			tokens.Push(-1)
 			x.finish(w)
 		})
 
@@ -58,9 +67,38 @@ func runADPSGD(x *exp) {
 				inbox := x.inbox(w)
 				bd := &x.col.Workers[w].Breakdown
 				r := x.algoRNG[w]
-				for it := 1; it <= cfg.Iters; it++ {
-					tokens.Recv(p)
-					peer := passive[r.Intn(len(passive))]
+				for {
+					it := tokens.Recv(p)
+					if it < 0 {
+						break
+					}
+					// Under fault injection the partner draw avoids peers
+					// that are dead (now or within the exchange's horizon)
+					// or partitioned away — AD-PSGD's natural elasticity.
+					cands := passive
+					if x.inj != nil {
+						now := p.Now()
+						mean := x.inj.MeanIterSec()
+						myM := cfg.Cluster.MachineOfWorker(w)
+						cands = nil
+						for _, pe := range passive {
+							if x.inj.DeadAt(pe, now) || x.inj.DeadAt(pe, now+mean) {
+								continue
+							}
+							if x.inj.Partitioned(now, myM, cfg.Cluster.MachineOfWorker(pe)) {
+								continue
+							}
+							cands = append(cands, pe)
+						}
+						if len(cands) == 0 {
+							x.col.Faults.SkippedExchanges++
+							continue
+						}
+						if len(cands) < len(passive) {
+							x.col.Faults.Redraws++
+						}
+					}
+					peer := cands[r.Intn(len(cands))]
 					var payload []float32
 					if x.reps[w].mathOn() {
 						payload = x.reps[w].params()
@@ -68,7 +106,18 @@ func runADPSGD(x *exp) {
 					x.net.Send(simnet.Msg{From: x.workerNode[w], To: x.workerNode[peer],
 						Kind: kindExchangeReq, Clock: it, Bytes: x.fullBytes(), Vec: payload})
 					t0 := p.Now()
-					m := inbox.Recv(p)
+					var m simnet.Msg
+					if x.inj != nil {
+						var ok bool
+						if m, ok = inbox.RecvTimeout(p, cfg.BarrierTimeoutSec); !ok {
+							// Request or reply lost in flight; skip the
+							// averaging and keep training.
+							x.col.Faults.Timeouts++
+							continue
+						}
+					} else {
+						m = inbox.Recv(p)
+					}
 					if m.Kind != kindExchangeReply {
 						panic(fmt.Sprintf("adpsgd active: unexpected kind %d", m.Kind))
 					}
@@ -88,6 +137,12 @@ func runADPSGD(x *exp) {
 					m := inbox.Recv(p)
 					if m.Kind != kindExchangeReq {
 						panic(fmt.Sprintf("adpsgd passive: unexpected kind %d", m.Kind))
+					}
+					if x.inj != nil && x.inj.DeadAt(w, p.Now()) {
+						// A dead peer answers nothing; the active side's
+						// timeout absorbs the loss.
+						x.col.Faults.SkippedExchanges++
+						continue
 					}
 					var payload []float32
 					if x.reps[w].mathOn() {
@@ -121,10 +176,18 @@ func runADPSGDUnconstrained(x *exp) {
 
 		x.eng.Spawn(fmt.Sprintf("adpsgd-compute%d", w), func(p *des.Proc) {
 			for it := 1; it <= cfg.Iters; it++ {
+				// Fault schedules are rejected for the no-bipartite
+				// ablation in Validate; the gate only serves context
+				// cancellation here.
+				nit, ok := x.gate(p, w, it)
+				if !ok {
+					break
+				}
+				it = nit
 				grads, _ := x.computePhase(p, w, false)
 				x.reps[w].localStep(grads, cfg.LR.At(it-1))
 				tokens.Push(it)
-				x.maybeEval(w, it)
+				x.iterDone(w, it)
 			}
 			x.finish(w)
 		})

@@ -6,6 +6,7 @@ import (
 	"disttrain/internal/comm"
 	"disttrain/internal/des"
 	"disttrain/internal/metrics"
+	"disttrain/internal/simnet"
 )
 
 // runARSGD implements decentralized synchronous AllReduce SGD (Section
@@ -22,10 +23,9 @@ import (
 func runARSGD(x *exp) {
 	cfg := x.cfg
 	W := cfg.Workers
-	nodes := append([]int(nil), x.workerNode...)
-	allReduce := comm.RingAllReduce
+	op := comm.OpRingAllReduce
 	if cfg.TreeAllReduce {
-		allReduce = comm.TreeAllReduce
+		op = comm.OpTreeAllReduce
 	}
 	half := x.vecLen / 2
 	if half == 0 {
@@ -36,13 +36,38 @@ func runARSGD(x *exp) {
 		w := w
 		x.eng.Spawn(fmt.Sprintf("arsgd-worker%d", w), func(p *des.Proc) {
 			bd := &x.col.Workers[w].Breakdown
-			inv := 1 / float32(W)
+			// With fault injection the ring membership can change between
+			// rounds, so a fast peer's next-round chunk may overtake the
+			// current round's traffic; the per-round Clock tag plus this
+			// stash keeps every round's messages separated.
+			var stash []simnet.Msg
+			stashP := &stash
+			if x.inj == nil {
+				stashP = nil // strict fixed-membership discipline
+			}
 			for it := 1; it <= cfg.Iters; it++ {
+				nit, ok := x.barrierGate(p, w, it)
+				if !ok {
+					break
+				}
+				it = nit
+				// Elastic mode shrinks the ring to this round's survivors;
+				// faithful mode keeps every rank a member, so a dead peer
+				// stalls the ring — AR-SGD's collapse under a crash.
+				nodes, self := x.aliveNodes(it, w)
+				inv := 1 / float32(len(nodes))
 				grads, j := x.computePhase(p, w, cfg.WaitFreeBP)
 
 				var agg []float32
 				if grads != nil {
 					agg = append([]float32(nil), grads...)
+				}
+				reduce := func(vec []float32, vlen int) des.Time {
+					_, wire := comm.Collective(p, comm.CollectiveOpts{
+						Op: op, Net: x.net, Nodes: nodes, Self: self,
+						Vec: vec, VirtualLen: vlen, Bytes: x.bytesFor(vlen),
+						Kind: kindAllReduce, Clock: it, Stash: stashP})
+					return wire
 				}
 
 				if cfg.WaitFreeBP && x.vecLen > 1 {
@@ -61,8 +86,7 @@ func runARSGD(x *exp) {
 					if agg != nil {
 						hi = agg[half:]
 					}
-					wire := allReduce(p, x.net, nodes, w, hi,
-						x.vecLen-half, x.bytesFor(x.vecLen-half), kindAllReduce)
+					wire := reduce(hi, x.vecLen-half)
 					bd.Add(metrics.Network, wire)
 					bd.Add(metrics.GlobalAgg, p.Now()-t0-wire)
 					if rem := bwd/2 - (p.Now() - t0); rem > 0 {
@@ -75,14 +99,12 @@ func runARSGD(x *exp) {
 					if agg != nil {
 						lo = agg[:half]
 					}
-					wire = allReduce(p, x.net, nodes, w, lo,
-						half, x.bytesFor(half), kindAllReduce)
+					wire = reduce(lo, half)
 					bd.Add(metrics.Network, wire)
 					bd.Add(metrics.GlobalAgg, p.Now()-t1-wire)
 				} else {
 					t0 := p.Now()
-					wire := allReduce(p, x.net, nodes, w, agg,
-						x.vecLen, x.fullBytes(), kindAllReduce)
+					wire := reduce(agg, x.vecLen)
 					bd.Add(metrics.Network, wire)
 					bd.Add(metrics.GlobalAgg, p.Now()-t0-wire)
 				}
@@ -93,7 +115,7 @@ func runARSGD(x *exp) {
 					}
 				}
 				x.reps[w].localStep(agg, cfg.LR.At(it-1))
-				x.maybeEval(w, it)
+				x.iterDone(w, it)
 			}
 			x.finish(w)
 		})

@@ -5,6 +5,7 @@ import (
 
 	"disttrain/internal/des"
 	"disttrain/internal/metrics"
+	"disttrain/internal/simnet"
 )
 
 // runASP implements Asynchronous Parallel training (Section III-B): each PS
@@ -60,6 +61,11 @@ func runASP(x *exp) {
 			inbox := x.inbox(w)
 			bd := &x.col.Workers[w].Breakdown
 			for it := 1; it <= cfg.Iters; it++ {
+				nit, ok := x.gate(p, w, it)
+				if !ok {
+					break
+				}
+				it = nit
 				grads, j := x.computePhase(p, w, cfg.WaitFreeBP)
 				x.sendGrads(p, w, it, grads, true, j, cfg.WaitFreeBP)
 
@@ -70,7 +76,19 @@ func runASP(x *exp) {
 					fresh = x.reps[w].params()
 				}
 				for recv := 0; recv < len(x.assign); recv++ {
-					m := inbox.Recv(p)
+					var m simnet.Msg
+					if x.inj != nil {
+						// A dropped gradient or reply must not wedge an
+						// asynchronous worker: give up after the timeout
+						// and train on with the stale shard params.
+						var okr bool
+						if m, okr = inbox.RecvTimeout(p, cfg.BarrierTimeoutSec); !okr {
+							x.col.Faults.Timeouts++
+							break
+						}
+					} else {
+						m = inbox.Recv(p)
+					}
 					if m.Kind != kindParams {
 						panic(fmt.Sprintf("asp worker: unexpected kind %d", m.Kind))
 					}
@@ -84,7 +102,7 @@ func runASP(x *exp) {
 				bd.Add(metrics.Network, wire)
 				bd.Add(metrics.GlobalAgg, p.Now()-t0-wire)
 				x.reps[w].setParams(fresh)
-				x.maybeEval(w, it)
+				x.iterDone(w, it)
 			}
 			x.finish(w)
 		})

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -20,7 +21,7 @@ func TestSyncAlgorithmsBoundSpread(t *testing.T) {
 		cfg := costConfig(algo, 8, 20)
 		cfg.Workload.GPU.StragglerProb = 0.2
 		cfg.Workload.GPU.StragglerMult = 5
-		res, err := Run(cfg)
+		res, err := Run(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -40,7 +41,7 @@ func TestSSPBoundsSpreadASPDoesNot(t *testing.T) {
 		cfg.Workload.GPU.StragglerMult = 8
 		return cfg
 	}
-	ssp, err := Run(mk(SSP, 2))
+	ssp, err := Run(context.Background(), mk(SSP, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestSSPBoundsSpreadASPDoesNot(t *testing.T) {
 	if ssp.Metrics.MaxSpread > 2+2 {
 		t.Fatalf("SSP(s=2) spread = %d", ssp.Metrics.MaxSpread)
 	}
-	asp, err := Run(mk(ASP, 0))
+	asp, err := Run(context.Background(), mk(ASP, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestStragglersHurtSyncMoreThanAsync(t *testing.T) {
 			cfg.Workload.GPU.StragglerProb = 0.1
 			cfg.Workload.GPU.StragglerMult = 6
 		}
-		res, err := Run(cfg)
+		res, err := Run(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -90,7 +91,7 @@ func TestStragglersHurtSyncMoreThanAsync(t *testing.T) {
 func TestADPSGDUnconstrainedDeadlocks(t *testing.T) {
 	naive := costConfig(ADPSGD, 6, 30)
 	naive.ADPSGDNoBipartite = true
-	res, err := Run(naive)
+	res, err := Run(context.Background(), naive)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestADPSGDUnconstrainedDeadlocks(t *testing.T) {
 		t.Fatalf("expected deadlocked comm processes, stuck = %v", res.StuckProcs)
 	}
 
-	bipartite, err := Run(costConfig(ADPSGD, 6, 30))
+	bipartite, err := Run(context.Background(), costConfig(ADPSGD, 6, 30))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,13 +120,13 @@ func TestADPSGDUnconstrainedDeadlocks(t *testing.T) {
 // gradient bytes drop ~4x and the model still trains.
 func TestQuantize8ReducesTrafficKeepsAccuracy(t *testing.T) {
 	base := realConfig(BSP, 4, 150, 31)
-	r1, err := Run(base)
+	r1, err := Run(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	q := realConfig(BSP, 4, 150, 31)
 	q.Quantize8 = true
-	r2, err := Run(q)
+	r2, err := Run(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,19 +142,19 @@ func TestQuantize8ReducesTrafficKeepsAccuracy(t *testing.T) {
 func TestQuantize8Validation(t *testing.T) {
 	cfg := costConfig(EASGD, 4, 5)
 	cfg.Quantize8 = true
-	if _, err := Run(cfg); err == nil {
+	if _, err := Run(context.Background(), cfg); err == nil {
 		t.Fatal("quantization on parameter-sending algorithm accepted")
 	}
 	cfg2 := costConfig(ASP, 4, 5)
 	cfg2.Quantize8 = true
 	d := grad.DefaultDGC(0.9, 0)
 	cfg2.DGC = &d
-	if _, err := Run(cfg2); err == nil {
+	if _, err := Run(context.Background(), cfg2); err == nil {
 		t.Fatal("DGC + quantization accepted")
 	}
 	cfg3 := costConfig(ASP, 4, 5)
 	cfg3.ADPSGDNoBipartite = true
-	if _, err := Run(cfg3); err == nil {
+	if _, err := Run(context.Background(), cfg3); err == nil {
 		t.Fatal("NoBipartite on ASP accepted")
 	}
 }
@@ -165,13 +166,13 @@ func TestStragglerSampling(t *testing.T) {
 	wl.GPU.StragglerMult = 10
 	cfg := costConfig(BSP, 4, 30)
 	cfg.Workload = wl
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// With half the iterations 10x slower, the run must take far longer
 	// than the straggler-free baseline.
-	clean, err := Run(costConfig(BSP, 4, 30))
+	clean, err := Run(context.Background(), costConfig(BSP, 4, 30))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,11 +187,11 @@ func TestStragglerSampling(t *testing.T) {
 // better": the per-machine NIC load spread of AD-PSGD must be far more even
 // than unsharded ASP's PS hot spot.
 func TestDecentralizedTrafficIsLessBursty(t *testing.T) {
-	asp, err := Run(costConfig(ASP, 16, 15))
+	asp, err := Run(context.Background(), costConfig(ASP, 16, 15))
 	if err != nil {
 		t.Fatal(err)
 	}
-	ad, err := Run(costConfig(ADPSGD, 16, 15))
+	ad, err := Run(context.Background(), costConfig(ADPSGD, 16, 15))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,13 +210,13 @@ func TestDecentralizedTrafficIsLessBursty(t *testing.T) {
 // different traffic (tree moves O(M log N) per round vs the ring's 2M(N-1)
 // total).
 func TestTreeAllReduceOption(t *testing.T) {
-	ring, err := Run(realConfig(ARSGD, 4, 60, 81))
+	ring, err := Run(context.Background(), realConfig(ARSGD, 4, 60, 81))
 	if err != nil {
 		t.Fatal(err)
 	}
 	treeCfg := realConfig(ARSGD, 4, 60, 81)
 	treeCfg.TreeAllReduce = true
-	tree, err := Run(treeCfg)
+	tree, err := Run(context.Background(), treeCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +231,7 @@ func TestTreeAllReduceOption(t *testing.T) {
 func TestTreeAllReduceValidation(t *testing.T) {
 	cfg := costConfig(BSP, 4, 5)
 	cfg.TreeAllReduce = true
-	if _, err := Run(cfg); err == nil {
+	if _, err := Run(context.Background(), cfg); err == nil {
 		t.Fatal("tree allreduce accepted on BSP")
 	}
 }
@@ -241,14 +242,14 @@ func TestTreeAllReduceValidation(t *testing.T) {
 func TestStalenessDampingImprovesASP(t *testing.T) {
 	base := realConfig(ASP, 8, 80, 82)
 	base.LR = baseLRSchedule(0.4) // deliberately hot to expose staleness
-	r1, err := Run(base)
+	r1, err := Run(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	damped := realConfig(ASP, 8, 80, 82)
 	damped.LR = baseLRSchedule(0.4)
 	damped.StalenessDamping = true
-	r2, err := Run(damped)
+	r2, err := Run(context.Background(), damped)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +261,7 @@ func TestStalenessDampingImprovesASP(t *testing.T) {
 func TestStalenessDampingValidation(t *testing.T) {
 	cfg := costConfig(BSP, 4, 5)
 	cfg.StalenessDamping = true
-	if _, err := Run(cfg); err == nil {
+	if _, err := Run(context.Background(), cfg); err == nil {
 		t.Fatal("staleness damping accepted on BSP")
 	}
 }
@@ -287,11 +288,11 @@ func TestAugmentationWiredThrough(t *testing.T) {
 		}
 		return cfg
 	}
-	plain, err := Run(shapes(false))
+	plain, err := Run(context.Background(), shapes(false))
 	if err != nil {
 		t.Fatal(err)
 	}
-	aug, err := Run(shapes(true))
+	aug, err := Run(context.Background(), shapes(true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,13 +310,13 @@ func TestAugmentationWiredThrough(t *testing.T) {
 func TestGoSGDSenderNeverBlocks(t *testing.T) {
 	quiet := costConfig(GoSGD, 8, 25)
 	quiet.GossipP = 0.01
-	r1, err := Run(quiet)
+	r1, err := Run(context.Background(), quiet)
 	if err != nil {
 		t.Fatal(err)
 	}
 	chatty := costConfig(GoSGD, 8, 25)
 	chatty.GossipP = 1
-	r2, err := Run(chatty)
+	r2, err := Run(context.Background(), chatty)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,7 +332,7 @@ func TestGoSGDSenderNeverBlocks(t *testing.T) {
 func TestEASGDDefaultMovingRate(t *testing.T) {
 	cfg := costConfig(EASGD, 8, 5)
 	cfg.MovingRate = 0
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,11 +352,11 @@ func TestASPNoBarrier(t *testing.T) {
 		cfg.Workload.GPU.StragglerMult = 10
 		return cfg
 	}
-	asp, err := Run(mk(ASP))
+	asp, err := Run(context.Background(), mk(ASP))
 	if err != nil {
 		t.Fatal(err)
 	}
-	bsp, err := Run(mk(BSP))
+	bsp, err := Run(context.Background(), mk(BSP))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -37,27 +37,53 @@ func runBSP(x *exp) {
 		senders = len(leaders)
 	}
 
+	// Elastic fault mode re-derives each round's sender count from the
+	// crash schedule (every process evaluates the same pure membership
+	// function) and gives up on senders whose messages were lost to drop or
+	// partition faults after the barrier timeout. Faithful mode keeps the
+	// full-membership blocking barrier, reproducing BSP's throughput
+	// collapse when a worker dies.
+	elastic := x.inj != nil && cfg.Elastic
+
 	// Shard processes: one synchronous aggregation round per iteration.
 	for s := range x.assign {
 		s := s
 		x.eng.Spawn(fmt.Sprintf("bsp-ps%d", s), func(p *des.Proc) {
 			inbox := x.psInbox(s)
 			for it := 0; it < cfg.Iters; it++ {
+				expect := senders
+				scale := 1 / float32(W)
+				if elastic && !cfg.LocalAgg {
+					expect = x.aliveCount(it + 1)
+					if expect == 0 {
+						continue // nobody runs this round
+					}
+					scale = 1 / float32(expect)
+				}
 				var agg []float32
 				if x.global.MathOn() {
 					agg = make([]float32, x.vecLen)
 				}
-				recipients := make([]int, 0, senders)
+				recipients := make([]int, 0, expect)
 				lr := cfg.LR.At(it)
-				for i := 0; i < senders; i++ {
-					m := inbox.Recv(p)
+				for i := 0; i < expect; i++ {
+					var m simnet.Msg
+					if elastic {
+						var ok bool
+						if m, ok = inbox.RecvTimeout(p, cfg.BarrierTimeoutSec); !ok {
+							x.col.Faults.Timeouts++
+							break // proceed with whoever arrived
+						}
+					} else {
+						m = inbox.Recv(p)
+					}
 					psAggSleep(p, m.Bytes)
 					switch m.Kind {
 					case kindSparseGrad:
 						// DGC: plain sparse step per message; linearity
-						// makes scale-1/W-per-message equal to one
+						// makes scale-per-message equal to one
 						// aggregated step.
-						x.global.ApplySparse(m.SparseIdx, m.Vec, 1/float32(W), lr)
+						x.global.ApplySparse(m.SparseIdx, m.Vec, scale, lr)
 					case kindGrad:
 						if agg != nil && m.Vec != nil {
 							addRanges(agg, m.Vec, x.assign[s])
@@ -68,7 +94,7 @@ func runBSP(x *exp) {
 					recipients = append(recipients, m.From)
 				}
 				if cfg.DGC == nil {
-					x.global.ApplyGrad(x.assign[s], agg, 1/float32(W), lr)
+					x.global.ApplyGrad(x.assign[s], agg, scale, lr)
 				}
 				for _, node := range recipients {
 					x.net.Send(x.snapshotMsg(s, node))
@@ -89,6 +115,11 @@ func runBSP(x *exp) {
 			bd := &x.col.Workers[w].Breakdown
 
 			for it := 1; it <= cfg.Iters; it++ {
+				nit, ok := x.barrierGate(p, w, it)
+				if !ok {
+					break
+				}
+				it = nit
 				// Wait-free BP only helps when the worker's own backward
 				// pass feeds the PS sends directly; with local aggregation
 				// the gather barrier sits in between, so the backward must
@@ -104,7 +135,9 @@ func runBSP(x *exp) {
 							aggVec = append([]float32(nil), grads...)
 						}
 						t0 := p.Now()
-						wire := comm.LocalGather(p, x.net, group, selfInGroup, aggVec, x.fullBytes(), kindLocalGather)
+						_, wire := comm.Collective(p, comm.CollectiveOpts{
+							Op: comm.OpGather, Net: x.net, Nodes: group, Self: selfInGroup,
+							Vec: aggVec, Bytes: x.fullBytes(), Kind: kindLocalGather})
 						bd.Add(metrics.Network, wire)
 						bd.Add(metrics.LocalAgg, p.Now()-t0-wire)
 						x.gatherDoneAt[machine] = p.Now()
@@ -116,8 +149,9 @@ func runBSP(x *exp) {
 						if grads != nil {
 							payload = append([]float32(nil), grads...)
 						}
-						x.net.Send(simnet.Msg{From: x.workerNode[w], To: x.workerNode[leaderOf[w]],
-							Kind: kindLocalGather, Bytes: x.fullBytes(), Vec: payload})
+						comm.Collective(p, comm.CollectiveOpts{
+							Op: comm.OpGather, Net: x.net, Nodes: group, Self: selfInGroup,
+							Vec: payload, Bytes: x.fullBytes(), Kind: kindLocalGather})
 					}
 				}
 
@@ -132,7 +166,16 @@ func runBSP(x *exp) {
 						fresh = x.reps[w].params()
 					}
 					for recv := 0; recv < len(x.assign); recv++ {
-						m := inbox.Recv(p)
+						var m simnet.Msg
+						if elastic {
+							var okr bool
+							if m, okr = inbox.RecvTimeout(p, cfg.BarrierTimeoutSec); !okr {
+								x.col.Faults.Timeouts++
+								break // reply lost; keep the stale shard params
+							}
+						} else {
+							m = inbox.Recv(p)
+						}
 						if m.Kind != kindParams {
 							panic(fmt.Sprintf("bsp worker: unexpected kind %d", m.Kind))
 						}
@@ -154,7 +197,9 @@ func runBSP(x *exp) {
 						if len(fresh) > 0 {
 							payload = fresh
 						}
-						comm.LocalBroadcast(p, x.net, group, selfInGroup, payload, x.fullBytes(), kindLocalBcast)
+						comm.Collective(p, comm.CollectiveOpts{
+							Op: comm.OpBroadcast, Net: x.net, Nodes: group, Self: selfInGroup,
+							Vec: payload, Bytes: x.fullBytes(), Kind: kindLocalBcast})
 					}
 				} else {
 					// Member: block for the leader's broadcast.
@@ -179,7 +224,7 @@ func runBSP(x *exp) {
 					}
 					x.reps[w].setParams(m.Vec)
 				}
-				x.maybeEval(w, it)
+				x.iterDone(w, it)
 			}
 			x.finish(w)
 		})

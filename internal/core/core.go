@@ -25,6 +25,7 @@ import (
 	"disttrain/internal/cluster"
 	"disttrain/internal/costmodel"
 	"disttrain/internal/data"
+	"disttrain/internal/fault"
 	"disttrain/internal/grad"
 	"disttrain/internal/metrics"
 	"disttrain/internal/nn"
@@ -161,6 +162,24 @@ type Config struct {
 	// (compute spans per worker, message spans per machine); write it out
 	// with Tracer.WriteJSON and open in chrome://tracing or Perfetto.
 	Tracer *trace.Tracer
+	// Faults, when non-nil and non-empty, injects the scheduled faults
+	// (crashes, slowdowns, link degradation, drops, partitions) into the
+	// run. The whole schedule is seed-reproducible: identical Config +
+	// schedule gives a bit-identical run. Not supported for the DPSGD,
+	// AdaComm and Hogwild extensions, nor combined with LocalAgg when the
+	// schedule contains crashes.
+	Faults *fault.Schedule
+	// Elastic makes membership-based barriers survive crashes: BSP shards
+	// and AR-SGD rings exclude workers known dead for the round, and SSP's
+	// staleness bound skips dead workers' frozen clocks. Without it the
+	// synchronous algorithms stall at a dead worker's barrier — the
+	// faithful behavior, and the paper-consistent contrast with the
+	// decentralized algorithms, which route around death either way.
+	Elastic bool
+	// BarrierTimeoutSec bounds fault-mode receive waits (the backstop that
+	// rides out dropped or partitioned messages); 0 = 5x the workload's
+	// mean iteration time.
+	BarrierTimeoutSec float64
 	// ADPSGDNoBipartite disables AD-PSGD's bipartite partner graph
 	// (ablation): workers initiate symmetric exchanges with arbitrary peers
 	// and hold their reply until their own exchange completes — the naive
@@ -283,6 +302,27 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("core: RealConfig.Batch = %d", r.Batch)
 		}
 	}
+	if c.BarrierTimeoutSec < 0 {
+		return fmt.Errorf("core: BarrierTimeoutSec = %v", c.BarrierTimeoutSec)
+	}
+	if c.BarrierTimeoutSec == 0 {
+		c.BarrierTimeoutSec = 5 * c.Workload.MeanIterSec()
+	}
+	if !c.Faults.Empty() {
+		switch c.Algo {
+		case DPSGD, AdaComm, Hogwild:
+			return fmt.Errorf("core: fault injection is not supported for %s", c.Algo)
+		}
+		if c.ADPSGDNoBipartite {
+			return fmt.Errorf("core: fault injection is not supported for the AD-PSGD no-bipartite ablation")
+		}
+		if err := c.Faults.Validate(c.Workers, c.Cluster.Machines); err != nil {
+			return err
+		}
+		if c.LocalAgg && c.Faults.HasKind(fault.Crash) {
+			return fmt.Errorf("core: local aggregation cannot be combined with crash faults (leader death is undefined)")
+		}
+	}
 	return nil
 }
 
@@ -314,6 +354,12 @@ type Result struct {
 	// StuckProcs names the simulated processes still blocked when the
 	// experiment drained. Server loops (PS shards, passive peers) are
 	// normal here; stuck *worker/comm* processes indicate a protocol
-	// deadlock (see the AD-PSGD bipartite ablation).
+	// deadlock (see the AD-PSGD bipartite ablation) — or, under fault
+	// injection, workers stranded at a dead peer's barrier.
 	StuckProcs []string
+	// StalledWorkers counts workers that never completed their final
+	// iteration (stranded at a barrier by a fault). When non-zero the run
+	// effectively hung, so Throughput is reported as 0; per-worker partial
+	// iteration counts remain in Metrics.
+	StalledWorkers int
 }

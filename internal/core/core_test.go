@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -56,7 +57,7 @@ func realConfig(algo Algo, workers, iters int, seed uint64) Config {
 
 func TestAllAlgorithmsRunCostOnly(t *testing.T) {
 	for _, algo := range Algos() {
-		res, err := Run(costConfig(algo, 8, 10))
+		res, err := Run(context.Background(), costConfig(algo, 8, 10))
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
@@ -79,7 +80,7 @@ func TestAllAlgorithmsLearnReal(t *testing.T) {
 		algo := algo
 		t.Run(string(algo), func(t *testing.T) {
 			cfg := realConfig(algo, 4, 150, 11)
-			res, err := Run(cfg)
+			res, err := Run(context.Background(), cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -92,11 +93,11 @@ func TestAllAlgorithmsLearnReal(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	for _, algo := range []Algo{BSP, ASP, ADPSGD} {
-		r1, err := Run(realConfig(algo, 4, 40, 5))
+		r1, err := Run(context.Background(), realConfig(algo, 4, 40, 5))
 		if err != nil {
 			t.Fatal(err)
 		}
-		r2, err := Run(realConfig(algo, 4, 40, 5))
+		r2, err := Run(context.Background(), realConfig(algo, 4, 40, 5))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -117,11 +118,11 @@ func TestBSPEqualsARSGD(t *testing.T) {
 	// (AllReduce, averaged gradient, per-worker identical optimizers) are
 	// the same algorithm mathematically; with the same seed they must
 	// produce near-identical trajectories (up to float32 summation order).
-	b, err := Run(realConfig(BSP, 4, 60, 3))
+	b, err := Run(context.Background(), realConfig(BSP, 4, 60, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := Run(realConfig(ARSGD, 4, 60, 3))
+	a, err := Run(context.Background(), realConfig(ARSGD, 4, 60, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestSingleWorkerDegeneratesToSGD(t *testing.T) {
 	var accs []float64
 	for _, algo := range []Algo{BSP, ASP, SSP} {
 		cfg := realConfig(algo, 1, 80, 9)
-		res, err := Run(cfg)
+		res, err := Run(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -161,7 +162,7 @@ func TestCommComplexityTable1(t *testing.T) {
 	N := float64(workers)
 
 	measure := func(cfg Config) float64 {
-		res, err := Run(cfg)
+		res, err := Run(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -187,7 +188,7 @@ func TestCommComplexityTable1(t *testing.T) {
 	// traffic).
 	bspLocal := costConfig(BSP, workers, iters)
 	bspLocal.LocalAgg = true
-	resLocal, err := Run(bspLocal)
+	resLocal, err := Run(context.Background(), bspLocal)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestCommComplexityTable1(t *testing.T) {
 func TestSSPZeroStalenessPullsEveryIteration(t *testing.T) {
 	cfg := costConfig(SSP, 4, 20)
 	cfg.Staleness = 0
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +243,7 @@ func TestSSPZeroStalenessPullsEveryIteration(t *testing.T) {
 func TestEASGDCommunicatesOnlyEveryTau(t *testing.T) {
 	cfg := costConfig(EASGD, 4, 16)
 	cfg.Tau = 8
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +258,7 @@ func TestEASGDCommunicatesOnlyEveryTau(t *testing.T) {
 
 func TestADPSGDNoDeadlockUnderLoad(t *testing.T) {
 	// The bipartite split must keep 24 workers deadlock-free.
-	res, err := Run(costConfig(ADPSGD, 24, 15))
+	res, err := Run(context.Background(), costConfig(ADPSGD, 24, 15))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,14 +270,14 @@ func TestADPSGDNoDeadlockUnderLoad(t *testing.T) {
 func TestWaitFreeBPNotSlower(t *testing.T) {
 	base := costConfig(ASP, 8, 20)
 	base.Sharding = ShardLayerWise
-	res1, err := Run(base)
+	res1, err := Run(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	wfbp := costConfig(ASP, 8, 20)
 	wfbp.Sharding = ShardLayerWise
 	wfbp.WaitFreeBP = true
-	res2, err := Run(wfbp)
+	res2, err := Run(context.Background(), wfbp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,14 +288,14 @@ func TestWaitFreeBPNotSlower(t *testing.T) {
 
 func TestDGCReducesTraffic(t *testing.T) {
 	base := costConfig(ASP, 8, 20)
-	res1, err := Run(base)
+	res1, err := Run(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	dgc := costConfig(ASP, 8, 20)
 	d := grad.DefaultDGC(0.9, 0)
 	dgc.DGC = &d
-	res2, err := Run(dgc)
+	res2, err := Run(context.Background(), dgc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,14 +308,14 @@ func TestDGCReducesTraffic(t *testing.T) {
 
 func TestDGCPreservesAccuracy(t *testing.T) {
 	base := realConfig(BSP, 4, 200, 21)
-	r1, err := Run(base)
+	r1, err := Run(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	withDGC := realConfig(BSP, 4, 200, 21)
 	d := grad.DGCConfig{Ratio: 0.05, Momentum: 0.9, ClipNorm: 4, WarmupIters: 40}
 	withDGC.DGC = &d
-	r2, err := Run(withDGC)
+	r2, err := Run(context.Background(), withDGC)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,14 +328,14 @@ func TestShardingSpeedsUpASP(t *testing.T) {
 	slow := costConfig(ASP, 16, 15)
 	slow.Cluster = cluster.Paper10G(16)
 	slow.Sharding = ShardNone
-	r1, err := Run(slow)
+	r1, err := Run(context.Background(), slow)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sharded := costConfig(ASP, 16, 15)
 	sharded.Cluster = cluster.Paper10G(16)
 	sharded.Sharding = ShardLayerWise
-	r2, err := Run(sharded)
+	r2, err := Run(context.Background(), sharded)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,11 +352,11 @@ func TestBalancedShardingBeatsLayerWiseOnVGG(t *testing.T) {
 		cfg.Sharding = s
 		return cfg
 	}
-	lw, err := Run(mk(ShardLayerWise))
+	lw, err := Run(context.Background(), mk(ShardLayerWise))
 	if err != nil {
 		t.Fatal(err)
 	}
-	bal, err := Run(mk(ShardBalanced))
+	bal, err := Run(context.Background(), mk(ShardBalanced))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -376,11 +377,11 @@ func TestPSBottleneckASPSlowOn10G(t *testing.T) {
 		}
 		return cfg
 	}
-	asp, err := Run(mk(ASP))
+	asp, err := Run(context.Background(), mk(ASP))
 	if err != nil {
 		t.Fatal(err)
 	}
-	bsp, err := Run(mk(BSP))
+	bsp, err := Run(context.Background(), mk(BSP))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -397,7 +398,7 @@ func TestBandwidthHelpsASPMoreThanBSP(t *testing.T) {
 		if algo == BSP {
 			cfg.LocalAgg = true
 		}
-		res, err := Run(cfg)
+		res, err := Run(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -414,7 +415,7 @@ func TestBreakdownRecorded(t *testing.T) {
 	cfg := costConfig(BSP, 8, 10)
 	cfg.LocalAgg = true
 	cfg.Sharding = ShardLayerWise
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -446,7 +447,7 @@ func TestValidationErrors(t *testing.T) {
 		func() Config { c := costConfig(BSP, 4, 0); return c }(),
 	}
 	for i, cfg := range bad {
-		if _, err := Run(cfg); err == nil {
+		if _, err := Run(context.Background(), cfg); err == nil {
 			t.Fatalf("bad config %d accepted", i)
 		}
 	}
@@ -455,13 +456,13 @@ func TestValidationErrors(t *testing.T) {
 func TestGossipLowPReducesTraffic(t *testing.T) {
 	high := costConfig(GoSGD, 8, 40)
 	high.GossipP = 1
-	rHigh, err := Run(high)
+	rHigh, err := Run(context.Background(), high)
 	if err != nil {
 		t.Fatal(err)
 	}
 	low := costConfig(GoSGD, 8, 40)
 	low.GossipP = 0.1
-	rLow, err := Run(low)
+	rLow, err := Run(context.Background(), low)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -497,11 +498,11 @@ func TestDeterminismAllAlgorithms(t *testing.T) {
 				}
 				return cfg
 			}
-			r1, err := Run(mk())
+			r1, err := Run(context.Background(), mk())
 			if err != nil {
 				t.Fatal(err)
 			}
-			r2, err := Run(mk())
+			r2, err := Run(context.Background(), mk())
 			if err != nil {
 				t.Fatal(err)
 			}

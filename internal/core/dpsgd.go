@@ -34,6 +34,13 @@ func runDPSGD(x *exp) {
 			right := (w + 1) % W
 			var stash []simnet.Msg
 			for it := 1; it <= cfg.Iters; it++ {
+				// Fault schedules are rejected for DPSGD in Validate; the
+				// gate only serves context cancellation here.
+				nit, ok := x.gate(p, w, it)
+				if !ok {
+					break
+				}
+				it = nit
 				grads, _ := x.computePhase(p, w, false)
 
 				if W > 1 {
@@ -106,7 +113,7 @@ func runDPSGD(x *exp) {
 				}
 
 				x.reps[w].localStep(grads, cfg.LR.At(it-1))
-				x.maybeEval(w, it)
+				x.iterDone(w, it)
 			}
 			x.finish(w)
 		})

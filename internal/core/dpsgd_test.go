@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"disttrain/internal/costmodel"
@@ -8,7 +9,7 @@ import (
 
 func TestDPSGDRunsCostOnly(t *testing.T) {
 	for _, w := range []int{1, 2, 3, 8} {
-		res, err := Run(costConfig(DPSGD, w, 10))
+		res, err := Run(context.Background(), costConfig(DPSGD, w, 10))
 		if err != nil {
 			t.Fatalf("w=%d: %v", w, err)
 		}
@@ -19,7 +20,7 @@ func TestDPSGDRunsCostOnly(t *testing.T) {
 }
 
 func TestDPSGDLearns(t *testing.T) {
-	res, err := Run(realConfig(DPSGD, 4, 150, 17))
+	res, err := Run(context.Background(), realConfig(DPSGD, 4, 150, 17))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func TestDPSGDIsSynchronous(t *testing.T) {
 	cfg := costConfig(DPSGD, 8, 25)
 	cfg.Workload.GPU.StragglerProb = 0.2
 	cfg.Workload.GPU.StragglerMult = 5
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestDPSGDCommComplexity(t *testing.T) {
 	// Each worker sends 2M per iteration: total 2MN.
 	const workers = 6
 	const iters = 20
-	res, err := Run(costConfig(DPSGD, workers, iters))
+	res, err := Run(context.Background(), costConfig(DPSGD, workers, iters))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,11 +66,11 @@ func TestDPSGDCheaperThanAllReducePerRound(t *testing.T) {
 	// The point of decentralized ring mixing: per-iteration traffic is
 	// within a constant of AR-SGD but latency-per-round is lower because no
 	// global barrier chain of 2(N-1) sequential steps exists.
-	dp, err := Run(costConfig(DPSGD, 16, 15))
+	dp, err := Run(context.Background(), costConfig(DPSGD, 16, 15))
 	if err != nil {
 		t.Fatal(err)
 	}
-	ar, err := Run(costConfig(ARSGD, 16, 15))
+	ar, err := Run(context.Background(), costConfig(ARSGD, 16, 15))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestDPSGDReplicasStayClose(t *testing.T) {
 	// Ring mixing must keep replicas in one neighborhood: after training,
 	// the max pairwise parameter distance should be small relative to the
 	// parameter norm.
-	res, err := Run(realConfig(DPSGD, 4, 100, 23))
+	res, err := Run(context.Background(), realConfig(DPSGD, 4, 100, 23))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -44,6 +44,11 @@ func runEASGD(x *exp) {
 			inbox := x.inbox(w)
 			bd := &x.col.Workers[w].Breakdown
 			for it := 1; it <= cfg.Iters; it++ {
+				nit, ok := x.gate(p, w, it)
+				if !ok {
+					break
+				}
+				it = nit
 				grads, _ := x.computePhase(p, w, false)
 				x.reps[w].localStep(grads, cfg.LR.At(it-1))
 
@@ -63,7 +68,18 @@ func runEASGD(x *exp) {
 					t0 := p.Now()
 					var wire des.Time
 					for recv := 0; recv < len(x.assign); recv++ {
-						m := inbox.Recv(p)
+						var m simnet.Msg
+						if x.inj != nil {
+							// Don't wedge on a dropped push or reply:
+							// resume local training after the timeout.
+							var okr bool
+							if m, okr = inbox.RecvTimeout(p, cfg.BarrierTimeoutSec); !okr {
+								x.col.Faults.Timeouts++
+								break
+							}
+						} else {
+							m = inbox.Recv(p)
+						}
 						if m.Kind != kindEASGDReply {
 							panic(fmt.Sprintf("easgd worker: unexpected kind %d", m.Kind))
 						}
@@ -75,7 +91,7 @@ func runEASGD(x *exp) {
 					bd.Add(metrics.Network, wire)
 					bd.Add(metrics.GlobalAgg, p.Now()-t0-wire)
 				}
-				x.maybeEval(w, it)
+				x.iterDone(w, it)
 			}
 			x.finish(w)
 		})

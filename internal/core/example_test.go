@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 
 	"disttrain/internal/cluster"
@@ -24,7 +25,7 @@ func ExampleRun() {
 		Momentum: 0.9,
 		LR:       opt.Schedule{Base: 0.1},
 	}
-	res, err := core.Run(cfg)
+	res, err := core.Run(context.Background(), cfg)
 	if err != nil {
 		panic(err)
 	}
@@ -59,7 +60,7 @@ func ExampleRun_realMode() {
 			Batch:   16,
 		},
 	}
-	res, err := core.Run(cfg)
+	res, err := core.Run(context.Background(), cfg)
 	if err != nil {
 		panic(err)
 	}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"disttrain/internal/costmodel"
 	"disttrain/internal/des"
+	"disttrain/internal/fault"
 	"disttrain/internal/grad"
 	"disttrain/internal/metrics"
 	"disttrain/internal/nn"
@@ -38,6 +40,21 @@ type exp struct {
 	cfg *Config
 	eng *des.Engine
 	net *simnet.Net
+
+	// ctx is polled at iteration boundaries; cancellation aborts the run.
+	ctx context.Context
+	// canceled records that a worker observed ctx cancellation.
+	canceled bool
+
+	// inj evaluates the fault schedule; nil when no faults are configured.
+	inj *fault.Injector
+	// restarted marks workers that died and came back at least once.
+	restarted []bool
+	// syncFrom[w] is the first iteration whose crash window gateSync has not
+	// yet served for worker w (faithful synchronous restart bookkeeping).
+	syncFrom []int
+	// crashLog records realized deaths for the fault trace spans.
+	crashLog []crashRec
 
 	workerNode []int // worker -> node ID
 	psNode     []int // shard -> node ID
@@ -79,12 +96,35 @@ type exp struct {
 	evalModel *nn.Model
 }
 
+// crashRec is one realized worker death, for trace spans.
+type crashRec struct {
+	worker  int
+	at      float64
+	restart float64 // 0 = permanent
+}
+
 // setup builds the simulated world for cfg. Call cfg.Validate() first.
-func setup(cfg *Config) *exp {
+func setup(cfg *Config) (*exp, error) {
+	if err := cfg.Cluster.Validate(); err != nil {
+		return nil, fmt.Errorf("core: setup: %w", err)
+	}
+	if cfg.Workload.Profile == nil {
+		return nil, fmt.Errorf("core: setup: missing workload profile")
+	}
+	if cfg.Workers < 1 || cfg.Iters < 1 {
+		return nil, fmt.Errorf("core: setup: %d workers, %d iters", cfg.Workers, cfg.Iters)
+	}
 	x := &exp{cfg: cfg, eng: des.NewEngine()}
 	x.net = simnet.New(x.eng, cfg.Cluster)
 	if cfg.Tracer != nil {
 		x.net.SetTracer(cfg.Tracer)
+	}
+	if !cfg.Faults.Empty() {
+		x.inj = fault.NewInjector(cfg.Faults, cfg.Workers, cfg.Cluster.Machines,
+			cfg.Workload.MeanIterSec(), cfg.Seed)
+		x.net.SetFaults(x.inj)
+		x.restarted = make([]bool, cfg.Workers)
+		x.syncFrom = make([]int, cfg.Workers)
 	}
 	root := rng.New(cfg.Seed)
 	_ = root.Split(1) // label 1 is reserved for model initialization streams
@@ -170,7 +210,7 @@ func setup(cfg *Config) *exp {
 	}
 
 	x.col = metrics.NewCollector(cfg.Workers)
-	return x
+	return x, nil
 }
 
 // bytesFor converts a parameter count of the exchanged vector into
@@ -216,6 +256,9 @@ func (x *exp) machineGroup(w int) []int {
 func (x *exp) computePhase(p *des.Proc, w int, overlap bool) ([]float32, float64) {
 	wl := x.cfg.Workload
 	j := wl.SampleMult(x.jitterRNG[w])
+	if x.inj != nil {
+		j *= x.inj.ComputeMult(w, p.Now())
+	}
 	mean := wl.MeanIterSec()
 	start := p.Now()
 	if overlap {
@@ -565,6 +608,124 @@ func (x *exp) globalParams() []float32 {
 	return out
 }
 
+// gate is called at the top of every worker iteration loop with the next
+// iteration number. It polls ctx, then consults the fault schedule: a
+// worker entering a dead window either sleeps out its restart delay and
+// resumes at the first alive iteration (returned so the caller can skip
+// ahead), or — with no restart, or none before the run ends — is done for
+// good (ok = false; the caller should fall through to its finish path).
+func (x *exp) gate(p *des.Proc, w, it int) (int, bool) {
+	if x.ctx != nil {
+		select {
+		case <-x.ctx.Done():
+			x.canceled = true
+			return it, false
+		default:
+		}
+	}
+	if x.inj == nil || x.inj.AliveAtIter(w, it) {
+		return it, true
+	}
+	x.col.Faults.Crashes++
+	delay := x.inj.RestartDelay(w, it)
+	x.crashLog = append(x.crashLog, crashRec{worker: w, at: p.Now(), restart: delay})
+	next := x.inj.NextAliveIter(w, it)
+	if next == 0 || next > x.cfg.Iters {
+		x.col.Faults.LostIters += x.cfg.Iters - it + 1
+		return it, false
+	}
+	x.col.Faults.LostIters += next - it
+	p.Sleep(delay)
+	x.col.Faults.Restarts++
+	x.restarted[w] = true
+	return next, true
+}
+
+// gateSync is gate's variant for faithful (non-elastic) synchronous
+// algorithms, where a crash stalls the whole system: nobody advances past
+// the barrier, so a restarted worker reruns the iteration it died at
+// instead of skipping the dead window, and no iterations are lost. A crash
+// without restart still terminates the worker for good.
+func (x *exp) gateSync(p *des.Proc, w, it int) (int, bool) {
+	if x.ctx != nil {
+		select {
+		case <-x.ctx.Done():
+			x.canceled = true
+			return it, false
+		default:
+		}
+	}
+	if x.inj == nil || it < x.syncFrom[w] || x.inj.AliveAtIter(w, it) {
+		return it, true
+	}
+	x.col.Faults.Crashes++
+	delay := x.inj.RestartDelay(w, it)
+	x.crashLog = append(x.crashLog, crashRec{worker: w, at: p.Now(), restart: delay})
+	next := x.inj.NextAliveIter(w, it)
+	if next == 0 {
+		x.col.Faults.LostIters += x.cfg.Iters - it + 1
+		return it, false
+	}
+	p.Sleep(delay)
+	x.col.Faults.Restarts++
+	x.restarted[w] = true
+	x.syncFrom[w] = next // the window [it, next) is served; rerun it late
+	return it, true
+}
+
+// barrierGate picks the crash semantic for barrier-synchronized algorithms:
+// elastic runs exclude dead ranks and skip their lost iterations; faithful
+// runs stall at the barrier and rerun the round when the worker returns.
+func (x *exp) barrierGate(p *des.Proc, w, it int) (int, bool) {
+	if x.cfg.Elastic {
+		return x.gate(p, w, it)
+	}
+	return x.gateSync(p, w, it)
+}
+
+// iterDone is the end-of-iteration bookkeeping shared by every algorithm.
+func (x *exp) iterDone(w, iter int) {
+	if x.restarted != nil && x.restarted[w] {
+		x.col.Faults.RecoveredIters++
+	}
+	x.maybeEval(w, iter)
+}
+
+// aliveNodes returns the node IDs of workers alive at iteration it and the
+// position of worker w among them (-1 if w itself is dead). Without
+// elastic-mode fault injection every worker is a member.
+func (x *exp) aliveNodes(it, w int) ([]int, int) {
+	if x.inj == nil || !x.cfg.Elastic {
+		return x.workerNode, w
+	}
+	self := -1
+	var nodes []int
+	for ww := 0; ww < x.cfg.Workers; ww++ {
+		if x.inj.AliveAtIter(ww, it) {
+			if ww == w {
+				self = len(nodes)
+			}
+			nodes = append(nodes, x.workerNode[ww])
+		}
+	}
+	return nodes, self
+}
+
+// aliveCount returns how many workers run iteration it (all of them
+// without elastic-mode fault injection).
+func (x *exp) aliveCount(it int) int {
+	if x.inj == nil || !x.cfg.Elastic {
+		return x.cfg.Workers
+	}
+	n := 0
+	for ww := 0; ww < x.cfg.Workers; ww++ {
+		if x.inj.AliveAtIter(ww, it) {
+			n++
+		}
+	}
+	return n
+}
+
 // maybeEval runs the periodic evaluation from worker 0's loop.
 func (x *exp) maybeEval(w, iter int) {
 	if w != 0 || x.cfg.Real == nil {
@@ -583,12 +744,24 @@ func (x *exp) finish(w int) {
 }
 
 // Run executes the configured experiment to completion and returns its
-// results. It is the package's main entry point.
-func Run(cfg Config) (*Result, error) {
+// results. It is the package's main entry point. ctx cancellation is
+// observed at worker iteration boundaries and aborts the run with the
+// context's error; nil ctx means context.Background().
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid config: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: run not started: %w", err)
+	}
+	x, err := setup(&cfg)
+	if err != nil {
 		return nil, err
 	}
-	x := setup(&cfg)
+	x.ctx = ctx
 	switch cfg.Algo {
 	case BSP:
 		runBSP(x)
@@ -614,21 +787,40 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("core: unknown algorithm %q", cfg.Algo)
 	}
 	x.eng.Run(0)
+	if x.canceled {
+		x.eng.Kill()
+		return nil, fmt.Errorf("core: run canceled: %w", ctx.Err())
+	}
 	stuck := x.eng.Stuck()
-	if len(stuck) > 0 && !expectedStuck(cfg.Algo) {
+	if len(stuck) > 0 && !expectedStuck(cfg.Algo) && x.inj == nil {
 		x.eng.Kill()
 		return nil, fmt.Errorf("core: %s deadlocked: stuck procs %v", cfg.Algo, stuck)
 	}
 
-	res := &Result{
-		StuckProcs: stuck,
-		Config:     cfg,
-		Metrics:    x.col,
-		Net:        x.net.Stats(),
-		VirtualSec: x.col.MakespanSec(),
+	// Honest accounting for workers stranded at a dead peer's barrier:
+	// credit the iterations they did complete, but leave FinishedAt zero —
+	// a hung run has no finish time, and its sustained throughput is zero.
+	stalled := 0
+	for w := range x.col.Workers {
+		if x.col.Workers[w].FinishedAt == 0 {
+			x.col.Workers[w].Iters = x.reps[w].iter
+			stalled++
+		}
 	}
-	res.Throughput = x.col.ThroughputSamplesPerSec(cfg.Workload.Batch)
+
+	res := &Result{
+		StuckProcs:     stuck,
+		StalledWorkers: stalled,
+		Config:         cfg,
+		Metrics:        x.col,
+		Net:            x.net.Stats(),
+		VirtualSec:     x.col.MakespanSec(),
+	}
+	if stalled == 0 {
+		res.Throughput = x.col.ThroughputSamplesPerSec(cfg.Workload.Batch)
+	}
 	res.BytesPerIterPerWorker = float64(res.Net.TotalBytes) / float64(cfg.Iters*cfg.Workers)
+	x.faultSpans()
 	if cfg.Real != nil {
 		// Skip the final evaluation if the periodic evaluator already
 		// sampled the last iteration (avoids a duplicate trace point).
@@ -642,6 +834,46 @@ func Run(cfg Config) (*Result, error) {
 	}
 	x.eng.Kill()
 	return res, nil
+}
+
+// faultSpans emits the fault timeline onto the tracer: realized crashes
+// (death to restart, or to the end of the run) and the scheduled network /
+// slowdown windows, so a Perfetto view shows the outage against the
+// training schedule.
+func (x *exp) faultSpans() {
+	if x.cfg.Tracer == nil || x.inj == nil {
+		return
+	}
+	end := x.eng.Now()
+	for _, cr := range x.crashLog {
+		to := end
+		if cr.restart > 0 && cr.at+cr.restart < end {
+			to = cr.at + cr.restart
+		}
+		x.cfg.Tracer.Span(fmt.Sprintf("crash w%d", cr.worker), "fault",
+			cr.at, to, x.cfg.Cluster.MachineOfWorker(cr.worker), cr.worker)
+	}
+	for i, e := range x.cfg.Faults.Events {
+		if e.Kind == fault.Crash {
+			continue
+		}
+		to := end
+		if e.Duration > 0 && e.At+e.Duration < end {
+			to = e.At + e.Duration
+		}
+		pid := 0
+		switch e.Kind {
+		case fault.Slow:
+			pid = x.cfg.Cluster.MachineOfWorker(e.Worker)
+		case fault.Degrade, fault.Drop:
+			if e.Machine >= 0 {
+				pid = e.Machine
+			}
+		case fault.Partition:
+			pid = e.Machines[0]
+		}
+		x.cfg.Tracer.Span(e.String(), "fault", e.At, to, pid, 2000+i)
+	}
 }
 
 // replicaSpread computes max_w ‖x_w − x̄‖ / ‖x̄‖ over the live replicas.

@@ -40,6 +40,13 @@ type Summary struct {
 	FinalTestAcc   float64              `json:"final_test_acc,omitempty"`
 	FinalTrainLoss float64              `json:"final_train_loss,omitempty"`
 	Trace          []metrics.TracePoint `json:"trace,omitempty"`
+
+	// Fault-injection outcomes (all zero / absent without a fault schedule).
+	Elastic        bool               `json:"elastic,omitempty"`
+	Faults         metrics.FaultStats `json:"faults,omitzero"`
+	DroppedMsgs    int64              `json:"dropped_msgs,omitempty"`
+	DroppedBytes   int64              `json:"dropped_bytes,omitempty"`
+	StalledWorkers int                `json:"stalled_workers,omitempty"`
 }
 
 // Summary builds the digest.
@@ -76,6 +83,12 @@ func (r *Result) Summary() Summary {
 		FinalTestAcc:   r.FinalTestAcc,
 		FinalTrainLoss: r.FinalTrainLoss,
 		Trace:          r.Metrics.Trace,
+
+		Elastic:        r.Config.Elastic,
+		Faults:         r.Metrics.Faults,
+		DroppedMsgs:    r.Net.DroppedMsgs,
+		DroppedBytes:   r.Net.DroppedBytes,
+		StalledWorkers: r.StalledWorkers,
 	}
 }
 

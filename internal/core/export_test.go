@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -12,7 +13,7 @@ import (
 func TestSummaryFields(t *testing.T) {
 	cfg := costConfig(ASP, 8, 10)
 	cfg.Sharding = ShardLayerWise
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func TestSummaryFields(t *testing.T) {
 }
 
 func TestWriteJSONRoundTrips(t *testing.T) {
-	res, err := Run(realConfig(BSP, 2, 20, 13))
+	res, err := Run(context.Background(), realConfig(BSP, 2, 20, 13))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestTracerCapturesTimeline(t *testing.T) {
 	tr := trace.New()
 	cfg := costConfig(ASP, 4, 5)
 	cfg.Tracer = tr
-	if _, err := Run(cfg); err != nil {
+	if _, err := Run(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
 	if tr.Len() == 0 {

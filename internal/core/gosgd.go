@@ -45,29 +45,62 @@ func runGoSGD(x *exp) {
 				}
 			}
 			for it := 1; it <= cfg.Iters; it++ {
+				nit, ok := x.gate(p, w, it)
+				if !ok {
+					break
+				}
+				it = nit
 				grads, _ := x.computePhase(p, w, false)
 				x.reps[w].localStep(grads, cfg.LR.At(it-1))
 				drain()
 
 				if r.Bernoulli(cfg.GossipP) {
-					// Choose a target uniformly among the other workers.
-					t := r.Intn(W - 1)
-					if t >= w {
-						t++
+					// Choose a target uniformly among the other workers;
+					// under fault injection, among the live reachable ones
+					// (a push to a dead peer would lose its weight mass).
+					t := -1
+					if x.inj == nil {
+						t = r.Intn(W - 1)
+						if t >= w {
+							t++
+						}
+					} else {
+						now := p.Now()
+						myM := cfg.Cluster.MachineOfWorker(w)
+						var cands []int
+						for pe := 0; pe < W; pe++ {
+							if pe == w || x.inj.DeadAt(pe, now) {
+								continue
+							}
+							if x.inj.Partitioned(now, myM, cfg.Cluster.MachineOfWorker(pe)) {
+								continue
+							}
+							cands = append(cands, pe)
+						}
+						if len(cands) == 0 {
+							x.col.Faults.SkippedExchanges++
+						} else {
+							if len(cands) < W-1 {
+								x.col.Faults.Redraws++
+							}
+							t = cands[r.Intn(len(cands))]
+						}
 					}
-					half := weights[w] / 2
-					weights[w] = half
-					var payload []float32
-					if x.reps[w].mathOn() {
-						payload = x.reps[w].params()
+					if t >= 0 {
+						half := weights[w] / 2
+						weights[w] = half
+						var payload []float32
+						if x.reps[w].mathOn() {
+							payload = x.reps[w].params()
+						}
+						// Asymmetric: fire and forget; the sender
+						// immediately proceeds to its next iteration.
+						x.net.Send(simnet.Msg{From: x.workerNode[w], To: x.workerNode[t],
+							Kind: kindGossip, Clock: it, Aux: half,
+							Bytes: x.fullBytes(), Vec: payload})
 					}
-					// Asymmetric: fire and forget; the sender immediately
-					// proceeds to its next iteration.
-					x.net.Send(simnet.Msg{From: x.workerNode[w], To: x.workerNode[t],
-						Kind: kindGossip, Clock: it, Aux: half,
-						Bytes: x.fullBytes(), Vec: payload})
 				}
-				x.maybeEval(w, it)
+				x.iterDone(w, it)
 			}
 			drain()
 			x.finish(w)

@@ -37,6 +37,13 @@ func runHogwild(x *exp) {
 		x.eng.Spawn(fmt.Sprintf("hogwild-worker%d", w), func(p *des.Proc) {
 			wl := cfg.Workload
 			for it := 1; it <= cfg.Iters; it++ {
+				// Fault schedules are rejected for Hogwild in Validate; the
+				// gate only serves context cancellation here.
+				nit, ok := x.gate(p, w, it)
+				if !ok {
+					break
+				}
+				it = nit
 				// Gradient from the shared parameters as they are NOW...
 				grads := x.reps[w].computeGrad()
 				var gcopy []float32
@@ -50,7 +57,7 @@ func runHogwild(x *exp) {
 				x.noteIterSpread()
 				// ...and the stale gradient lands on the shared vector.
 				x.reps[w].localStep(gcopy, cfg.LR.At(it-1))
-				x.maybeEval(w, it)
+				x.iterDone(w, it)
 			}
 			x.finish(w)
 		})

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"disttrain/internal/cluster"
@@ -19,7 +20,7 @@ func hogwildConfig(workers, iters int, seed uint64) Config {
 }
 
 func TestHogwildLearns(t *testing.T) {
-	res, err := Run(hogwildConfig(4, 150, 51))
+	res, err := Run(context.Background(), hogwildConfig(4, 150, 51))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +30,7 @@ func TestHogwildLearns(t *testing.T) {
 }
 
 func TestHogwildNoNetworkTraffic(t *testing.T) {
-	res, err := Run(hogwildConfig(4, 30, 52))
+	res, err := Run(context.Background(), hogwildConfig(4, 30, 52))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestHogwildNoNetworkTraffic(t *testing.T) {
 
 func TestHogwildSharedReplica(t *testing.T) {
 	// All workers update one vector, so the replica spread is exactly zero.
-	res, err := Run(hogwildConfig(4, 50, 53))
+	res, err := Run(context.Background(), hogwildConfig(4, 50, 53))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,18 +52,18 @@ func TestHogwildSharedReplica(t *testing.T) {
 
 func TestHogwildRequiresSingleMachine(t *testing.T) {
 	cfg := realConfig(Hogwild, 8, 10, 54) // Paper56G(8) = 2 machines
-	if _, err := Run(cfg); err == nil {
+	if _, err := Run(context.Background(), cfg); err == nil {
 		t.Fatal("hogwild accepted a multi-machine cluster")
 	}
 }
 
 func TestHogwildLinearThroughput(t *testing.T) {
 	// With zero communication, throughput scales ~linearly with workers.
-	t1, err := Run(hogwildConfig(1, 30, 55))
+	t1, err := Run(context.Background(), hogwildConfig(1, 30, 55))
 	if err != nil {
 		t.Fatal(err)
 	}
-	t4, err := Run(hogwildConfig(4, 30, 55))
+	t4, err := Run(context.Background(), hogwildConfig(4, 30, 55))
 	if err != nil {
 		t.Fatal(err)
 	}

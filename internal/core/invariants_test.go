@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -23,14 +24,14 @@ func almostSameAcc(t *testing.T, name string, a, b *Result, tol float64) {
 
 func TestShardingIsAccuracyNeutral(t *testing.T) {
 	base := realConfig(ASP, 4, 80, 61)
-	r1, err := Run(base)
+	r1, err := Run(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, mode := range []Sharding{ShardLayerWise, ShardBalanced} {
 		cfg := realConfig(ASP, 4, 80, 61)
 		cfg.Sharding = mode
-		r2, err := Run(cfg)
+		r2, err := Run(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -46,13 +47,13 @@ func TestWaitFreeBPIsMathNeutral(t *testing.T) {
 	// aggregation) the aggregation CONTENT per iteration is identical, so
 	// the trajectory must match almost exactly.
 	base := realConfig(BSP, 4, 60, 62)
-	r1, err := Run(base)
+	r1, err := Run(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	wf := realConfig(BSP, 4, 60, 62)
 	wf.WaitFreeBP = true
-	r2, err := Run(wf)
+	r2, err := Run(context.Background(), wf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,13 +64,13 @@ func TestLocalAggIsMathNeutral(t *testing.T) {
 	// Summing gradients at a machine leader before the PS sums them again
 	// is the same sum (modulo float32 association).
 	base := realConfig(BSP, 4, 60, 63)
-	r1, err := Run(base)
+	r1, err := Run(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	la := realConfig(BSP, 4, 60, 63)
 	la.LocalAgg = true
-	r2, err := Run(la)
+	r2, err := Run(context.Background(), la)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestLocalAggIsMathNeutral(t *testing.T) {
 func TestBSPWorkersStayIdentical(t *testing.T) {
 	// After every BSP round all replicas hold the PS snapshot; at the end
 	// the replica spread must be exactly zero.
-	res, err := Run(realConfig(BSP, 4, 50, 64))
+	res, err := Run(context.Background(), realConfig(BSP, 4, 50, 64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestGoSGDWeightConservation(t *testing.T) {
 	// final drain nearly all weight lives at the workers; since weights are
 	// package-internal we verify the observable consequence: the averaged
 	// model remains sane (no replica starved to a zero/blown-up weight).
-	res, err := Run(realConfig(GoSGD, 4, 120, 65))
+	res, err := Run(context.Background(), realConfig(GoSGD, 4, 120, 65))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestEASGDCenterTracksWorkers(t *testing.T) {
 	// elastic force actually pulled the center into the solution region.
 	cfg := realConfig(EASGD, 4, 150, 66)
 	cfg.Tau = 4
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,11 +122,11 @@ func TestEASGDCenterTracksWorkers(t *testing.T) {
 func TestSeedChangesTrajectoryButNotStory(t *testing.T) {
 	// Different seeds must change the exact numbers (no hidden determinism
 	// bug pinning results) while keeping the qualitative outcome.
-	a, err := Run(realConfig(BSP, 4, 60, 71))
+	a, err := Run(context.Background(), realConfig(BSP, 4, 60, 71))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(realConfig(BSP, 4, 60, 72))
+	b, err := Run(context.Background(), realConfig(BSP, 4, 60, 72))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,13 +143,13 @@ func TestVirtualTimeUnaffectedByRealMath(t *testing.T) {
 	// time. A real run and a cost-only run with identical config (modulo
 	// Real) must report identical virtual durations.
 	real := realConfig(BSP, 4, 30, 73)
-	r1, err := Run(real)
+	r1, err := Run(context.Background(), real)
 	if err != nil {
 		t.Fatal(err)
 	}
 	costOnly := realConfig(BSP, 4, 30, 73)
 	costOnly.Real = nil
-	r2, err := Run(costOnly)
+	r2, err := Run(context.Background(), costOnly)
 	if err != nil {
 		t.Fatal(err)
 	}

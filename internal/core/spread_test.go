@@ -1,6 +1,9 @@
 package core
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // TestReplicaSpreadOrdering verifies the paper's core causal claim at the
 // parameter level: synchronous algorithms keep all replicas identical;
@@ -13,7 +16,7 @@ func TestReplicaSpreadOrdering(t *testing.T) {
 		cfg := realConfig(algo, 4, 120, 41)
 		cfg.Tau = 8
 		cfg.GossipP = 0.05
-		res, err := Run(cfg)
+		res, err := Run(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -41,7 +44,7 @@ func TestReplicaSpreadOrdering(t *testing.T) {
 
 // TestCostOnlySpreadIsZero: no math, no spread.
 func TestCostOnlySpreadIsZero(t *testing.T) {
-	res, err := Run(costConfig(GoSGD, 4, 10))
+	res, err := Run(context.Background(), costConfig(GoSGD, 4, 10))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,6 +28,8 @@ func runSSP(x *exp) {
 		clock  int
 	}
 
+	elastic := x.inj != nil && cfg.Elastic
+
 	for sh := range x.assign {
 		sh := sh
 		x.eng.Spawn(fmt.Sprintf("ssp-ps%d", sh), func(p *des.Proc) {
@@ -35,16 +37,59 @@ func runSSP(x *exp) {
 			clocks := make([]int, cfg.Workers)
 			var parked []pending
 			minClock := func() int {
-				m := clocks[0]
-				for _, c := range clocks[1:] {
-					if c < m {
+				// Elastic mode excludes currently dead workers from the
+				// staleness bound so a crash does not park every fast
+				// worker for the rest of the run.
+				m := -1
+				for ww, c := range clocks {
+					if elastic && x.inj.DeadAt(ww, p.Now()) {
+						continue
+					}
+					if m < 0 || c < m {
 						m = c
 					}
 				}
+				if m < 0 {
+					m = clocks[0]
+				}
 				return m
 			}
+			release := func() bool {
+				mc := minClock()
+				hit := false
+				keep := parked[:0]
+				for _, pk := range parked {
+					if mc >= pk.clock-s {
+						x.net.Send(x.snapshotMsg(0, pk.worker))
+						hit = true
+					} else {
+						keep = append(keep, pk)
+					}
+				}
+				parked = keep
+				return hit
+			}
+			// fruitless caps the elastic re-check spin: while pulls are
+			// parked the shard wakes on a timeout to re-evaluate liveness,
+			// but after a few barren wakeups it goes back to blocking so an
+			// otherwise-finished run can drain.
+			fruitless := 0
 			for {
-				m := inbox.Recv(p)
+				var m simnet.Msg
+				if elastic && sh == 0 && len(parked) > 0 && fruitless < 3 {
+					var ok bool
+					if m, ok = inbox.RecvTimeout(p, cfg.BarrierTimeoutSec); !ok {
+						x.col.Faults.Timeouts++
+						fruitless++
+						if release() {
+							fruitless = 0
+						}
+						continue
+					}
+				} else {
+					m = inbox.Recv(p)
+				}
+				fruitless = 0
 				switch m.Kind {
 				case kindGrad, kindSparseGrad:
 					psAggSleep(p, m.Bytes)
@@ -62,16 +107,7 @@ func runSSP(x *exp) {
 						x.net.Send(simnet.Msg{From: x.psNode[0], To: m.From,
 							Kind: kindAck, Clock: minClock(), Bytes: 16})
 						// Release parked pulls whose bound is now met.
-						mc := minClock()
-						keep := parked[:0]
-						for _, pk := range parked {
-							if mc >= pk.clock-s {
-								x.net.Send(x.snapshotMsg(0, pk.worker))
-							} else {
-								keep = append(keep, pk)
-							}
-						}
-						parked = keep
+						release()
 					}
 				case kindPull:
 					if sh == 0 && minClock() < m.Clock-s {
@@ -99,6 +135,11 @@ func runSSP(x *exp) {
 					if !ok {
 						return
 					}
+					if m.Kind == kindParams && x.inj != nil {
+						// A reply released after this worker's pull timed
+						// out; its refresh was already given up on.
+						continue
+					}
 					if m.Kind != kindAck {
 						panic(fmt.Sprintf("ssp worker drain: unexpected kind %d", m.Kind))
 					}
@@ -108,6 +149,11 @@ func runSSP(x *exp) {
 				}
 			}
 			for it := 1; it <= cfg.Iters; it++ {
+				nit, ok := x.gate(p, w, it)
+				if !ok {
+					break
+				}
+				it = nit
 				grads, j := x.computePhase(p, w, cfg.WaitFreeBP)
 
 				// The paper's parallel tasks: (i) ship the computed update
@@ -147,7 +193,19 @@ func runSSP(x *exp) {
 						fresh = x.reps[w].params()
 					}
 					for recv := 0; recv < len(x.assign); {
-						m := inbox.Recv(p)
+						var m simnet.Msg
+						if elastic {
+							var okr bool
+							if m, okr = inbox.RecvTimeout(p, cfg.BarrierTimeoutSec); !okr {
+								// Pull lost or still parked behind a dead
+								// worker: give up on this refresh.
+								x.col.Faults.Timeouts++
+								recv = len(x.assign)
+								continue
+							}
+						} else {
+							m = inbox.Recv(p)
+						}
 						switch m.Kind {
 						case kindAck:
 							if m.Clock > lastMin {
@@ -174,7 +232,7 @@ func runSSP(x *exp) {
 						lastMin = it - s
 					}
 				}
-				x.maybeEval(w, it)
+				x.iterDone(w, it)
 			}
 			x.finish(w)
 		})

@@ -37,6 +37,10 @@ type event struct {
 	seq  uint64
 	fn   func() // inline callback, or nil for a process wakeup
 	proc *Proc
+	// gen snapshots proc.gen at schedule time; a wakeup whose gen no longer
+	// matches the process's current gen is stale (the process was resumed by
+	// a different event in the meantime) and is skipped.
+	gen uint64
 }
 
 type eventPQ []*event
@@ -108,6 +112,11 @@ type Proc struct {
 	// blocked marks a proc that yielded without a scheduled wakeup; used to
 	// report stuck processes (e.g. the AD-PSGD deadlock demonstration).
 	blocked bool
+	// gen counts resumes. Scheduling a wakeup stamps the current gen on the
+	// event; each actual resume increments it, invalidating every other
+	// wakeup scheduled for the same blocking point (timeout backstops that
+	// lost the race to a Push, and vice versa).
+	gen uint64
 }
 
 type procKilled struct{}
@@ -130,7 +139,7 @@ func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
 		}()
 		body(p)
 	}()
-	e.push(&event{t: e.now, proc: p})
+	e.push(&event{t: e.now, proc: p, gen: p.gen})
 	return p
 }
 
@@ -147,9 +156,10 @@ func (e *Engine) Run(until Time) {
 		e.now = ev.t
 		e.events++
 		if ev.proc != nil {
-			if ev.proc.done {
+			if ev.proc.done || ev.gen != ev.proc.gen {
 				continue
 			}
+			ev.proc.gen++
 			ev.proc.blocked = false
 			ev.proc.resume <- struct{}{}
 			<-e.ack
@@ -202,7 +212,7 @@ func (p *Proc) Sleep(d Time) {
 		panic("des: negative sleep")
 	}
 	e := p.eng
-	e.push(&event{t: e.now + d, proc: p})
+	e.push(&event{t: e.now + d, proc: p, gen: p.gen})
 	p.yield()
 }
 
@@ -214,7 +224,7 @@ func (p *Proc) block() {
 
 // wake schedules the process to resume at the current time.
 func (p *Proc) wake() {
-	p.eng.push(&event{t: p.eng.now, proc: p})
+	p.eng.push(&event{t: p.eng.now, proc: p, gen: p.gen})
 }
 
 // Now returns the engine's current virtual time.
@@ -260,6 +270,51 @@ func (q *Queue[T]) Recv(p *Proc) T {
 		nxt.wake()
 	}
 	return v
+}
+
+// RecvTimeout removes and returns the oldest item, blocking p until one
+// exists or d seconds of virtual time elapse, whichever comes first. On
+// timeout it returns (zero, false). d <= 0 degenerates to TryRecv.
+func (q *Queue[T]) RecvTimeout(p *Proc, d Time) (T, bool) {
+	var zero T
+	if d <= 0 {
+		return q.TryRecv()
+	}
+	deadline := p.eng.now + d
+	for len(q.items) == 0 {
+		if p.eng.now >= deadline {
+			q.removeWaiter(p)
+			return zero, false
+		}
+		// Timeout backstop. If a Push wins the race, the resume bumps p.gen
+		// and this event goes stale; if the queue is sniped and we re-block,
+		// a fresh backstop is scheduled (the old one is already stale).
+		p.eng.push(&event{t: deadline, proc: p, gen: p.gen})
+		q.waiting = append(q.waiting, p)
+		p.block()
+	}
+	// Items arrived. We may still be in the waiting list (woken by the
+	// timeout event in the same timestamp as a Push aimed at another
+	// waiter) — drop the entry so no future Push targets a gone receiver.
+	q.removeWaiter(p)
+	v := q.items[0]
+	q.items = q.items[1:]
+	if len(q.items) > 0 && len(q.waiting) > 0 {
+		nxt := q.waiting[0]
+		q.waiting = q.waiting[1:]
+		nxt.wake()
+	}
+	return v, true
+}
+
+// removeWaiter deletes p from the waiting list if present.
+func (q *Queue[T]) removeWaiter(p *Proc) {
+	for i, w := range q.waiting {
+		if w == p {
+			q.waiting = append(q.waiting[:i], q.waiting[i+1:]...)
+			return
+		}
+	}
 }
 
 // TryRecv removes and returns the oldest item without blocking.

@@ -1,0 +1,249 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	specs := []string{
+		"crash@iter20:w3:restart=5",
+		"crash@2.5:w0",
+		"slow@10:w2:x4:for=30",
+		"degrade@10:m1:x8:for=30",
+		"degrade@10:x8",
+		"drop@10:p=0.05:for=60",
+		"drop@10:m0:p=0.5",
+		"partition@10:m0,1:for=30",
+	}
+	for _, spec := range specs {
+		s, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatalf("%q: %v", spec, err)
+		}
+		if len(s.Events) != 1 {
+			t.Fatalf("%q: %d events", spec, len(s.Events))
+		}
+		if got := s.Events[0].String(); got != spec {
+			t.Errorf("round trip %q -> %q", spec, got)
+		}
+	}
+}
+
+func TestParseSpecMulti(t *testing.T) {
+	s, err := ParseSpec("crash@iter5:w1 ; slow@2:w0:x3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 2 {
+		t.Fatalf("want 2 events, got %d", len(s.Events))
+	}
+	if s.Events[0].Kind != Crash || s.Events[0].AtIter != 5 || s.Events[0].Worker != 1 {
+		t.Fatalf("bad first event: %+v", s.Events[0])
+	}
+	if s.Events[1].Kind != Slow || s.Events[1].Factor != 3 {
+		t.Fatalf("bad second event: %+v", s.Events[1])
+	}
+	if !s.HasKind(Crash) || !s.HasKind(Slow) || s.HasKind(Drop) {
+		t.Fatal("HasKind mismatch")
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",                     // empty schedule
+		"crash",                // no @time
+		"crash@abc:w0",         // bad time
+		"crash@iterx:w0",       // bad iteration
+		"crash@1:w0:bogus=1",   // unknown field
+		"slow@1:w0:xfast",      // bad factor
+		"drop@1:p=lots",        // bad probability
+		"crash@1:w0:restart=z", // bad restart
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("%q: expected parse error", spec)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		e    Event
+		want string
+	}{
+		{"crash worker range", Event{Kind: Crash, Worker: 8}, "worker"},
+		{"negative time", Event{Kind: Slow, At: -2, Factor: 2}, "negative start"},
+		{"negative duration", Event{Kind: Drop, Machine: -1, Prob: 0.1, Duration: -1}, "negative duration"},
+		{"slow factor", Event{Kind: Slow, Worker: 0, Factor: -1}, "factor"},
+		{"degrade machine", Event{Kind: Degrade, Machine: 9, Factor: 2}, "machine"},
+		{"drop prob zero", Event{Kind: Drop, Machine: -1, Prob: 0}, "probability"},
+		{"drop prob high", Event{Kind: Drop, Machine: -1, Prob: 1.01}, "probability"},
+		{"partition empty", Event{Kind: Partition}, "empty machine list"},
+		{"partition full cut", Event{Kind: Partition, Machines: []int{0, 1}}, "proper subset"},
+		{"partition machine range", Event{Kind: Partition, Machines: []int{5}}, "machine"},
+		{"unknown kind", Event{Kind: "meltdown"}, "unknown kind"},
+		{"negative restart", Event{Kind: Crash, Worker: 0, Restart: -1}, "restart"},
+	}
+	for _, tc := range cases {
+		s := &Schedule{Events: []Event{tc.e}}
+		err := s.Validate(8, 2)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	ok := &Schedule{Events: []Event{
+		{Kind: Crash, Worker: 7, AtIter: 3, Restart: 1},
+		{Kind: Partition, Machines: []int{1}, At: 5, Duration: 10},
+	}}
+	if err := ok.Validate(8, 2); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	if err := (*Schedule)(nil).Validate(8, 2); err != nil {
+		t.Fatalf("nil schedule rejected: %v", err)
+	}
+}
+
+func TestCrashSpans(t *testing.T) {
+	// Worker 1: dead iters [5, 8) then back; worker 2: dead from iter 10 on.
+	// 1 nominal iteration = 2 s, restart = 5 s -> ceil(5/2) = 3 iterations.
+	s := &Schedule{Events: []Event{
+		{Kind: Crash, Worker: 1, AtIter: 5, Restart: 5},
+		{Kind: Crash, Worker: 2, At: 18}, // 1+floor(18/2) = iteration 10
+	}}
+	in := NewInjector(s, 4, 2, 2.0, 1)
+
+	for it, want := range map[int]bool{4: true, 5: false, 7: false, 8: true} {
+		if got := in.AliveAtIter(1, it); got != want {
+			t.Errorf("AliveAtIter(1, %d) = %v, want %v", it, got, want)
+		}
+	}
+	if in.AliveAtIter(2, 9) != true || in.AliveAtIter(2, 10) != false || in.AliveAtIter(2, 999) != false {
+		t.Error("permanent crash window wrong")
+	}
+	if got := in.NextAliveIter(1, 5); got != 8 {
+		t.Errorf("NextAliveIter(1, 5) = %d, want 8", got)
+	}
+	if got := in.NextAliveIter(1, 3); got != 3 {
+		t.Errorf("NextAliveIter(1, 3) = %d, want 3", got)
+	}
+	if got := in.NextAliveIter(2, 10); got != 0 {
+		t.Errorf("NextAliveIter(2, 10) = %d, want 0 (never)", got)
+	}
+	if got := in.RestartDelay(1, 6); got != 5 {
+		t.Errorf("RestartDelay(1, 6) = %v, want 5", got)
+	}
+	// DeadAt judges on the nominal clock: iteration 5 spans t in [8, 10).
+	if in.DeadAt(1, 7.9) || !in.DeadAt(1, 8.5) || in.DeadAt(1, 14.5) {
+		t.Error("DeadAt nominal-clock mapping wrong")
+	}
+	if in.MeanIterSec() != 2.0 {
+		t.Errorf("MeanIterSec = %v", in.MeanIterSec())
+	}
+}
+
+func TestComputeMultAndSlowWindows(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{Kind: Slow, Worker: 0, At: 10, Duration: 5, Factor: 3},
+		{Kind: Slow, Worker: 0, At: 12, Duration: 10, Factor: 2},
+		{Kind: Degrade, Machine: 1, At: 0, Factor: 8},
+		{Kind: Degrade, Machine: -1, At: 5, Duration: 5, Factor: 2},
+	}}
+	in := NewInjector(s, 2, 3, 1.0, 1)
+
+	if got := in.ComputeMult(0, 9); got != 1 {
+		t.Errorf("before window: %v", got)
+	}
+	if got := in.ComputeMult(0, 13); got != 6 {
+		t.Errorf("overlapping windows should stack: got %v, want 6", got)
+	}
+	if got := in.ComputeMult(1, 13); got != 1 {
+		t.Errorf("other worker slowed: %v", got)
+	}
+	if got := in.Slow(1, 0, 1); got != 8 {
+		t.Errorf("degrade touching machine 1: got %v, want 8", got)
+	}
+	if got := in.Slow(1, 0, 2); got != 1 {
+		t.Errorf("degrade leaking to links not touching machine 1: %v", got)
+	}
+	if got := in.Slow(6, 0, 2); got != 2 {
+		t.Errorf("machine=-1 degrade: got %v, want 2", got)
+	}
+	if got := in.Slow(6, 0, 1); got != 16 {
+		t.Errorf("stacked degrades: got %v, want 16", got)
+	}
+}
+
+func TestPartitionAndCut(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{Kind: Partition, Machines: []int{0}, At: 10, Duration: 10},
+	}}
+	in := NewInjector(s, 4, 3, 1.0, 1)
+
+	if in.Partitioned(5, 0, 1) {
+		t.Error("partition active before its window")
+	}
+	if !in.Partitioned(15, 0, 1) || !in.Partitioned(15, 2, 0) {
+		t.Error("cross-cut pair not partitioned")
+	}
+	if in.Partitioned(15, 1, 2) {
+		t.Error("same-side pair partitioned")
+	}
+	if !in.Cut(15, 0, 1) {
+		t.Error("Cut should lose messages across the partition")
+	}
+	if in.Cut(15, 0, 0) {
+		t.Error("intra-machine messages are never cut")
+	}
+	if in.Cut(25, 0, 1) {
+		t.Error("partition still active after its window")
+	}
+}
+
+func TestDropDeterminism(t *testing.T) {
+	mk := func(seed uint64) []bool {
+		s := &Schedule{Events: []Event{{Kind: Drop, Machine: -1, Prob: 0.3}}}
+		in := NewInjector(s, 4, 2, 1.0, seed)
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.Cut(float64(i), 0, 1)
+		}
+		return out
+	}
+	a, b := mk(7), mk(7)
+	drops := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+		if a[i] {
+			drops++
+		}
+	}
+	if drops == 0 || drops == len(a) {
+		t.Fatalf("p=0.3 dropped %d of %d — RNG not plausible", drops, len(a))
+	}
+	c := mk(8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical drop streams")
+	}
+}
+
+func TestEmptySchedule(t *testing.T) {
+	if !(*Schedule)(nil).Empty() || !(&Schedule{}).Empty() {
+		t.Fatal("Empty misreports empty schedules")
+	}
+	if (&Schedule{Events: []Event{{Kind: Crash}}}).Empty() {
+		t.Fatal("Empty misreports a populated schedule")
+	}
+}

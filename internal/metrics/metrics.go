@@ -100,10 +100,37 @@ type TracePoint struct {
 	TestErr float64
 }
 
+// FaultStats counts fault-injection events and their consequences over one
+// run. All counters are zero when no fault schedule is attached.
+type FaultStats struct {
+	// Crashes is the number of worker deaths; Restarts how many came back.
+	Crashes  int `json:"crashes,omitempty"`
+	Restarts int `json:"restarts,omitempty"`
+	// LostIters counts iterations skipped inside dead windows;
+	// RecoveredIters counts iterations completed by workers after at least
+	// one restart — the work the system salvaged.
+	LostIters      int `json:"lost_iters,omitempty"`
+	RecoveredIters int `json:"recovered_iters,omitempty"`
+	// Timeouts counts fault-mode receive waits that gave up (a dropped or
+	// partitioned message the protocol then worked around).
+	Timeouts int `json:"timeouts,omitempty"`
+	// Redraws counts gossip target draws made from a reduced (dead or
+	// partitioned peers excluded) candidate set.
+	Redraws int `json:"redraws,omitempty"`
+	// SkippedExchanges counts gossip/exchange rounds abandoned because no
+	// live reachable peer existed.
+	SkippedExchanges int `json:"skipped_exchanges,omitempty"`
+}
+
+// Any reports whether any counter is non-zero.
+func (f FaultStats) Any() bool { return f != FaultStats{} }
+
 // Collector aggregates everything one experiment produces.
 type Collector struct {
 	Workers []Worker
 	Trace   []TracePoint
+	// Faults counts injected-fault events (zero without a fault schedule).
+	Faults FaultStats
 	// MaxSpread is the largest observed gap between the fastest and
 	// slowest worker's iteration counters at any instant of the run — the
 	// realized staleness. Synchronous algorithms keep it ≤ 1; SSP bounds it

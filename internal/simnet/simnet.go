@@ -81,6 +81,11 @@ type Stats struct {
 	BytesByKind map[int]int64
 	// CrossMachineBytes counts only inter-machine traffic.
 	CrossMachineBytes int64
+	// DroppedMsgs and DroppedBytes count messages lost to fault injection
+	// (partitions and probabilistic drop); they are not included in
+	// TotalBytes/TotalMsgs.
+	DroppedMsgs  int64
+	DroppedBytes int64
 	// IngressBusySec and EgressBusySec are the per-machine cumulative
 	// seconds each NIC direction spent transmitting — divide by elapsed
 	// virtual time for utilization. A centralized algorithm concentrates
@@ -125,7 +130,23 @@ type Net struct {
 
 	stats  Stats
 	tracer *trace.Tracer
+	faults FaultModel
 }
+
+// FaultModel lets a fault injector intercept inter-machine transfers. Both
+// hooks are consulted once per cross-machine Send, in deterministic engine
+// order (Cut may consume RNG state; Slow must be pure).
+type FaultModel interface {
+	// Cut reports whether a message sent now from machine `from` to
+	// machine `to` is lost.
+	Cut(now float64, from, to int) bool
+	// Slow returns a wire-time multiplier (>= 1 in practice) for the
+	// transfer.
+	Slow(now float64, from, to int) float64
+}
+
+// SetFaults attaches a fault model; nil detaches it.
+func (n *Net) SetFaults(f FaultModel) { n.faults = f }
 
 // SetTracer attaches a Chrome-trace recorder; every subsequent message is
 // recorded as a span on its destination machine's ingress track.
@@ -196,6 +217,16 @@ func (n *Net) Send(msg Msg) des.Time {
 	now := n.eng.Now()
 	msg.SentAt = now
 
+	if n.faults != nil && src.Machine != dst.Machine && n.faults.Cut(now, src.Machine, dst.Machine) {
+		n.stats.DroppedMsgs++
+		n.stats.DroppedBytes += msg.Bytes
+		if n.tracer != nil {
+			n.tracer.Span(fmt.Sprintf("drop k%d %s", msg.Kind, byteLabel(msg.Bytes)),
+				"fault", now, now, dst.Machine, 1000+msg.To)
+		}
+		return 0
+	}
+
 	n.stats.TotalBytes += msg.Bytes
 	n.stats.TotalMsgs++
 	n.stats.BytesByKind[msg.Kind] += msg.Bytes
@@ -212,6 +243,11 @@ func (n *Net) Send(msg Msg) des.Time {
 		// bottleneck) queue on its ingress.
 		n.stats.CrossMachineBytes += msg.Bytes
 		dur := des.Time(float64(msg.Bytes) / n.cfg.InterBytesPerSec)
+		if n.faults != nil {
+			if m := n.faults.Slow(now, src.Machine, dst.Machine); m != 1 {
+				dur *= m
+			}
+		}
 		outDone := n.egress[src.Machine].reserve(now, dur)
 		inDone := n.ingress[dst.Machine].reserve(now, dur)
 		arrive = outDone

@@ -1,6 +1,7 @@
 package train
 
 import (
+	"context"
 	"fmt"
 
 	"disttrain/internal/cluster"
@@ -36,7 +37,7 @@ func runExtensions(o Options) ([]string, error) {
 				cfg.Workload.GPU.StragglerProb = 0.1
 				cfg.Workload.GPU.StragglerMult = 6
 			}
-			return core.Run(cfg)
+			return core.Run(context.Background(), cfg)
 		}
 		o.logf("ext: stragglers %s", algo)
 		clean, err := run(false)
@@ -67,7 +68,7 @@ func runExtensions(o Options) ([]string, error) {
 			cfg.LocalAgg = true
 		}
 		o.logf("ext: burstiness %s", algo)
-		res, err := core.Run(cfg)
+		res, err := core.Run(context.Background(), cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -100,7 +101,7 @@ func runExtensions(o Options) ([]string, error) {
 		cfg.Workload.GPU.StragglerProb = 0.2
 		cfg.Workload.GPU.StragglerMult = 8
 		o.logf("ext: staleness %s", sr.name)
-		res, err := core.Run(cfg)
+		res, err := core.Run(context.Background(), cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -121,7 +122,7 @@ func runExtensions(o Options) ([]string, error) {
 			name = "unconstrained (naive)"
 		}
 		o.logf("ext: deadlock %s", name)
-		res, err := core.Run(cfg)
+		res, err := core.Run(context.Background(), cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -155,7 +156,7 @@ func runExtensions(o Options) ([]string, error) {
 			}
 		}
 		o.logf("ext: baseline %s", algo)
-		res, err := core.Run(cfg)
+		res, err := core.Run(context.Background(), cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package train
 
 import (
+	"context"
 	"fmt"
 
 	"disttrain/internal/cluster"
@@ -93,7 +94,7 @@ func runTable1(o Options) ([]string, error) {
 		Header: []string{"algorithm", "analytic", "predicted", "measured", "ratio"}}
 	for _, r := range rows {
 		o.logf("table1: %s", r.name)
-		res, err := core.Run(r.cfg)
+		res, err := core.Run(context.Background(), r.cfg)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", r.name, err)
 		}
@@ -152,7 +153,7 @@ func runFig2(o Options) ([]string, error) {
 					cfg := perfConfig(algo, model, w, gbps, iters, o.seed())
 					fig2Tune(&cfg)
 					o.logf("fig2: %s %s %gG %dw", model, algo, gbps, w)
-					res, err := core.Run(cfg)
+					res, err := core.Run(context.Background(), cfg)
 					if err != nil {
 						return nil, fmt.Errorf("fig2 %s/%s/%d: %w", model, algo, w, err)
 					}
@@ -187,7 +188,7 @@ func runFig3(o Options) ([]string, error) {
 				cfg := perfConfig(algo, model, workers, gbps, iters, o.seed())
 				fig2Tune(&cfg)
 				o.logf("fig3: %s %s %gG", model, algo, gbps)
-				res, err := core.Run(cfg)
+				res, err := core.Run(context.Background(), cfg)
 				if err != nil {
 					return nil, err
 				}
@@ -269,7 +270,7 @@ func runFig4(o Options) ([]string, error) {
 						cfg := perfConfig(algo, model, w, gbps, iters, o.seed())
 						v.tune(&cfg)
 						o.logf("fig4: %s %s %gG %s N=%d", model, algo, gbps, v.name, w)
-						res, err := core.Run(cfg)
+						res, err := core.Run(context.Background(), cfg)
 						if err != nil {
 							return nil, err
 						}
