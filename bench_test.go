@@ -226,3 +226,25 @@ func BenchmarkEngineRealStep(b *testing.B) {
 	// dataset generation, model init, simulated cluster, real gradients.
 	benchExperiment(b, "table2")
 }
+
+// BenchmarkGemmTrainStep measures one raw train step (sample, forward,
+// backward, SGD update) on both accuracy-experiment substrates. With the
+// scratch arena and preallocated staging vectors the steady state should
+// report ~0 allocs/op — the tentpole's allocation goal.
+func BenchmarkGemmTrainStep(b *testing.B) {
+	for _, quick := range []bool{true, false} {
+		name := "minicnn-shapes16"
+		if quick {
+			name = "mlp-gauss"
+		}
+		b.Run(name, func(b *testing.B) {
+			h := train.NewStepHarness(train.Options{Quick: quick, Seed: 1})
+			h.Step() // warm the arena and lazy layer caches
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Step()
+			}
+		})
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"testing"
+
+	"disttrain/internal/data"
+	"disttrain/internal/nn"
+	"disttrain/internal/opt"
+	"disttrain/internal/rng"
+)
+
+// TestRunBitIdenticalAcrossGOMAXPROCS asserts the tentpole's end-to-end
+// determinism guarantee: a fixed-seed experiment produces byte-identical
+// summaries whether the GEMM kernels run serial or fanned out over 8 procs.
+// The model is sized so its forward/backward GEMMs exceed the parallel
+// cutoff (batch 16 × 256 inputs × 128 hidden ≈ 1M FLOPs per multiply) —
+// with GOMAXPROCS=1 the dispatcher stays serial, with 8 it goes parallel.
+func TestRunBitIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	cfg := func() Config {
+		r := rng.New(2026)
+		ds := data.GenShapes16(r, 400)
+		train, test := ds.Split(r.Split(1), 80)
+		c := costConfig(BSP, 4, 25)
+		c.Seed = 2026
+		c.LR = opt.Schedule{Base: 0.05}
+		c.Real = &RealConfig{
+			Factory: func(rr *rng.RNG) *nn.Model {
+				return nn.NewModel("wide-mlp",
+					nn.NewFlatten("flat"),
+					nn.NewDense("fc0", 256, 128, rr),
+					nn.NewReLU("relu0"),
+					nn.NewDense("fc1", 128, data.ShapeClasses, rr),
+				)
+			},
+			Train: train,
+			Test:  test,
+			Batch: 16,
+		}
+		return c
+	}
+
+	summaryAt := func(procs int) []byte {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		res, err := Run(context.Background(), cfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	serial := summaryAt(1)
+	parallel := summaryAt(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("summaries differ across GOMAXPROCS:\nserial:   %s\nparallel: %s", serial, parallel)
+	}
+}

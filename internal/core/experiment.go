@@ -14,6 +14,7 @@ import (
 	"disttrain/internal/ps"
 	"disttrain/internal/rng"
 	"disttrain/internal/simnet"
+	"disttrain/internal/tensor"
 )
 
 type rangeT = ps.Range
@@ -207,6 +208,9 @@ func setup(cfg *Config) (*exp, error) {
 
 	if cfg.Real != nil {
 		x.evalModel = cfg.Real.Factory(rng.New(cfg.Seed).Split(1))
+		// The eval model alternates between eval-sized batches; its own
+		// arena recycles the layer scratch across evals.
+		x.evalModel.SetArena(tensor.NewArena())
 	}
 
 	x.col = metrics.NewCollector(cfg.Workers)

@@ -25,6 +25,11 @@ type replica struct {
 	xbuf  *tensor.Tensor
 	ybuf  []int
 	grads []float32
+	// arena recycles the model's layer scratch buffers; flat is a reusable
+	// parameter staging vector for round-trip updates (localStep, merges),
+	// so steady-state steps allocate ~nothing.
+	arena *tensor.Arena
+	flat  []float32
 
 	// lossEWMA tracks recent training loss for traces.
 	lossEWMA float64
@@ -44,6 +49,9 @@ func newRealReplica(w int, cfg *Config, initStream *rng.RNG, shardStream *rng.RN
 	r.sampler = data.NewSampler(shard, cfg.Real.Batch, shardStream)
 	r.localO = opt.NewSGD(r.model.NumParams(), cfg.Momentum, cfg.WeightDecay)
 	r.grads = make([]float32, r.model.NumParams())
+	r.arena = tensor.NewArena()
+	r.model.SetArena(r.arena)
+	r.flat = make([]float32, r.model.NumParams())
 	if cfg.Real.Augment != nil {
 		r.augment = cfg.Real.Augment
 		r.augRNG = shardStream.Split(0xa06)
@@ -93,7 +101,7 @@ func (r *replica) localStep(g []float32, lr float32) {
 	if r.model == nil || g == nil {
 		return
 	}
-	flat := r.model.FlatParams(nil)
+	flat := r.model.FlatParams(r.flat)
 	r.localO.Step(flat, g, lr)
 	r.model.SetFlatParams(flat)
 }
@@ -119,7 +127,7 @@ func (r *replica) setRanges(ranges []rangeT, src []float32) {
 	if r.model == nil || src == nil {
 		return
 	}
-	flat := r.model.FlatParams(nil)
+	flat := r.model.FlatParams(r.flat)
 	for _, rg := range ranges {
 		copy(flat[rg.Off:rg.Off+rg.Len], src[rg.Off:rg.Off+rg.Len])
 	}
@@ -131,7 +139,7 @@ func (r *replica) average(other []float32) {
 	if r.model == nil || other == nil {
 		return
 	}
-	flat := r.model.FlatParams(nil)
+	flat := r.model.FlatParams(r.flat)
 	for i := range flat {
 		flat[i] = 0.5 * (flat[i] + other[i])
 	}
@@ -144,7 +152,7 @@ func (r *replica) weightedMerge(own float64, xs []float32, ws float64) float64 {
 	if r.model == nil || xs == nil {
 		return own + ws
 	}
-	flat := r.model.FlatParams(nil)
+	flat := r.model.FlatParams(r.flat)
 	a := float32(own / (own + ws))
 	b := float32(ws / (own + ws))
 	for i := range flat {

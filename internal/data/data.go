@@ -43,11 +43,12 @@ func (d *Dataset) sampleSize() int {
 // label slice (allocated if nil or wrongly sized) and returns them.
 func (d *Dataset) Gather(idx []int, x *tensor.Tensor, y []int) (*tensor.Tensor, []int) {
 	ss := d.sampleSize()
-	shape := append([]int{len(idx)}, d.X.Shape[1:]...)
 	if x == nil || x.Size() != len(idx)*ss {
-		x = tensor.New(shape...)
+		x = tensor.New(append([]int{len(idx)}, d.X.Shape[1:]...)...)
 	} else {
-		x.Shape = shape
+		// Reuse the header in place so steady-state batches allocate nothing.
+		x.Shape = append(x.Shape[:0], len(idx))
+		x.Shape = append(x.Shape, d.X.Shape[1:]...)
 	}
 	if len(y) != len(idx) {
 		y = make([]int, len(idx))

@@ -67,6 +67,7 @@ type Compressor struct {
 	cfg  DGCConfig
 	u    []float32 // momentum-corrected accumulator
 	v    []float32 // local gradient accumulation (residual)
+	clip []float32 // reusable clipping scratch (steady-state: no allocs)
 	iter int
 }
 
@@ -97,10 +98,12 @@ func (c *Compressor) Compress(g []float32) Sparse {
 	}
 	work := g
 	if c.cfg.ClipNorm > 0 {
-		clipped := make([]float32, len(g))
-		copy(clipped, g)
-		opt.ClipByL2Norm(clipped, c.cfg.ClipNorm)
-		work = clipped
+		if c.clip == nil {
+			c.clip = make([]float32, len(g))
+		}
+		copy(c.clip, g)
+		opt.ClipByL2Norm(c.clip, c.cfg.ClipNorm)
+		work = c.clip
 	}
 	// Momentum correction: u += m*u + g; accumulation: v += u.
 	if c.cfg.NoMomentumCorrection {
@@ -144,14 +147,42 @@ func (c *Compressor) Iter() int { return c.iter }
 func (c *Compressor) Residual() []float32 { return c.v }
 
 // Decompress scatter-adds the sparse update into dense (length must equal
-// sp.Dense), scaled by alpha.
-func Decompress(sp Sparse, alpha float32, dense []float32) {
+// sp.Dense), scaled by alpha. It validates the sparse payload before
+// touching dense — a malformed or corrupted message (length mismatch,
+// out-of-range index, duplicate index) yields an error instead of a panic
+// or a silently double-applied entry, and leaves dense unmodified.
+func Decompress(sp Sparse, alpha float32, dense []float32) error {
 	if len(dense) != sp.Dense {
-		panic(fmt.Sprintf("grad: dense length %d, want %d", len(dense), sp.Dense))
+		return fmt.Errorf("grad: dense length %d, want %d", len(dense), sp.Dense)
+	}
+	if len(sp.Idx) != len(sp.Val) {
+		return fmt.Errorf("grad: sparse idx/val length mismatch: %d vs %d", len(sp.Idx), len(sp.Val))
+	}
+	// Compress emits indices in strictly ascending order, so the common case
+	// validates range and uniqueness in one pass with no extra memory.
+	ascending := true
+	for j, i := range sp.Idx {
+		if i < 0 || int(i) >= sp.Dense {
+			return fmt.Errorf("grad: sparse index %d out of range [0,%d)", i, sp.Dense)
+		}
+		if j > 0 && i <= sp.Idx[j-1] {
+			ascending = false
+		}
+	}
+	if !ascending {
+		// Unsorted input: fall back to a set to reject duplicates.
+		seen := make(map[int32]struct{}, len(sp.Idx))
+		for _, i := range sp.Idx {
+			if _, dup := seen[i]; dup {
+				return fmt.Errorf("grad: duplicate sparse index %d", i)
+			}
+			seen[i] = struct{}{}
+		}
 	}
 	for j, i := range sp.Idx {
 		dense[i] += alpha * sp.Val[j]
 	}
+	return nil
 }
 
 // topKIndices returns the indices of the k largest |v| entries. Selection is
@@ -179,22 +210,35 @@ func topKIndices(v []float32, k int) []int {
 		}
 		return x
 	}
+	// Total order: larger magnitude first, ties broken toward the lower
+	// index. The index tiebreak makes selection at the k-boundary
+	// deterministic — an unstable magnitude-only sort could admit either of
+	// two tied entries depending on the sort's internal permutation.
+	less := func(x, y ent) bool {
+		if x.a != y.a {
+			return x.a > y.a
+		}
+		return x.i < y.i
+	}
 	// Build initial k.
 	for i := 0; i < k; i++ {
 		best = append(best, ent{i, abs(v[i])})
 	}
-	sort.Slice(best, func(a, b int) bool { return best[a].a > best[b].a })
-	minA := best[k-1].a
+	sort.Slice(best, func(a, b int) bool { return less(best[a], best[b]) })
 	for i := k; i < n; i++ {
-		a := abs(v[i])
-		if a <= minA {
+		e := ent{i, abs(v[i])}
+		if !less(e, best[k-1]) {
 			continue
 		}
-		// insert into sorted position, drop the last
-		pos := sort.Search(k, func(j int) bool { return best[j].a < a })
+		// Insert into sorted position, drop the last. pos < k is guaranteed
+		// here for ordinary values (e sorts before best[k-1]), but a NaN
+		// magnitude compares false everywhere, so guard the copy.
+		pos := sort.Search(k, func(j int) bool { return less(e, best[j]) })
+		if pos >= k {
+			continue
+		}
 		copy(best[pos+1:], best[pos:k-1])
-		best[pos] = ent{i, a}
-		minA = best[k-1].a
+		best[pos] = e
 	}
 	idx := make([]int, k)
 	for j, e := range best {

@@ -116,7 +116,9 @@ func TestNoGradientIsLost(t *testing.T) {
 			fedSum += float64(g[i])
 		}
 		sp := c.Compress(g)
-		Decompress(sp, 1, dense)
+		if err := Decompress(sp, 1, dense); err != nil {
+			t.Fatal(err)
+		}
 	}
 	var got float64
 	for _, v := range dense {
@@ -208,19 +210,118 @@ func TestCompressionRatioOnWire(t *testing.T) {
 
 func TestDecompressScale(t *testing.T) {
 	dense := make([]float32, 4)
-	Decompress(Sparse{Idx: []int32{1, 3}, Val: []float32{2, -4}, Dense: 4}, 0.5, dense)
+	if err := Decompress(Sparse{Idx: []int32{1, 3}, Val: []float32{2, -4}, Dense: 4}, 0.5, dense); err != nil {
+		t.Fatal(err)
+	}
 	if dense[1] != 1 || dense[3] != -2 || dense[0] != 0 {
 		t.Fatalf("dense = %v", dense)
 	}
 }
 
-func TestDecompressLengthPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+func TestDecompressValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		sp    Sparse
+		dense []float32
+	}{
+		{"length mismatch", Sparse{Idx: []int32{0}, Val: []float32{1}, Dense: 4}, make([]float32, 3)},
+		{"idx/val mismatch", Sparse{Idx: []int32{0, 1}, Val: []float32{1}, Dense: 4}, make([]float32, 4)},
+		{"index too large", Sparse{Idx: []int32{4}, Val: []float32{1}, Dense: 4}, make([]float32, 4)},
+		{"negative index", Sparse{Idx: []int32{-1}, Val: []float32{1}, Dense: 4}, make([]float32, 4)},
+		{"duplicate sorted", Sparse{Idx: []int32{1, 1}, Val: []float32{1, 2}, Dense: 4}, make([]float32, 4)},
+		{"duplicate unsorted", Sparse{Idx: []int32{2, 0, 2}, Val: []float32{1, 2, 3}, Dense: 4}, make([]float32, 4)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := Decompress(tc.sp, 1, tc.dense); err == nil {
+				t.Fatalf("expected error for %s", tc.name)
+			}
+			for i, v := range tc.dense {
+				if v != 0 {
+					t.Fatalf("dense modified at %d despite error: %v", i, v)
+				}
+			}
+		})
+	}
+	// Unsorted but valid payloads must still decompress.
+	dense := make([]float32, 4)
+	if err := Decompress(Sparse{Idx: []int32{3, 0}, Val: []float32{1, 2}, Dense: 4}, 1, dense); err != nil {
+		t.Fatal(err)
+	}
+	if dense[3] != 1 || dense[0] != 2 {
+		t.Fatalf("dense = %v", dense)
+	}
+}
+
+func TestTopKTieBreakDeterministic(t *testing.T) {
+	// With many tied magnitudes straddling the k boundary, selection must be
+	// reproducible and must prefer lower indices among the tied group.
+	n, k := 64, 8
+	v := make([]float32, n)
+	for i := range v {
+		if i%2 == 0 {
+			v[i] = 1 // 32 entries tied at |1|, only k=8 can win
+		} else {
+			v[i] = -1
 		}
-	}()
-	Decompress(Sparse{Idx: []int32{0}, Val: []float32{1}, Dense: 4}, 1, make([]float32, 3))
+	}
+	first := topKIndices(v, k)
+	for trial := 0; trial < 10; trial++ {
+		got := topKIndices(v, k)
+		for j := range first {
+			if got[j] != first[j] {
+				t.Fatalf("trial %d: selection %v differs from %v", trial, got, first)
+			}
+		}
+	}
+	// Lower indices win ties: the winners must be exactly 0..k-1.
+	for j, i := range first {
+		if i != j {
+			t.Fatalf("tie-break chose %v, want [0..%d)", first, k)
+		}
+	}
+}
+
+func TestTopKMatchesReferenceSort(t *testing.T) {
+	// topKIndices must agree with a full sort under the same total order
+	// (|v| descending, index ascending), including heavy ties.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 5 + r.Intn(100)
+		k := 1 + r.Intn(n)
+		v := make([]float32, n)
+		for i := range v {
+			// Quantize to force frequent magnitude ties.
+			v[i] = float32(r.Intn(5)-2) * 0.5
+		}
+		ref := make([]int, n)
+		for i := range ref {
+			ref[i] = i
+		}
+		sort.SliceStable(ref, func(a, b int) bool {
+			aa := math.Abs(float64(v[ref[a]]))
+			ab := math.Abs(float64(v[ref[b]]))
+			if aa != ab {
+				return aa > ab
+			}
+			return ref[a] < ref[b]
+		})
+		want := append([]int(nil), ref[:k]...)
+		sort.Ints(want)
+		got := topKIndices(v, k)
+		if len(got) != k {
+			return false
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestValidate(t *testing.T) {

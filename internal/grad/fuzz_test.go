@@ -71,6 +71,23 @@ func FuzzDGCCompress(f *testing.F) {
 			prev = i
 		}
 		dense := make([]float32, n)
-		Decompress(sp, 1, dense)
+		if err := Decompress(sp, 1, dense); err != nil {
+			t.Fatalf("Decompress rejected compressor output: %v", err)
+		}
+		// Corrupted payloads must be rejected, not applied or panicked on.
+		if len(sp.Idx) > 0 {
+			bad := Sparse{Idx: append([]int32(nil), sp.Idx...), Val: sp.Val, Dense: sp.Dense}
+			bad.Idx[0] = int32(n) // out of range
+			if err := Decompress(bad, 1, dense); err == nil {
+				t.Fatal("out-of-range index accepted")
+			}
+		}
+		if len(sp.Idx) > 1 {
+			bad := Sparse{Idx: append([]int32(nil), sp.Idx...), Val: sp.Val, Dense: sp.Dense}
+			bad.Idx[1] = bad.Idx[0] // duplicate
+			if err := Decompress(bad, 1, dense); err == nil {
+				t.Fatal("duplicate index accepted")
+			}
+		}
 	})
 }

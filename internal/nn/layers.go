@@ -19,6 +19,7 @@ type Dense struct {
 	dx       *tensor.Tensor
 	dwTmp    *tensor.Tensor
 	lastSize int
+	arena    *tensor.Arena
 }
 
 // NewDense creates a dense layer with He-initialized weights.
@@ -32,8 +33,9 @@ func NewDense(name string, in, out int, r *rng.RNG) *Dense {
 	return d
 }
 
-func (d *Dense) Name() string     { return d.name }
-func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+func (d *Dense) Name() string             { return d.name }
+func (d *Dense) Params() []*Param         { return []*Param{d.w, d.b} }
+func (d *Dense) setArena(a *tensor.Arena) { d.arena = a }
 
 func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if len(x.Shape) != 2 || x.Shape[1] != d.In {
@@ -41,8 +43,12 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	b := x.Shape[0]
 	if d.y == nil || d.lastSize != b {
-		d.y = tensor.New(b, d.Out)
-		d.dx = tensor.New(b, d.In)
+		// y and dx are fully overwritten by the GEMMs below, so recycled
+		// (dirty) arena buffers are safe.
+		d.arena.PutTensor(d.y)
+		d.arena.PutTensor(d.dx)
+		d.y = d.arena.GetTensor(b, d.Out)
+		d.dx = d.arena.GetTensor(b, d.In)
 		d.lastSize = b
 	}
 	d.x = x
@@ -77,23 +83,27 @@ func (d *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
 
 // ReLU applies max(0, x) elementwise.
 type ReLU struct {
-	name string
-	mask []bool
-	y    *tensor.Tensor
-	dx   *tensor.Tensor
+	name  string
+	mask  []bool
+	y     *tensor.Tensor
+	dx    *tensor.Tensor
+	arena *tensor.Arena
 }
 
 // NewReLU creates a ReLU activation layer.
 func NewReLU(name string) *ReLU { return &ReLU{name: name} }
 
-func (l *ReLU) Name() string     { return l.name }
-func (l *ReLU) Params() []*Param { return nil }
+func (l *ReLU) Name() string             { return l.name }
+func (l *ReLU) Params() []*Param         { return nil }
+func (l *ReLU) setArena(a *tensor.Arena) { l.arena = a }
 
 func (l *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n := x.Size()
 	if l.y == nil || l.y.Size() != n {
-		l.y = tensor.New(x.Shape...)
-		l.dx = tensor.New(x.Shape...)
+		l.arena.PutTensor(l.y)
+		l.arena.PutTensor(l.dx)
+		l.y = l.arena.GetTensor(x.Shape...)
+		l.dx = l.arena.GetTensor(x.Shape...)
 		l.mask = make([]bool, n)
 	}
 	l.y.Shape = append(l.y.Shape[:0], x.Shape...)
@@ -136,6 +146,9 @@ type Conv2D struct {
 	dwTmp, dcols          *tensor.Tensor
 	h, wIn, outH, outW    int
 	lastBatch, lastInSize int
+	arena                 *tensor.Arena
+	// reusable header tensors viewing per-sample slices (no per-call allocs)
+	hdrIn, hdrOut tensor.Tensor
 }
 
 // NewConv2D creates a convolution layer with He-initialized weights.
@@ -150,8 +163,9 @@ func NewConv2D(name string, inC, outC, k, stride, pad int, r *rng.RNG) *Conv2D {
 	return c
 }
 
-func (c *Conv2D) Name() string     { return c.name }
-func (c *Conv2D) Params() []*Param { return []*Param{c.w, c.b} }
+func (c *Conv2D) Name() string             { return c.name }
+func (c *Conv2D) Params() []*Param         { return []*Param{c.w, c.b} }
+func (c *Conv2D) setArena(a *tensor.Arena) { c.arena = a }
 
 func (c *Conv2D) setup(x *tensor.Tensor) {
 	b := x.Shape[0]
@@ -161,13 +175,22 @@ func (c *Conv2D) setup(x *tensor.Tensor) {
 	rows := c.InC * c.K * c.K
 	cols := c.outH * c.outW
 	if c.lastBatch != b || c.lastInSize != x.Size() {
+		// All of these are fully overwritten each pass (Im2col and the GEMMs
+		// write every element; Col2im zeroes first), so dirty arena buffers
+		// are safe.
+		for _, t := range c.colsBatch {
+			c.arena.PutTensor(t)
+		}
+		c.arena.PutTensor(c.y)
+		c.arena.PutTensor(c.dx)
+		c.arena.PutTensor(c.dcols)
 		c.colsBatch = make([]*tensor.Tensor, b)
 		for i := range c.colsBatch {
-			c.colsBatch[i] = tensor.New(rows, cols)
+			c.colsBatch[i] = c.arena.GetTensor(rows, cols)
 		}
-		c.y = tensor.New(b, c.OutC, c.outH, c.outW)
-		c.dx = tensor.New(x.Shape...)
-		c.dcols = tensor.New(rows, cols)
+		c.y = c.arena.GetTensor(b, c.OutC, c.outH, c.outW)
+		c.dx = c.arena.GetTensor(x.Shape...)
+		c.dcols = c.arena.GetTensor(rows, cols)
 		c.lastBatch, c.lastInSize = b, x.Size()
 	}
 }
@@ -183,9 +206,9 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	sampleOut := c.OutC * c.outH * c.outW
 	nCols := c.outH * c.outW
 	for i := 0; i < b; i++ {
-		in3 := tensor.FromSlice(x.Data[i*sampleIn:(i+1)*sampleIn], c.InC, c.h, c.wIn)
+		in3 := c.hdrIn.Rebind(x.Data[i*sampleIn:(i+1)*sampleIn], c.InC, c.h, c.wIn)
 		tensor.Im2col(in3, c.K, c.K, c.Stride, c.Pad, c.colsBatch[i])
-		out2 := tensor.FromSlice(c.y.Data[i*sampleOut:(i+1)*sampleOut], c.OutC, nCols)
+		out2 := c.hdrOut.Rebind(c.y.Data[i*sampleOut:(i+1)*sampleOut], c.OutC, nCols)
 		tensor.MatMul(c.w.W, c.colsBatch[i], out2)
 		// bias per output channel
 		bd := c.b.W.Data
@@ -207,7 +230,7 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	nCols := c.outH * c.outW
 	gb := c.b.G.Data
 	for i := 0; i < b; i++ {
-		do2 := tensor.FromSlice(dout.Data[i*sampleOut:(i+1)*sampleOut], c.OutC, nCols)
+		do2 := c.hdrOut.Rebind(dout.Data[i*sampleOut:(i+1)*sampleOut], c.OutC, nCols)
 		// dW += dout·colsᵀ
 		tensor.MatMulTransB(do2, c.colsBatch[i], c.dwTmp)
 		c.w.G.AddScaled(1, c.dwTmp)
@@ -222,7 +245,7 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 		}
 		// dcols = Wᵀ·dout ; dx = col2im(dcols)
 		tensor.MatMulTransA(c.w.W, do2, c.dcols)
-		dx3 := tensor.FromSlice(c.dx.Data[i*sampleIn:(i+1)*sampleIn], c.InC, c.h, c.wIn)
+		dx3 := c.hdrIn.Rebind(c.dx.Data[i*sampleIn:(i+1)*sampleIn], c.InC, c.h, c.wIn)
 		tensor.Col2im(c.dcols, c.InC, c.h, c.wIn, c.K, c.K, c.Stride, c.Pad, dx3)
 	}
 	return c.dx
@@ -237,13 +260,17 @@ type MaxPool struct {
 	inShape   []int
 	sampleIn  int
 	sampleOut int
+	arena     *tensor.Arena
+	// reusable per-sample view headers
+	hdrIn, hdrOut tensor.Tensor
 }
 
 // NewMaxPool creates a 2×2 stride-2 max-pooling layer.
 func NewMaxPool(name string) *MaxPool { return &MaxPool{name: name} }
 
-func (l *MaxPool) Name() string     { return l.name }
-func (l *MaxPool) Params() []*Param { return nil }
+func (l *MaxPool) Name() string             { return l.name }
+func (l *MaxPool) Params() []*Param         { return nil }
+func (l *MaxPool) setArena(a *tensor.Arena) { l.arena = a }
 
 func (l *MaxPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	b, ch, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
@@ -251,8 +278,10 @@ func (l *MaxPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: maxpool %s needs even spatial dims, got %v", l.name, x.Shape))
 	}
 	if l.y == nil || l.lastIn != x.Size() {
-		l.y = tensor.New(b, ch, h/2, w/2)
-		l.dx = tensor.New(x.Shape...)
+		l.arena.PutTensor(l.y)
+		l.arena.PutTensor(l.dx)
+		l.y = l.arena.GetTensor(b, ch, h/2, w/2)
+		l.dx = l.arena.GetTensor(x.Shape...)
 		l.idx = make([]int32, b*ch*(h/2)*(w/2))
 		l.lastIn = x.Size()
 		l.inShape = append([]int(nil), x.Shape...)
@@ -260,8 +289,8 @@ func (l *MaxPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		l.sampleOut = ch * (h / 2) * (w / 2)
 	}
 	for i := 0; i < b; i++ {
-		in3 := tensor.FromSlice(x.Data[i*l.sampleIn:(i+1)*l.sampleIn], ch, h, w)
-		out3 := tensor.FromSlice(l.y.Data[i*l.sampleOut:(i+1)*l.sampleOut], ch, h/2, w/2)
+		in3 := l.hdrIn.Rebind(x.Data[i*l.sampleIn:(i+1)*l.sampleIn], ch, h, w)
+		out3 := l.hdrOut.Rebind(l.y.Data[i*l.sampleOut:(i+1)*l.sampleOut], ch, h/2, w/2)
 		tensor.MaxPool2x2(in3, out3, l.idx[i*l.sampleOut:(i+1)*l.sampleOut])
 	}
 	return l.y
@@ -271,18 +300,20 @@ func (l *MaxPool) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	b := dout.Shape[0]
 	ch, h, w := l.inShape[1], l.inShape[2], l.inShape[3]
 	for i := 0; i < b; i++ {
-		do3 := tensor.FromSlice(dout.Data[i*l.sampleOut:(i+1)*l.sampleOut], ch, h/2, w/2)
-		dx3 := tensor.FromSlice(l.dx.Data[i*l.sampleIn:(i+1)*l.sampleIn], ch, h, w)
+		do3 := l.hdrOut.Rebind(dout.Data[i*l.sampleOut:(i+1)*l.sampleOut], ch, h/2, w/2)
+		dx3 := l.hdrIn.Rebind(l.dx.Data[i*l.sampleIn:(i+1)*l.sampleIn], ch, h, w)
 		tensor.MaxPool2x2Backward(do3, l.idx[i*l.sampleOut:(i+1)*l.sampleOut], dx3)
 	}
 	return l.dx
 }
 
-// Flatten reshapes [B, ...] to [B, rest] without copying.
+// Flatten reshapes [B, ...] to [B, rest] without copying. Its outputs are
+// reusable header tensors viewing the input's storage, so it never
+// allocates after the first pass.
 type Flatten struct {
 	name    string
 	inShape []int
-	y, dx   *tensor.Tensor
+	y, dx   tensor.Tensor
 }
 
 // NewFlatten creates a flattening layer.
@@ -294,13 +325,11 @@ func (l *Flatten) Params() []*Param { return nil }
 func (l *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	l.inShape = append(l.inShape[:0], x.Shape...)
 	rest := x.Size() / x.Shape[0]
-	l.y = tensor.FromSlice(x.Data, x.Shape[0], rest)
-	return l.y
+	return l.y.Rebind(x.Data, x.Shape[0], rest)
 }
 
 func (l *Flatten) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	l.dx = tensor.FromSlice(dout.Data, l.inShape...)
-	return l.dx
+	return l.dx.Rebind(dout.Data, l.inShape...)
 }
 
 // Residual wraps an inner layer stack F and computes y = F(x) + x, the
@@ -310,6 +339,7 @@ type Residual struct {
 	name  string
 	inner []Layer
 	y, dx *tensor.Tensor
+	arena *tensor.Arena
 }
 
 // NewResidual creates a residual block around the inner layers.
@@ -318,6 +348,15 @@ func NewResidual(name string, inner ...Layer) *Residual {
 }
 
 func (l *Residual) Name() string { return l.name }
+
+func (l *Residual) setArena(a *tensor.Arena) {
+	l.arena = a
+	for _, in := range l.inner {
+		if u, ok := in.(arenaUser); ok {
+			u.setArena(a)
+		}
+	}
+}
 
 func (l *Residual) Params() []*Param {
 	var ps []*Param
@@ -336,8 +375,10 @@ func (l *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: residual %s shape mismatch: in %v out %v", l.name, x.Shape, h.Shape))
 	}
 	if l.y == nil || l.y.Size() != h.Size() {
-		l.y = tensor.New(h.Shape...)
-		l.dx = tensor.New(x.Shape...)
+		l.arena.PutTensor(l.y)
+		l.arena.PutTensor(l.dx)
+		l.y = l.arena.GetTensor(h.Shape...)
+		l.dx = l.arena.GetTensor(x.Shape...)
 	}
 	copy(l.y.Data, h.Data)
 	tensor.AxpyF32(1, x.Data, l.y.Data)

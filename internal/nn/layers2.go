@@ -34,6 +34,7 @@ type BatchNorm struct {
 	dx     *tensor.Tensor
 	y      *tensor.Tensor
 	lastN  int
+	arena  *tensor.Arena
 }
 
 // NewBatchNorm creates a batch-normalization layer over c channels.
@@ -51,8 +52,9 @@ func NewBatchNorm(name string, c int) *BatchNorm {
 	return bn
 }
 
-func (bn *BatchNorm) Name() string     { return bn.name }
-func (bn *BatchNorm) Params() []*Param { return []*Param{bn.gamma, bn.beta} }
+func (bn *BatchNorm) Name() string             { return bn.name }
+func (bn *BatchNorm) Params() []*Param         { return []*Param{bn.gamma, bn.beta} }
+func (bn *BatchNorm) setArena(a *tensor.Arena) { bn.arena = a }
 
 // geometry returns (groups, perChannelStride, spatial) describing how the
 // flat data maps to channels: for [B,C,H,W] each channel c owns B·H·W
@@ -78,11 +80,16 @@ func (bn *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	batch, spatial := bn.channelIndex(x.Shape)
 	n := x.Size()
 	if bn.y == nil || bn.lastN != n {
-		bn.y = tensor.New(x.Shape...)
-		bn.dx = tensor.New(x.Shape...)
-		bn.xhat = make([]float32, n)
-		bn.mean = make([]float32, bn.C)
-		bn.invStd = make([]float32, bn.C)
+		bn.arena.PutTensor(bn.y)
+		bn.arena.PutTensor(bn.dx)
+		bn.arena.Put(bn.xhat)
+		bn.y = bn.arena.GetTensor(x.Shape...)
+		bn.dx = bn.arena.GetTensor(x.Shape...)
+		bn.xhat = bn.arena.Get(n)
+		if bn.mean == nil {
+			bn.mean = make([]float32, bn.C)
+			bn.invStd = make([]float32, bn.C)
+		}
 		bn.lastN = n
 	}
 	bn.y.Shape = append(bn.y.Shape[:0], x.Shape...)
@@ -174,6 +181,7 @@ type Dropout struct {
 	mask  []bool
 	y, dx *tensor.Tensor
 	train bool
+	arena *tensor.Arena
 }
 
 // NewDropout creates a dropout layer with drop probability p, drawing its
@@ -185,14 +193,17 @@ func NewDropout(name string, p float64, r *rng.RNG) *Dropout {
 	return &Dropout{name: name, P: p, r: r}
 }
 
-func (d *Dropout) Name() string     { return d.name }
-func (d *Dropout) Params() []*Param { return nil }
+func (d *Dropout) Name() string             { return d.name }
+func (d *Dropout) Params() []*Param         { return nil }
+func (d *Dropout) setArena(a *tensor.Arena) { d.arena = a }
 
 func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n := x.Size()
 	if d.y == nil || d.y.Size() != n {
-		d.y = tensor.New(x.Shape...)
-		d.dx = tensor.New(x.Shape...)
+		d.arena.PutTensor(d.y)
+		d.arena.PutTensor(d.dx)
+		d.y = d.arena.GetTensor(x.Shape...)
+		d.dx = d.arena.GetTensor(x.Shape...)
 		d.mask = make([]bool, n)
 	}
 	d.y.Shape = append(d.y.Shape[:0], x.Shape...)
@@ -237,13 +248,15 @@ type GlobalAvgPool struct {
 	name    string
 	inShape []int
 	y, dx   *tensor.Tensor
+	arena   *tensor.Arena
 }
 
 // NewGlobalAvgPool creates a global average pooling layer.
 func NewGlobalAvgPool(name string) *GlobalAvgPool { return &GlobalAvgPool{name: name} }
 
-func (l *GlobalAvgPool) Name() string     { return l.name }
-func (l *GlobalAvgPool) Params() []*Param { return nil }
+func (l *GlobalAvgPool) Name() string             { return l.name }
+func (l *GlobalAvgPool) Params() []*Param         { return nil }
+func (l *GlobalAvgPool) setArena(a *tensor.Arena) { l.arena = a }
 
 func (l *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if len(x.Shape) != 4 {
@@ -252,10 +265,12 @@ func (l *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	b, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	l.inShape = append(l.inShape[:0], x.Shape...)
 	if l.y == nil || l.y.Size() != b*c {
-		l.y = tensor.New(b, c)
+		l.arena.PutTensor(l.y)
+		l.y = l.arena.GetTensor(b, c)
 	}
 	if l.dx == nil || l.dx.Size() != x.Size() {
-		l.dx = tensor.New(x.Shape...)
+		l.arena.PutTensor(l.dx)
+		l.dx = l.arena.GetTensor(x.Shape...)
 	}
 	spatial := h * w
 	inv := float32(1) / float32(spatial)

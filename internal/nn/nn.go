@@ -59,8 +59,31 @@ type Model struct {
 	segs   []Segment
 	size   int
 
+	// arena recycles layer scratch buffers across batch-shape changes
+	// (nil = plain allocation).
+	arena *tensor.Arena
+
 	// caches reused across Loss calls
 	probs *tensor.Tensor
+}
+
+// arenaUser is implemented by layers whose scratch buffers (activations,
+// gradients, im2col matrices) can be drawn from a shared arena.
+type arenaUser interface {
+	setArena(a *tensor.Arena)
+}
+
+// SetArena routes all layer scratch allocation through a. Buffers released
+// when the batch shape changes (e.g. alternating training and evaluation
+// batches) are recycled, making steady-state training steps allocation-free.
+// Call before the first Forward; a nil arena restores plain allocation.
+func (m *Model) SetArena(a *tensor.Arena) {
+	m.arena = a
+	for _, l := range m.Layers {
+		if u, ok := l.(arenaUser); ok {
+			u.setArena(a)
+		}
+	}
 }
 
 // NewModel assembles layers into a model and computes flat-vector segment
@@ -160,6 +183,7 @@ func (m *Model) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // mini-batch gradient.
 func (m *Model) Loss(x *tensor.Tensor, labels []int) (loss float64, correct int) {
 	logits := m.Forward(x, true)
+	m.ensureProbs(logits)
 	var dlogits *tensor.Tensor
 	loss, correct, dlogits, m.probs = SoftmaxCrossEntropy(logits, labels, m.probs)
 	d := dlogits
@@ -173,7 +197,18 @@ func (m *Model) Loss(x *tensor.Tensor, labels []int) (loss float64, correct int)
 // touching gradients.
 func (m *Model) Evaluate(x *tensor.Tensor, labels []int) (loss float64, acc float64) {
 	logits := m.Forward(x, false)
+	m.ensureProbs(logits)
 	l, correct, _, probs := SoftmaxCrossEntropy(logits, labels, m.probs)
 	m.probs = probs
 	return l, float64(correct) / float64(len(labels))
+}
+
+// ensureProbs recycles the softmax scratch through the arena when the batch
+// shape changes; SoftmaxCrossEntropy fully overwrites it.
+func (m *Model) ensureProbs(logits *tensor.Tensor) {
+	b, c := logits.Shape[0], logits.Shape[1]
+	if m.probs == nil || m.probs.Shape[0] != b || m.probs.Shape[1] != c {
+		m.arena.PutTensor(m.probs)
+		m.probs = m.arena.GetTensor(b, c)
+	}
 }

@@ -1,0 +1,95 @@
+package tensor
+
+// Arena is a size-bucketed free list of float32 scratch buffers. The nn
+// layers and training replicas allocate activations, gradients and im2col
+// matrices through an arena so buffers released when a batch shape changes
+// (train step → evaluation → train step) are recycled instead of becoming
+// garbage; steady-state training steps then allocate ~nothing.
+//
+// An Arena is NOT safe for concurrent use — each replica owns its own. All
+// methods are nil-safe: a nil *Arena degrades to plain make/New allocation,
+// so arena threading is optional everywhere.
+//
+// Buffers handed out by Get/GetTensor are NOT zeroed (recycled buffers keep
+// their old contents). Callers must fully overwrite them, or use GetZeroed.
+type Arena struct {
+	pools map[int][][]float32
+	gets  int
+	hits  int
+}
+
+// NewArena creates an empty arena.
+func NewArena() *Arena {
+	return &Arena{pools: make(map[int][][]float32)}
+}
+
+// Get returns a buffer of exactly n float32s, recycled when one of that size
+// is free. Contents are unspecified.
+func (a *Arena) Get(n int) []float32 {
+	if a == nil {
+		return make([]float32, n)
+	}
+	a.gets++
+	if bucket := a.pools[n]; len(bucket) > 0 {
+		buf := bucket[len(bucket)-1]
+		bucket[len(bucket)-1] = nil
+		a.pools[n] = bucket[:len(bucket)-1]
+		a.hits++
+		return buf
+	}
+	return make([]float32, n)
+}
+
+// GetZeroed is Get with the returned buffer cleared.
+func (a *Arena) GetZeroed(n int) []float32 {
+	buf := a.Get(n)
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// Put returns buf to the arena for reuse. nil buffers (and nil arenas) are
+// ignored. The caller must not use buf afterwards.
+func (a *Arena) Put(buf []float32) {
+	if a == nil || buf == nil {
+		return
+	}
+	n := len(buf)
+	a.pools[n] = append(a.pools[n], buf)
+}
+
+// GetTensor returns a tensor with the given shape backed by arena storage.
+// Contents are unspecified; callers must fully overwrite the data.
+func (a *Arena) GetTensor(shape ...int) *Tensor {
+	if a == nil {
+		return New(shape...)
+	}
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic("tensor: non-positive dim in arena shape")
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: a.Get(n)}
+}
+
+// PutTensor releases t's storage back to the arena. nil tensors are ignored;
+// t must not be used afterwards.
+func (a *Arena) PutTensor(t *Tensor) {
+	if a == nil || t == nil {
+		return
+	}
+	a.Put(t.Data)
+	t.Data = nil
+}
+
+// Stats reports how many Get calls were served and how many of those reused
+// a pooled buffer (for tests and diagnostics).
+func (a *Arena) Stats() (gets, hits int) {
+	if a == nil {
+		return 0, 0
+	}
+	return a.gets, a.hits
+}

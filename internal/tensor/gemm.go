@@ -1,0 +1,323 @@
+// GEMM kernels: cache-blocked, register-tiled matrix multiplication with a
+// deterministic goroutine fan-out over row panels of C.
+//
+// All three variants (MatMul, MatMulTransA, MatMulTransB) share the same
+// structure: a serial panel kernel computes a contiguous range of C rows,
+// and a dispatcher either runs it once over [0, m) or splits the rows across
+// min(GOMAXPROCS, rows) goroutines. Because every goroutine writes a
+// disjoint row panel and each C element accumulates its k terms in the same
+// (ascending-p) order on every path, the result is byte-identical to the
+// serial kernel for any parallelism level — simulation outputs do not depend
+// on GOMAXPROCS.
+//
+// Numeric note: unlike the earlier kernels, no zero-skip fast path exists —
+// an A element of 0 still multiplies its B row, so NaN/Inf in either operand
+// propagates into C (0·NaN = NaN). Silently zeroing those terms masked
+// divergence in training runs.
+package tensor
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"runtime"
+)
+
+const (
+	// gemmBlockK is the k-panel depth: one block of B rows (gemmBlockK×n
+	// floats) is swept repeatedly while it is still cache-resident.
+	gemmBlockK = 240
+	// gemmBlockN bounds the column width of the resident B panel so a
+	// gemmBlockK×gemmBlockN slab (~240 KB) stays L2-resident even for wide
+	// outputs (e.g. im2col matrices of early conv layers, n in the
+	// thousands).
+	gemmBlockN = 256
+	// gemmParallelMinFLOPs is the 2·m·k·n product below which dispatch runs
+	// serial: goroutine spawn (~µs and a closure allocation each) would
+	// dominate tiny multiplies, and the training hot path at mini-model scale
+	// must stay allocation-free.
+	gemmParallelMinFLOPs = 1 << 19
+)
+
+// gemmForceProcs overrides the parallel width when positive (tests force
+// serial vs parallel execution to prove byte-identical results).
+var gemmForceProcs atomic.Int32
+
+func gemmProcs() int {
+	if p := gemmForceProcs.Load(); p > 0 {
+		return int(p)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// gemmSerial reports whether an m-row multiply of the given FLOP count
+// should run on the calling goroutine. The wrappers check this BEFORE
+// constructing the dispatch closure: the closure is captured by spawned
+// goroutines and therefore heap-allocates, which the serial hot path
+// (steady-state training steps) must not pay.
+func gemmSerial(m, flops int) bool {
+	procs := gemmProcs()
+	if procs > m {
+		procs = m
+	}
+	return procs <= 1 || flops < gemmParallelMinFLOPs
+}
+
+// gemmDispatch runs panel(i0, i1) over disjoint row ranges covering [0, m),
+// in parallel when the problem is large enough. panel must be safe to run
+// concurrently on disjoint ranges and must produce row results that do not
+// depend on the range boundaries.
+func gemmDispatch(m int, flops int, panel func(i0, i1 int)) {
+	procs := gemmProcs()
+	if procs > m {
+		procs = m
+	}
+	if procs <= 1 || flops < gemmParallelMinFLOPs {
+		panel(0, m)
+		return
+	}
+	chunk := (m + procs - 1) / procs
+	var wg sync.WaitGroup
+	for i0 := 0; i0 < m; i0 += chunk {
+		i1 := i0 + chunk
+		if i1 > m {
+			i1 = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			panel(lo, hi)
+		}(i0, i1)
+	}
+	wg.Wait()
+}
+
+// MatMul computes C = A·B where A is (m×k) and B is (k×n), all row-major.
+// C must be (m×n) and is overwritten.
+func MatMul(a, b, c *Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 || c.Shape[0] != m || c.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %v x %v -> %v", a.Shape, b.Shape, c.Shape))
+	}
+	ad, bd, cd := a.Data, b.Data, c.Data
+	if gemmSerial(m, 2*m*k*n) {
+		matMulPanel(ad, bd, cd, 0, m, k, n)
+		return
+	}
+	gemmDispatch(m, 2*m*k*n, func(i0, i1 int) {
+		matMulPanel(ad, bd, cd, i0, i1, k, n)
+	})
+}
+
+// matMulPanel computes rows [i0, i1) of C = A·B. The k loop is blocked so a
+// gemmBlockK×n slab of B is reused while cache-resident, and within a block
+// a 2×4 register tile of C accumulates entirely in registers — the inner
+// loop issues 8 multiply-adds against 6 loads and no stores, instead of a
+// load+store per multiply-add. (A 4×4 tile needs more accumulators than
+// amd64 has XMM registers; the spills cost more than the extra reuse wins.)
+//
+// Determinism: every C element, on every path (2-row pair or row remainder,
+// 4-column tile or column remainder), experiences the identical rounding
+// sequence — a block-local accumulator summing its k terms in ascending-p
+// order, folded into C once per block. Results therefore do not depend on
+// the panel split or on which unroll path a row or column lands in.
+func matMulPanel(ad, bd, cd []float32, i0, i1, k, n int) {
+	for i := i0; i < i1; i++ {
+		ci := cd[i*n : i*n+n]
+		for x := range ci {
+			ci[x] = 0
+		}
+	}
+	for p0 := 0; p0 < k; p0 += gemmBlockK {
+		pMax := p0 + gemmBlockK
+		if pMax > k {
+			pMax = k
+		}
+		for j0 := 0; j0 < n; j0 += gemmBlockN {
+			jMax := j0 + gemmBlockN
+			if jMax > n {
+				jMax = n
+			}
+			i := i0
+			for ; i+1 < i1; i += 2 {
+				a0 := ad[i*k : i*k+k]
+				a1 := ad[(i+1)*k : (i+2)*k]
+				j := j0
+				for ; j+3 < jMax; j += 4 {
+					var c00, c01, c02, c03 float32
+					var c10, c11, c12, c13 float32
+					for p := p0; p < pMax; p++ {
+						bp := bd[p*n+j : p*n+j+4]
+						b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
+						av := a0[p]
+						c00 += av * b0
+						c01 += av * b1
+						c02 += av * b2
+						c03 += av * b3
+						av = a1[p]
+						c10 += av * b0
+						c11 += av * b1
+						c12 += av * b2
+						c13 += av * b3
+					}
+					c0 := cd[i*n+j : i*n+j+4]
+					c0[0] += c00
+					c0[1] += c01
+					c0[2] += c02
+					c0[3] += c03
+					c1 := cd[(i+1)*n+j : (i+1)*n+j+4]
+					c1[0] += c10
+					c1[1] += c11
+					c1[2] += c12
+					c1[3] += c13
+				}
+				for ; j < jMax; j++ {
+					var s0, s1 float32
+					for p := p0; p < pMax; p++ {
+						bv := bd[p*n+j]
+						s0 += a0[p] * bv
+						s1 += a1[p] * bv
+					}
+					cd[i*n+j] += s0
+					cd[(i+1)*n+j] += s1
+				}
+			}
+			for ; i < i1; i++ {
+				ai := ad[i*k : i*k+k]
+				j := j0
+				for ; j+3 < jMax; j += 4 {
+					var s0, s1, s2, s3 float32
+					for p := p0; p < pMax; p++ {
+						bp := bd[p*n+j : p*n+j+4]
+						av := ai[p]
+						s0 += av * bp[0]
+						s1 += av * bp[1]
+						s2 += av * bp[2]
+						s3 += av * bp[3]
+					}
+					ci := cd[i*n+j : i*n+j+4]
+					ci[0] += s0
+					ci[1] += s1
+					ci[2] += s2
+					ci[3] += s3
+				}
+				for ; j < jMax; j++ {
+					var s float32
+					for p := p0; p < pMax; p++ {
+						s += ai[p] * bd[p*n+j]
+					}
+					cd[i*n+j] += s
+				}
+			}
+		}
+	}
+}
+
+// MatMulTransA computes C = Aᵀ·B where A is (k×m), B is (k×n), C is (m×n).
+func MatMulTransA(a, b, c *Tensor) {
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 || c.Shape[0] != m || c.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: matmulTransA shape mismatch %v x %v -> %v", a.Shape, b.Shape, c.Shape))
+	}
+	ad, bd, cd := a.Data, b.Data, c.Data
+	if gemmSerial(m, 2*m*k*n) {
+		matMulTransAPanel(ad, bd, cd, 0, m, k, m, n)
+		return
+	}
+	gemmDispatch(m, 2*m*k*n, func(i0, i1 int) {
+		matMulTransAPanel(ad, bd, cd, i0, i1, k, m, n)
+	})
+}
+
+// matMulTransAPanel computes C rows [i0, i1) of C = Aᵀ·B. The p loop stays
+// outermost so both A and B rows stream contiguously; the panel itself is
+// the cache block (its C rows are revisited every p step). Four C rows share
+// each loaded B row.
+func matMulTransAPanel(ad, bd, cd []float32, i0, i1, k, m, n int) {
+	for i := i0; i < i1; i++ {
+		ci := cd[i*n : i*n+n]
+		for x := range ci {
+			ci[x] = 0
+		}
+	}
+	for p := 0; p < k; p++ {
+		ap := ad[p*m : p*m+m]
+		bp := bd[p*n : p*n+n]
+		i := i0
+		for ; i+3 < i1; i += 4 {
+			av0, av1, av2, av3 := ap[i], ap[i+1], ap[i+2], ap[i+3]
+			c0 := cd[i*n : i*n+n]
+			c1 := cd[(i+1)*n : (i+2)*n]
+			c2 := cd[(i+2)*n : (i+3)*n]
+			c3 := cd[(i+3)*n : (i+4)*n]
+			for j, bv := range bp {
+				c0[j] += av0 * bv
+				c1[j] += av1 * bv
+				c2[j] += av2 * bv
+				c3[j] += av3 * bv
+			}
+		}
+		for ; i < i1; i++ {
+			av := ap[i]
+			ci := cd[i*n : i*n+n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransB computes C = A·Bᵀ where A is (m×k), B is (n×k), C is (m×n).
+func MatMulTransB(a, b, c *Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 || c.Shape[0] != m || c.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: matmulTransB shape mismatch %v x %v -> %v", a.Shape, b.Shape, c.Shape))
+	}
+	ad, bd, cd := a.Data, b.Data, c.Data
+	if gemmSerial(m, 2*m*k*n) {
+		matMulTransBPanel(ad, bd, cd, 0, m, k, n)
+		return
+	}
+	gemmDispatch(m, 2*m*k*n, func(i0, i1 int) {
+		matMulTransBPanel(ad, bd, cd, i0, i1, k, n)
+	})
+}
+
+// matMulTransBPanel computes C rows [i0, i1) of C = A·Bᵀ as dot products of
+// A and B rows, four B rows at a time so each A row is streamed once per
+// quad instead of once per output. Each dot accumulates in ascending-p order
+// with an independent accumulator, so results do not depend on the quad
+// grouping or panel split.
+func matMulTransBPanel(ad, bd, cd []float32, i0, i1, k, n int) {
+	for i := i0; i < i1; i++ {
+		ai := ad[i*k : i*k+k]
+		ci := cd[i*n : i*n+n]
+		j := 0
+		for ; j+3 < n; j += 4 {
+			b0 := bd[j*k : j*k+k]
+			b1 := bd[(j+1)*k : (j+2)*k]
+			b2 := bd[(j+2)*k : (j+3)*k]
+			b3 := bd[(j+3)*k : (j+4)*k]
+			var s0, s1, s2, s3 float32
+			for p, av := range ai {
+				s0 += av * b0[p]
+				s1 += av * b1[p]
+				s2 += av * b2[p]
+				s3 += av * b3[p]
+			}
+			ci[j], ci[j+1], ci[j+2], ci[j+3] = s0, s1, s2, s3
+		}
+		for ; j < n; j++ {
+			bj := bd[j*k : j*k+k]
+			var s float32
+			for p, av := range ai {
+				s += av * bj[p]
+			}
+			ci[j] = s
+		}
+	}
+}

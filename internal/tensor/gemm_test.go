@@ -1,0 +1,271 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"disttrain/internal/rng"
+)
+
+// randMat fills an m×n tensor with standard normals.
+func randMat(r *rng.RNG, m, n int) *Tensor {
+	t := New(m, n)
+	t.RandNormal(r, 1)
+	return t
+}
+
+// TestGemmVariantsMatchNaiveRandomShapes cross-checks all three kernels
+// against the float64 triple loop over shapes chosen to cross every
+// structural boundary: the 4-row/4-column quad unrolls (remainders 0-3), the
+// gemmBlockK k-panel edge, and single-row/column degenerate cases.
+func TestGemmVariantsMatchNaiveRandomShapes(t *testing.T) {
+	r := rng.New(99)
+	shapes := [][3]int{
+		{1, 1, 1},
+		{1, 7, 1},
+		{4, 4, 4},
+		{5, 3, 6},                 // row remainder 1
+		{7, 2, 9},                 // row remainder 3, col remainder 1
+		{8, gemmBlockK, 5},        // k exactly one block
+		{6, gemmBlockK + 1, 7},    // k crosses the block edge
+		{3, 2*gemmBlockK + 17, 4}, // k spans three blocks
+		{16, 33, 16},
+	}
+	for trial := 0; trial < 30; trial++ {
+		shapes = append(shapes, [3]int{1 + r.Intn(20), 1 + r.Intn(300), 1 + r.Intn(20)})
+	}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a := randMat(r, m, k)
+		b := randMat(r, k, n)
+		want := naiveMatMul(a, b)
+		tol := 1e-3 * math.Sqrt(float64(k))
+
+		c1 := New(m, n)
+		MatMul(a, b, c1)
+		if !almostEqual(c1.Data, want.Data, tol) {
+			t.Fatalf("MatMul %v disagrees with naive", s)
+		}
+		c2 := New(m, n)
+		MatMulTransA(transpose(a), b, c2)
+		if !almostEqual(c2.Data, want.Data, tol) {
+			t.Fatalf("MatMulTransA %v disagrees with naive", s)
+		}
+		c3 := New(m, n)
+		MatMulTransB(a, transpose(b), c3)
+		if !almostEqual(c3.Data, want.Data, tol) {
+			t.Fatalf("MatMulTransB %v disagrees with naive", s)
+		}
+	}
+}
+
+// TestGemmParallelBitIdentical proves the tentpole's determinism claim: the
+// parallel fan-out must produce byte-identical results to the serial kernel,
+// for every variant, at shapes large enough to actually go parallel.
+func TestGemmParallelBitIdentical(t *testing.T) {
+	r := rng.New(7)
+	// 96×512×80 ≈ 7.9 MFLOPs, far above gemmParallelMinFLOPs; 96 rows split
+	// unevenly across 8 goroutines, exercising ragged panel boundaries too.
+	shapes := [][3]int{{96, 512, 80}, {33, 700, 17}, {5, 60000, 3}}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a := randMat(r, m, k)
+		b := randMat(r, k, n)
+		bT := transpose(b)
+		aT := transpose(a)
+
+		check := func(name string, compute func(c *Tensor)) {
+			serial := New(m, n)
+			gemmForceProcs.Store(1)
+			compute(serial)
+			par := New(m, n)
+			gemmForceProcs.Store(8)
+			compute(par)
+			gemmForceProcs.Store(0)
+			for i := range serial.Data {
+				if math.Float32bits(serial.Data[i]) != math.Float32bits(par.Data[i]) {
+					t.Fatalf("%s %v: element %d differs serial=%x parallel=%x",
+						name, s, i, math.Float32bits(serial.Data[i]), math.Float32bits(par.Data[i]))
+				}
+			}
+		}
+		check("MatMul", func(c *Tensor) { MatMul(a, b, c) })
+		check("MatMulTransA", func(c *Tensor) { MatMulTransA(aT, b, c) })
+		check("MatMulTransB", func(c *Tensor) { MatMulTransB(a, bT, c) })
+	}
+}
+
+// TestGemmNaNPropagates is the regression test for the zero-skip bug: the old
+// kernels skipped the inner loop when an A element was zero, so a NaN or Inf
+// in B could be silently dropped (0·NaN must be NaN, not 0). Every variant
+// must propagate non-finite values even when the matching operand is zero.
+func TestGemmNaNPropagates(t *testing.T) {
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+
+	// A has an explicit zero in the position that multiplies the NaN in B.
+	a := FromSlice([]float32{0, 1, 0, 2}, 2, 2)
+	b := FromSlice([]float32{nan, 3, 4, 5}, 2, 2)
+	c := New(2, 2)
+	MatMul(a, b, c)
+	// c[0,0] = 0·NaN + 1·4 → NaN.
+	if !math.IsNaN(float64(c.Data[0])) {
+		t.Fatalf("MatMul swallowed NaN: C = %v", c.Data)
+	}
+
+	MatMulTransA(transpose(a), b, c)
+	if !math.IsNaN(float64(c.Data[0])) {
+		t.Fatalf("MatMulTransA swallowed NaN: C = %v", c.Data)
+	}
+
+	MatMulTransB(a, transpose(b), c)
+	if !math.IsNaN(float64(c.Data[0])) {
+		t.Fatalf("MatMulTransB swallowed NaN: C = %v", c.Data)
+	}
+
+	// Inf must propagate the same way (0·Inf = NaN).
+	b2 := FromSlice([]float32{inf, 3, 4, 5}, 2, 2)
+	MatMul(a, b2, c)
+	if !math.IsNaN(float64(c.Data[0])) {
+		t.Fatalf("MatMul swallowed Inf: C = %v", c.Data)
+	}
+
+	// A zero-row times a NaN-free B stays finite (sanity: zeros still work).
+	b3 := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	MatMul(a, b3, c)
+	if c.Data[0] != 3 || c.Data[1] != 4 {
+		t.Fatalf("zero handling broken: C = %v", c.Data)
+	}
+}
+
+// TestGemmNaNPropagatesLarge pushes a NaN through a parallel-sized multiply
+// so the blocked/unrolled paths are the ones under test.
+func TestGemmNaNPropagatesLarge(t *testing.T) {
+	r := rng.New(3)
+	m, k, n := 64, 512, 64
+	a := randMat(r, m, k)
+	b := randMat(r, k, n)
+	for i := 0; i < m; i++ {
+		a.Data[i*k+17] = 0 // zero column of A multiplying the poisoned B row
+	}
+	for j := 0; j < n; j++ {
+		b.Data[17*n+j] = float32(math.NaN())
+	}
+	c := New(m, n)
+	MatMul(a, b, c)
+	for i, v := range c.Data {
+		if !math.IsNaN(float64(v)) {
+			t.Fatalf("element %d finite (%v); NaN row was dropped", i, v)
+		}
+	}
+}
+
+func TestGemmDispatchCoversAllRows(t *testing.T) {
+	// Every row in [0, m) must be visited exactly once for awkward m/procs
+	// combinations (m < procs, m % procs != 0, m == 1).
+	for _, m := range []int{1, 2, 7, 8, 9, 100} {
+		for _, procs := range []int{1, 3, 8, 16} {
+			gemmForceProcs.Store(int32(procs))
+			counts := make([]int32, m)
+			gemmDispatch(m, 1<<30, func(i0, i1 int) {
+				for i := i0; i < i1; i++ {
+					counts[i]++ // disjoint ranges: no race by construction
+				}
+			})
+			gemmForceProcs.Store(0)
+			for i, cnt := range counts {
+				if cnt != 1 {
+					t.Fatalf("m=%d procs=%d: row %d visited %d times", m, procs, i, cnt)
+				}
+			}
+		}
+	}
+}
+
+func TestArenaReuse(t *testing.T) {
+	a := NewArena()
+	b1 := a.Get(64)
+	b1[0] = 42
+	a.Put(b1)
+	b2 := a.Get(64)
+	if &b1[0] != &b2[0] {
+		t.Fatal("arena did not recycle the freed buffer")
+	}
+	if gets, hits := a.Stats(); gets != 2 || hits != 1 {
+		t.Fatalf("stats = (%d, %d), want (2, 1)", gets, hits)
+	}
+	// Different size must not hit the 64 bucket.
+	b3 := a.Get(32)
+	if len(b3) != 32 {
+		t.Fatalf("got %d floats, want 32", len(b3))
+	}
+}
+
+func TestArenaGetZeroed(t *testing.T) {
+	a := NewArena()
+	buf := a.Get(8)
+	for i := range buf {
+		buf[i] = 1
+	}
+	a.Put(buf)
+	z := a.GetZeroed(8)
+	for i, v := range z {
+		if v != 0 {
+			t.Fatalf("GetZeroed[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestArenaTensorRoundTrip(t *testing.T) {
+	a := NewArena()
+	x := a.GetTensor(4, 5)
+	if x.Size() != 20 || x.Shape[0] != 4 || x.Shape[1] != 5 {
+		t.Fatalf("shape %v", x.Shape)
+	}
+	data := x.Data
+	a.PutTensor(x)
+	if x.Data != nil {
+		t.Fatal("PutTensor must nil the released tensor's data")
+	}
+	y := a.GetTensor(2, 10) // same size, different shape: must reuse storage
+	if &y.Data[0] != &data[0] {
+		t.Fatal("tensor storage not recycled across shapes of equal size")
+	}
+}
+
+func TestArenaNilSafe(t *testing.T) {
+	var a *Arena
+	buf := a.Get(16)
+	if len(buf) != 16 {
+		t.Fatal("nil arena Get failed")
+	}
+	a.Put(buf) // must not panic
+	x := a.GetTensor(3, 3)
+	if x.Size() != 9 {
+		t.Fatal("nil arena GetTensor failed")
+	}
+	a.PutTensor(x) // must not panic
+	if gets, hits := a.Stats(); gets != 0 || hits != 0 {
+		t.Fatal("nil arena stats must be zero")
+	}
+}
+
+func TestRebind(t *testing.T) {
+	var hdr Tensor
+	data := []float32{1, 2, 3, 4, 5, 6}
+	v := hdr.Rebind(data, 2, 3)
+	if v != &hdr || v.At(1, 2) != 6 {
+		t.Fatalf("rebind view wrong: %v %v", v.Shape, v.Data)
+	}
+	// Rebinding to a shorter view reuses the header in place.
+	v2 := hdr.Rebind(data[:4], 2, 2)
+	if v2.Size() != 4 {
+		t.Fatal("rebind resize failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape/data mismatch")
+		}
+	}()
+	hdr.Rebind(data, 7, 7)
+}

@@ -42,6 +42,24 @@ func FromSlice(data []float32, shape ...int) *Tensor {
 	return t
 }
 
+// Rebind points t at data with the given shape without allocating new
+// storage, and returns t. Layers reuse one header tensor per role to view
+// per-sample slices of a batch without a per-call FromSlice allocation.
+// The panic message reports sizes only: formatting shape itself would make
+// the variadic slice escape to the heap at every call site.
+func (t *Tensor) Rebind(data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: rebind shape size %d does not match data length %d", n, len(data)))
+	}
+	t.Data = data
+	t.Shape = append(t.Shape[:0], shape...)
+	return t
+}
+
 // Size returns the number of elements.
 func (t *Tensor) Size() int {
 	n := 1
@@ -167,76 +185,6 @@ func L2NormF32(x []float32) float64 {
 	return math.Sqrt(s)
 }
 
-// MatMul computes C = A·B where A is (m×k) and B is (k×n), all row-major.
-// C must be (m×n) and is overwritten. The k-loop is hoisted into the middle
-// position (ikj order) so the inner loop streams both B and C rows.
-func MatMul(a, b, c *Tensor) {
-	m, k := a.Shape[0], a.Shape[1]
-	k2, n := b.Shape[0], b.Shape[1]
-	if k != k2 || c.Shape[0] != m || c.Shape[1] != n {
-		panic(fmt.Sprintf("tensor: matmul shape mismatch %v x %v -> %v", a.Shape, b.Shape, c.Shape))
-	}
-	ad, bd, cd := a.Data, b.Data, c.Data
-	for i := 0; i < m; i++ {
-		ci := cd[i*n : i*n+n]
-		for x := range ci {
-			ci[x] = 0
-		}
-		ai := ad[i*k : i*k+k]
-		for p := 0; p < k; p++ {
-			av := ai[p]
-			if av == 0 {
-				continue
-			}
-			bp := bd[p*n : p*n+n]
-			for j, bv := range bp {
-				ci[j] += av * bv
-			}
-		}
-	}
-}
-
-// MatMulTransA computes C = Aᵀ·B where A is (k×m), B is (k×n), C is (m×n).
-func MatMulTransA(a, b, c *Tensor) {
-	k, m := a.Shape[0], a.Shape[1]
-	k2, n := b.Shape[0], b.Shape[1]
-	if k != k2 || c.Shape[0] != m || c.Shape[1] != n {
-		panic(fmt.Sprintf("tensor: matmulTransA shape mismatch %v x %v -> %v", a.Shape, b.Shape, c.Shape))
-	}
-	c.Zero()
-	ad, bd, cd := a.Data, b.Data, c.Data
-	for p := 0; p < k; p++ {
-		ap := ad[p*m : p*m+m]
-		bp := bd[p*n : p*n+n]
-		for i, av := range ap {
-			if av == 0 {
-				continue
-			}
-			ci := cd[i*n : i*n+n]
-			for j, bv := range bp {
-				ci[j] += av * bv
-			}
-		}
-	}
-}
-
-// MatMulTransB computes C = A·Bᵀ where A is (m×k), B is (n×k), C is (m×n).
-func MatMulTransB(a, b, c *Tensor) {
-	m, k := a.Shape[0], a.Shape[1]
-	n, k2 := b.Shape[0], b.Shape[1]
-	if k != k2 || c.Shape[0] != m || c.Shape[1] != n {
-		panic(fmt.Sprintf("tensor: matmulTransB shape mismatch %v x %v -> %v", a.Shape, b.Shape, c.Shape))
-	}
-	ad, bd, cd := a.Data, b.Data, c.Data
-	for i := 0; i < m; i++ {
-		ai := ad[i*k : i*k+k]
-		for j := 0; j < n; j++ {
-			bj := bd[j*k : j*k+k]
-			var s float32
-			for p, av := range ai {
-				s += av * bj[p]
-			}
-			cd[i*n+j] = s
-		}
-	}
-}
+// The GEMM kernels (MatMul, MatMulTransA, MatMulTransB) live in gemm.go:
+// cache-blocked, register-tiled, and parallelized over row panels with
+// byte-identical results at any GOMAXPROCS.

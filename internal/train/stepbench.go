@@ -1,0 +1,66 @@
+package train
+
+import (
+	"disttrain/internal/data"
+	"disttrain/internal/nn"
+	"disttrain/internal/opt"
+	"disttrain/internal/rng"
+	"disttrain/internal/tensor"
+)
+
+// StepHarness drives the inner loop of a real-mode replica — sample a
+// mini-batch, forward/backward, SGD update — outside the simulator, so
+// benchmarks and profiles see the raw training hot path. It owns the same
+// steady-state machinery a replica does (scratch arena, preallocated
+// gradient and parameter staging vectors); after the first step a Step call
+// performs no heap allocation.
+type StepHarness struct {
+	model   *nn.Model
+	sampler *data.Sampler
+	train   *data.Dataset
+
+	sgd   *opt.SGD
+	x     *tensor.Tensor
+	y     []int
+	grads []float32
+	flat  []float32
+	lr    float32
+}
+
+// NewStepHarness builds a harness on the accuracy-experiment substrate:
+// Quick mode trains the MLP on Gaussian clusters, full mode the MiniCNN on
+// shapes16 — identical models and batch sizes to what the simulator's
+// replicas run.
+func NewStepHarness(o Options) *StepHarness {
+	s := newAccuracySetup(o)
+	r := rng.New(o.seed() * 31)
+	return newStepHarness(s, r)
+}
+
+func newStepHarness(s *accuracySetup, r *rng.RNG) *StepHarness {
+	h := &StepHarness{train: s.train, lr: float32(s.lrBase)}
+	h.model = s.factory(r.Split(1))
+	h.model.SetArena(tensor.NewArena())
+	shard := data.ShardIndices(s.train.N(), 1, 0)
+	h.sampler = data.NewSampler(shard, s.batch, r.Split(2))
+	h.sgd = opt.NewSGD(h.model.NumParams(), 0.9, 1e-4)
+	h.grads = make([]float32, h.model.NumParams())
+	h.flat = make([]float32, h.model.NumParams())
+	return h
+}
+
+// Step runs one train step and returns the batch loss.
+func (h *StepHarness) Step() float64 {
+	idx := h.sampler.Next()
+	h.x, h.y = h.train.Gather(idx, h.x, h.y)
+	h.model.ZeroGrads()
+	loss, _ := h.model.Loss(h.x, h.y)
+	g := h.model.FlatGrads(h.grads)
+	flat := h.model.FlatParams(h.flat)
+	h.sgd.Step(flat, g, h.lr)
+	h.model.SetFlatParams(flat)
+	return loss
+}
+
+// Model exposes the trained model (for eval or inspection after stepping).
+func (h *StepHarness) Model() *nn.Model { return h.model }
