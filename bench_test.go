@@ -17,8 +17,11 @@ import (
 	"disttrain/internal/cluster"
 	"disttrain/internal/core"
 	"disttrain/internal/costmodel"
+	"disttrain/internal/data"
 	"disttrain/internal/grad"
+	"disttrain/internal/nn"
 	"disttrain/internal/opt"
+	"disttrain/internal/rng"
 	"disttrain/internal/train"
 )
 
@@ -216,6 +219,46 @@ func BenchmarkAblationQuantize8(b *testing.B) {
 			cfg.Quantize8 = on
 			runReporting(b, cfg)
 		})
+	}
+}
+
+// BenchmarkCoreRun measures end-to-end real-math training throughput —
+// dataset sampling, MiniCNN forward/backward, simulated network, parameter
+// updates — across compute-pool sizes. pool=0 is the serial inline
+// baseline; larger pools overlap virtually-concurrent replicas' passes on
+// real cores (the tentpole perf path). Results are byte-identical across
+// pool sizes (see core.TestPoolSizeBitIdentical); only wall time may move.
+func BenchmarkCoreRun(b *testing.B) {
+	r := rng.New(42)
+	ds := data.GenShapes16(r, 800)
+	trainDS, testDS := ds.Split(r.Split(1), 160)
+	mk := func(algo core.Algo, pool int) core.Config {
+		cfg := costCfg(algo, 8)
+		cfg.Cluster = cluster.Paper56G(8)
+		cfg.Iters = 10
+		cfg.PoolSize = pool
+		cfg.LR = opt.Schedule{Base: 0.05}
+		cfg.Real = &core.RealConfig{
+			Factory: func(rr *rng.RNG) *nn.Model { return nn.NewMiniCNN(rr, data.ShapeClasses) },
+			Train:   trainDS,
+			Test:    testDS,
+			Batch:   16,
+			EvalMax: 64,
+		}
+		return cfg
+	}
+	for _, algo := range []core.Algo{core.BSP, core.ASP} {
+		for _, pool := range []int{0, 1, 4, 8} {
+			b.Run(fmt.Sprintf("%s/pool=%d", algo, pool), func(b *testing.B) {
+				cfg := mk(algo, pool)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Run(context.Background(), cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -1,0 +1,138 @@
+// Command benchrecord measures end-to-end real-math training wall time
+// across compute-pool sizes and records the results as BENCH_<date>.json —
+// a machine-readable snapshot of what the sched pool buys on this host.
+//
+//	go run ./cmd/benchrecord            # writes BENCH_YYYY-MM-DD.json
+//	go run ./cmd/benchrecord -o out.json -reps 5
+//
+// Each cell runs the same fixed-seed MiniCNN experiment (so every pool size
+// produces byte-identical training results; only wall time may differ) and
+// keeps the best of -reps repetitions. Speedup is relative to the inline
+// pool=0 baseline of the same algorithm. On a single-core host the speedup
+// stays ~1x by construction — the record of that is the point.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"disttrain/internal/cluster"
+	"disttrain/internal/core"
+	"disttrain/internal/costmodel"
+	"disttrain/internal/data"
+	"disttrain/internal/nn"
+	"disttrain/internal/opt"
+	"disttrain/internal/rng"
+)
+
+type cell struct {
+	Algo       string  `json:"algo"`
+	Pool       int     `json:"pool"`
+	WallSec    float64 `json:"wall_sec"`
+	VirtualSec float64 `json:"virtual_sec"`
+	Iters      int     `json:"iters"`
+	Workers    int     `json:"workers"`
+	Speedup    float64 `json:"speedup_vs_pool0"`
+}
+
+type record struct {
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Reps       int    `json:"reps"`
+	Cells      []cell `json:"cells"`
+}
+
+func main() {
+	out := flag.String("o", "", "output path (default BENCH_<date>.json)")
+	reps := flag.Int("reps", 3, "repetitions per cell; best wall time wins")
+	iters := flag.Int("iters", 15, "training iterations per run")
+	workers := flag.Int("workers", 8, "simulated workers")
+	flag.Parse()
+
+	r := rng.New(42)
+	ds := data.GenShapes16(r, 800)
+	trainDS, testDS := ds.Split(r.Split(1), 160)
+	mk := func(algo core.Algo, pool int) core.Config {
+		cfg := core.Config{
+			Algo:     algo,
+			Cluster:  cluster.Paper56G(*workers),
+			Workers:  *workers,
+			Workload: costmodel.NewWorkload(costmodel.ResNet50(), costmodel.TitanV(), 128),
+			Iters:    *iters,
+			Seed:     7,
+			Momentum: 0.9,
+			LR:       opt.Schedule{Base: 0.05},
+			PoolSize: pool,
+			Real: &core.RealConfig{
+				Factory: func(rr *rng.RNG) *nn.Model { return nn.NewMiniCNN(rr, data.ShapeClasses) },
+				Train:   trainDS,
+				Test:    testDS,
+				Batch:   16,
+				EvalMax: 64,
+			},
+		}
+		return cfg
+	}
+
+	rec := record{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Reps:       *reps,
+	}
+	baseline := map[string]float64{}
+	for _, algo := range []core.Algo{core.BSP, core.ASP} {
+		for _, pool := range []int{0, 1, 4, 8, 16} {
+			cfg := mk(algo, pool)
+			best := 0.0
+			var virt float64
+			for rep := 0; rep < *reps; rep++ {
+				t0 := time.Now()
+				res, err := core.Run(context.Background(), cfg)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "benchrecord: %s pool=%d: %v\n", algo, pool, err)
+					os.Exit(1)
+				}
+				wall := time.Since(t0).Seconds()
+				if best == 0 || wall < best {
+					best = wall
+				}
+				virt = res.VirtualSec
+			}
+			c := cell{Algo: string(algo), Pool: pool, WallSec: best,
+				VirtualSec: virt, Iters: *iters, Workers: *workers}
+			if pool == 0 {
+				baseline[c.Algo] = best
+			}
+			if b := baseline[c.Algo]; b > 0 {
+				c.Speedup = b / best
+			}
+			rec.Cells = append(rec.Cells, c)
+			fmt.Printf("%-6s pool=%-2d wall %.3fs  speedup %.2fx\n", algo, pool, best, c.Speedup)
+		}
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + rec.Date + ".json"
+	}
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrecord:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrecord:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", path)
+}

@@ -15,6 +15,7 @@ import (
 	"os"
 	"time"
 
+	"disttrain/internal/cli"
 	"disttrain/internal/report"
 	"disttrain/internal/train"
 )
@@ -26,6 +27,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "master random seed")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
 		verbose  = flag.Bool("v", false, "log per-run progress to stderr")
+		pool     = flag.Int("pool", 0, "compute pool goroutines for real gradient math (0 = one per CPU, <0 = serial inline)")
 		htmlPath = flag.String("html", "", "also write a self-contained HTML report to this path")
 	)
 	flag.Parse()
@@ -37,7 +39,7 @@ func main() {
 		return
 	}
 
-	opts := train.Options{Quick: *quick, Seed: *seed}
+	opts := train.Options{Quick: *quick, Seed: *seed, Pool: cli.PoolSize(*pool)}
 	if *verbose {
 		opts.Log = os.Stderr
 	}

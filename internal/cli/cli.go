@@ -13,6 +13,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"syscall"
 
 	"disttrain/internal/cluster"
@@ -49,6 +50,7 @@ type Flags struct {
 	Dataset string
 	Net     string
 	Batch   int
+	Pool    int
 
 	FaultSpec string
 	FaultFile string
@@ -80,6 +82,7 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.Dataset, "dataset", "shapes16", "real mode dataset: shapes16|gauss|spiral")
 	fs.StringVar(&f.Net, "net", "minicnn", "real mode model: mlp|minicnn|miniresnet|minivgg")
 	fs.IntVar(&f.Batch, "batch", 8, "real mode per-worker batch size")
+	fs.IntVar(&f.Pool, "pool", 0, "compute pool goroutines for real gradient math (0 = one per CPU, <0 = serial inline); results are identical for every value")
 
 	fs.StringVar(&f.FaultSpec, "faults", "", "fault schedule spec, e.g. 'crash@iter20:w3:restart=5;drop@10:p=0.05:for=60'")
 	fs.StringVar(&f.FaultFile, "faultsjson", "", "JSON file with a fault schedule ({\"events\": [...]})")
@@ -114,6 +117,8 @@ func (f *Flags) Config() (core.Config, error) {
 
 		Elastic:           f.Elastic,
 		BarrierTimeoutSec: f.Timeout,
+
+		PoolSize: PoolSize(f.Pool),
 	}
 	cfg.Faults, err = LoadFaults(f.FaultSpec, f.FaultFile)
 	if err != nil {
@@ -175,6 +180,20 @@ func LoadFaults(spec, file string) (*fault.Schedule, error) {
 		}
 	}
 	return s, nil
+}
+
+// PoolSize resolves the -pool flag into core.Config.PoolSize: 0 asks for one
+// compute goroutine per available CPU, a negative value forces the serial
+// inline path, and positive values pass through. Training results are
+// bit-identical for every resolution; only wall time changes.
+func PoolSize(flag int) int {
+	switch {
+	case flag < 0:
+		return 0
+	case flag == 0:
+		return runtime.GOMAXPROCS(0)
+	}
+	return flag
 }
 
 // Cluster returns the paper's 56 Gbps InfiniBand cluster shape for gbps >=

@@ -62,8 +62,8 @@ func runAdaComm(x *exp) {
 					break
 				}
 				it = nit
-				grads, _ := x.computePhase(p, w, false)
-				x.reps[w].localStep(grads, cfg.LR.At(it-1))
+				gf, _ := x.computePhase(p, w, false)
+				x.reps[w].localStep(gf.get(), cfg.LR.At(it-1))
 				sinceSync++
 
 				tau := cfg.Tau

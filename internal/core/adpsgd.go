@@ -50,8 +50,12 @@ func runADPSGD(x *exp) {
 					break
 				}
 				it = nit
-				grads, _ := x.computePhase(p, w, false)
-				x.reps[w].localStep(grads, cfg.LR.At(it-1))
+				gf, _ := x.computePhase(p, w, false)
+				// The pass read the parameters as of its submission point;
+				// a background exchange averaging into the model during the
+				// compute window no longer bleeds into this gradient — the
+				// lock-free semantics of Lian et al., made deterministic.
+				x.reps[w].localStep(gf.get(), cfg.LR.At(it-1))
 				tokens.Push(it)
 				x.iterDone(w, it)
 			}
@@ -184,8 +188,8 @@ func runADPSGDUnconstrained(x *exp) {
 					break
 				}
 				it = nit
-				grads, _ := x.computePhase(p, w, false)
-				x.reps[w].localStep(grads, cfg.LR.At(it-1))
+				gf, _ := x.computePhase(p, w, false)
+				x.reps[w].localStep(gf.get(), cfg.LR.At(it-1))
 				tokens.Push(it)
 				x.iterDone(w, it)
 			}

@@ -56,11 +56,16 @@ func runARSGD(x *exp) {
 				// stalls the ring — AR-SGD's collapse under a crash.
 				nodes, self := x.aliveNodes(it, w)
 				inv := 1 / float32(len(nodes))
-				grads, j := x.computePhase(p, w, cfg.WaitFreeBP)
+				gf, j := x.computePhase(p, w, cfg.WaitFreeBP)
 
+				// The join is deferred into the branches below: under
+				// wait-free BP the first half-backward sleep elapses before
+				// the gradient is needed, stretching the overlap window.
 				var agg []float32
-				if grads != nil {
-					agg = append([]float32(nil), grads...)
+				join := func() {
+					if g := gf.get(); g != nil {
+						agg = append([]float32(nil), g...)
+					}
 				}
 				reduce := func(vec []float32, vlen int) des.Time {
 					_, wire := comm.Collective(p, comm.CollectiveOpts{
@@ -77,6 +82,7 @@ func runARSGD(x *exp) {
 					c0 := p.Now()
 					p.Sleep(bwd / 2)
 					bd.Add(metrics.Compute, p.Now()-c0)
+					join()
 
 					// ...whose AllReduce overlaps the second half of the
 					// backward pass: if the reduce finishes first, the
@@ -103,6 +109,7 @@ func runARSGD(x *exp) {
 					bd.Add(metrics.Network, wire)
 					bd.Add(metrics.GlobalAgg, p.Now()-t1-wire)
 				} else {
+					join()
 					t0 := p.Now()
 					wire := reduce(agg, x.vecLen)
 					bd.Add(metrics.Network, wire)

@@ -66,8 +66,8 @@ func runASP(x *exp) {
 					break
 				}
 				it = nit
-				grads, j := x.computePhase(p, w, cfg.WaitFreeBP)
-				x.sendGrads(p, w, it, grads, true, j, cfg.WaitFreeBP)
+				gf, j := x.computePhase(p, w, cfg.WaitFreeBP)
+				x.sendGrads(p, w, it, gf.get(), true, j, cfg.WaitFreeBP)
 
 				t0 := p.Now()
 				var wire des.Time

@@ -125,7 +125,8 @@ func runBSP(x *exp) {
 				// the gather barrier sits in between, so the backward must
 				// simply complete first.
 				overlap := cfg.WaitFreeBP && (!cfg.LocalAgg || len(group) == 1)
-				grads, j := x.computePhase(p, w, overlap)
+				gf, j := x.computePhase(p, w, overlap)
+				grads := gf.get()
 
 				if cfg.LocalAgg && len(group) > 1 {
 					if isLeader {

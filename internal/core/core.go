@@ -120,6 +120,13 @@ type Config struct {
 	Iters int
 	// Seed makes the whole experiment reproducible.
 	Seed uint64
+	// PoolSize is the number of real OS threads (goroutines) used to run
+	// replica forward/backward passes concurrently while their simulated
+	// owners sleep out virtual compute time. 0 = inline serial execution
+	// (the historical behavior). Results are bit-identical for every value:
+	// the simulation only observes *that* a pass finished at its fixed join
+	// point, never *when* it really ran.
+	PoolSize int
 
 	// Momentum and WeightDecay configure every SGD instance.
 	Momentum    float32
@@ -204,6 +211,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Workload.Profile == nil {
 		return fmt.Errorf("core: missing workload profile")
+	}
+	if c.PoolSize < 0 {
+		return fmt.Errorf("core: PoolSize = %d", c.PoolSize)
 	}
 	switch c.Algo {
 	case BSP, ASP, ARSGD:

@@ -41,7 +41,10 @@ func runDPSGD(x *exp) {
 					break
 				}
 				it = nit
-				grads, _ := x.computePhase(p, w, false)
+				// The gradient (of the pre-mix parameters, as DPSGD
+				// specifies) is not needed until after the neighbor mix;
+				// the join rides inside localStep's settle at the end.
+				gf, _ := x.computePhase(p, w, false)
 
 				if W > 1 {
 					var payload []float32
@@ -112,7 +115,7 @@ func runDPSGD(x *exp) {
 					}
 				}
 
-				x.reps[w].localStep(grads, cfg.LR.At(it-1))
+				x.reps[w].localStep(gf.get(), cfg.LR.At(it-1))
 				x.iterDone(w, it)
 			}
 			x.finish(w)

@@ -49,8 +49,8 @@ func runEASGD(x *exp) {
 					break
 				}
 				it = nit
-				grads, _ := x.computePhase(p, w, false)
-				x.reps[w].localStep(grads, cfg.LR.At(it-1))
+				gf, _ := x.computePhase(p, w, false)
+				x.reps[w].localStep(gf.get(), cfg.LR.At(it-1))
 
 				if it%cfg.Tau == 0 {
 					// Push local parameters to every shard; each shard

@@ -13,6 +13,7 @@ import (
 	"disttrain/internal/nn"
 	"disttrain/internal/ps"
 	"disttrain/internal/rng"
+	"disttrain/internal/sched"
 	"disttrain/internal/simnet"
 	"disttrain/internal/tensor"
 )
@@ -41,6 +42,10 @@ type exp struct {
 	cfg *Config
 	eng *des.Engine
 	net *simnet.Net
+
+	// pool runs the replicas' forward/backward passes on real cores while
+	// their simulated processes sleep out virtual compute time. nil = inline.
+	pool *sched.Pool
 
 	// ctx is polled at iteration boundaries; cancellation aborts the run.
 	ctx context.Context
@@ -252,12 +257,18 @@ func (x *exp) machineGroup(w int) []int {
 	return g
 }
 
-// computePhase advances virtual time by one jittered iteration and runs the
-// real gradient computation. When overlap is true (wait-free BP and the
-// caller will invoke sendGrads next) only the forward time is slept here —
-// sendGrads interleaves the backward time with the per-shard sends. Returns
-// the gradient (nil in cost-only mode) and the jitter multiplier.
-func (x *exp) computePhase(p *des.Proc, w int, overlap bool) ([]float32, float64) {
+// computePhase advances virtual time by one jittered iteration and issues
+// the real gradient computation. The numeric work is submitted to the
+// compute pool *before* the virtual-time sleep, so while this process
+// sleeps, other simulated workers' passes run concurrently on real cores;
+// the returned gradFuture joins the result where the algorithm first
+// consumes the gradient. When overlap is true (wait-free BP and the caller
+// will invoke sendGrads next) only the forward time is slept here —
+// sendGrads interleaves the backward time with the per-shard sends.
+// Iteration bookkeeping (iter counter, spread, breakdown, trace spans)
+// stays on the engine thread at the post-sleep point, exactly where the
+// old synchronous path did it, so metrics are pool-size-independent.
+func (x *exp) computePhase(p *des.Proc, w int, overlap bool) (*gradFuture, float64) {
 	wl := x.cfg.Workload
 	j := wl.SampleMult(x.jitterRNG[w])
 	if x.inj != nil {
@@ -265,21 +276,29 @@ func (x *exp) computePhase(p *des.Proc, w int, overlap bool) ([]float32, float64
 	}
 	mean := wl.MeanIterSec()
 	start := p.Now()
+	x.reps[w].beginCompute(x.pool)
 	if overlap {
 		fwd := mean / (1 + wl.BwdMult) * j
 		p.Sleep(fwd)
 	} else {
 		p.Sleep(mean * j)
 	}
-	g := x.reps[w].computeGrad()
+	x.reps[w].iter++
 	x.col.Workers[w].Breakdown.Add(metrics.Compute, p.Now()-start)
 	if x.cfg.Tracer != nil {
 		x.cfg.Tracer.Span("compute", "worker", start, p.Now(),
 			x.cfg.Cluster.MachineOfWorker(w), w)
 	}
 	x.noteIterSpread()
-	return g, j
+	return &gradFuture{rep: x.reps[w]}, j
 }
+
+// gradFuture hands an algorithm driver its iteration's gradient. get joins
+// the in-flight pass (nil in cost-only mode); the call site is the fixed
+// event-trace point where the overlap window ends.
+type gradFuture struct{ rep *replica }
+
+func (g *gradFuture) get() []float32 { return g.rep.takeGrads() }
 
 // noteIterSpread records the instantaneous gap between the fastest and
 // slowest worker's iteration counters — the staleness the asynchronous
@@ -766,6 +785,10 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	x.ctx = ctx
+	if cfg.PoolSize > 0 {
+		x.pool = sched.NewPool(cfg.PoolSize)
+		defer x.pool.Close()
+	}
 	switch cfg.Algo {
 	case BSP:
 		runBSP(x)
@@ -790,7 +813,12 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %q", cfg.Algo)
 	}
-	x.eng.Run(0)
+	report := x.eng.Run(0)
+	// Settle any pass a stalled process left in flight before touching
+	// replica state (evalGlobal, replicaSpread read concurrently otherwise).
+	for _, r := range x.reps {
+		r.settle()
+	}
 	if x.canceled {
 		x.eng.Kill()
 		return nil, fmt.Errorf("core: run canceled: %w", ctx.Err())
@@ -798,7 +826,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	stuck := x.eng.Stuck()
 	if len(stuck) > 0 && !expectedStuck(cfg.Algo) && x.inj == nil {
 		x.eng.Kill()
-		return nil, fmt.Errorf("core: %s deadlocked: stuck procs %v", cfg.Algo, stuck)
+		return nil, fmt.Errorf("core: %s deadlocked at drain: %v", cfg.Algo, report)
 	}
 
 	// Honest accounting for workers stranded at a dead peer's barrier:

@@ -50,8 +50,8 @@ func runGoSGD(x *exp) {
 					break
 				}
 				it = nit
-				grads, _ := x.computePhase(p, w, false)
-				x.reps[w].localStep(grads, cfg.LR.At(it-1))
+				gf, _ := x.computePhase(p, w, false)
+				x.reps[w].localStep(gf.get(), cfg.LR.At(it-1))
 				drain()
 
 				if r.Bernoulli(cfg.GossipP) {

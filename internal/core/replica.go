@@ -5,6 +5,7 @@ import (
 	"disttrain/internal/nn"
 	"disttrain/internal/opt"
 	"disttrain/internal/rng"
+	"disttrain/internal/sched"
 	"disttrain/internal/tensor"
 )
 
@@ -36,6 +37,21 @@ type replica struct {
 	lossInit bool
 
 	iter int
+
+	// pending is the in-flight forward/backward pass submitted to the
+	// compute pool (nil when none). The pure numeric work runs on a pool
+	// goroutine while the owning simulated process sleeps out its virtual
+	// compute time; takeGrads joins it at the fixed event-trace point where
+	// the gradient is first consumed. Every buffer the closure touches
+	// (model, sampler, arena, RNG streams, grads) is owned by this replica,
+	// so futures of different replicas share nothing.
+	pending *sched.Future[computeOut]
+}
+
+// computeOut is what one offloaded forward/backward pass produces.
+type computeOut struct {
+	grads []float32
+	loss  float64
 }
 
 // newRealReplica builds worker w's replica: model initialized from the
@@ -76,11 +92,24 @@ func (r *replica) size() int {
 // computeGrad runs one forward/backward pass on the next mini-batch and
 // returns the replica's gradient buffer (valid until the next call), or nil
 // in cost-only mode. The replica's iteration counter advances either way.
+// This is the synchronous path (Hogwild's shared-model workers, which must
+// not run concurrently with each other's updates); the simulated-cluster
+// algorithms use beginCompute/takeGrads instead.
 func (r *replica) computeGrad() []float32 {
 	r.iter++
 	if r.model == nil {
 		return nil
 	}
+	out := r.gradPass()
+	r.foldLoss(out.loss)
+	return out.grads
+}
+
+// gradPass is the pure numeric work of one iteration: draw the next
+// mini-batch, forward, backward, flatten into r.grads. It touches only
+// replica-owned state, which is what makes it safe to run on a pool
+// goroutine while the engine thread keeps simulating.
+func (r *replica) gradPass() computeOut {
 	idx := r.sampler.Next()
 	r.xbuf, r.ybuf = r.train.Gather(idx, r.xbuf, r.ybuf)
 	if r.augment != nil {
@@ -88,12 +117,55 @@ func (r *replica) computeGrad() []float32 {
 	}
 	r.model.ZeroGrads()
 	loss, _ := r.model.Loss(r.xbuf, r.ybuf)
+	return computeOut{grads: r.model.FlatGrads(r.grads), loss: loss}
+}
+
+// foldLoss folds one batch loss into the trace EWMA.
+func (r *replica) foldLoss(loss float64) {
 	if !r.lossInit {
 		r.lossEWMA, r.lossInit = loss, true
 	} else {
 		r.lossEWMA = 0.9*r.lossEWMA + 0.1*loss
 	}
-	return r.model.FlatGrads(r.grads)
+}
+
+// beginCompute submits the iteration's forward/backward pass to the pool
+// (inline on a nil pool). No-op in cost-only mode. The caller must consume
+// the result with takeGrads before submitting the next pass.
+func (r *replica) beginCompute(pool *sched.Pool) {
+	if r.model == nil {
+		return
+	}
+	if r.pending != nil {
+		panic("core: replica compute already in flight")
+	}
+	r.pending = sched.Submit(pool, r.gradPass)
+}
+
+// takeGrads joins the in-flight pass, folds its loss into the EWMA, and
+// returns the gradient buffer (nil in cost-only mode). Its call site fixes
+// the join point in the event trace, so results cannot depend on when the
+// pool actually ran the work.
+func (r *replica) takeGrads() []float32 {
+	if r.pending == nil {
+		return nil
+	}
+	out := r.pending.Wait()
+	r.pending = nil
+	r.foldLoss(out.loss)
+	return out.grads
+}
+
+// settle blocks until any in-flight pass has finished, without consuming
+// it. Every parameter-writing method calls it first: in AD-PSGD a worker's
+// communication process may average peer parameters into the model while
+// the compute process's pass is still in flight, and the pass must read the
+// parameters as of its fixed submission point — not a racing mixture.
+// Wait is idempotent, so the owning process's later takeGrads still works.
+func (r *replica) settle() {
+	if r.pending != nil {
+		r.pending.Wait()
+	}
 }
 
 // localStep applies one local SGD step with gradient g (no-op on nil).
@@ -101,6 +173,7 @@ func (r *replica) localStep(g []float32, lr float32) {
 	if r.model == nil || g == nil {
 		return
 	}
+	r.settle()
 	flat := r.model.FlatParams(r.flat)
 	r.localO.Step(flat, g, lr)
 	r.model.SetFlatParams(flat)
@@ -119,6 +192,7 @@ func (r *replica) setParams(src []float32) {
 	if r.model == nil || src == nil {
 		return
 	}
+	r.settle()
 	r.model.SetFlatParams(src)
 }
 
@@ -127,6 +201,7 @@ func (r *replica) setRanges(ranges []rangeT, src []float32) {
 	if r.model == nil || src == nil {
 		return
 	}
+	r.settle()
 	flat := r.model.FlatParams(r.flat)
 	for _, rg := range ranges {
 		copy(flat[rg.Off:rg.Off+rg.Len], src[rg.Off:rg.Off+rg.Len])
@@ -139,6 +214,7 @@ func (r *replica) average(other []float32) {
 	if r.model == nil || other == nil {
 		return
 	}
+	r.settle()
 	flat := r.model.FlatParams(r.flat)
 	for i := range flat {
 		flat[i] = 0.5 * (flat[i] + other[i])
@@ -152,6 +228,7 @@ func (r *replica) weightedMerge(own float64, xs []float32, ws float64) float64 {
 	if r.model == nil || xs == nil {
 		return own + ws
 	}
+	r.settle()
 	flat := r.model.FlatParams(r.flat)
 	a := float32(own / (own + ws))
 	b := float32(ws / (own + ws))

@@ -154,7 +154,7 @@ func runSSP(x *exp) {
 					break
 				}
 				it = nit
-				grads, j := x.computePhase(p, w, cfg.WaitFreeBP)
+				gf, j := x.computePhase(p, w, cfg.WaitFreeBP)
 
 				// The paper's parallel tasks: (i) ship the computed update
 				// to the PS, (ii) apply it locally; neither waits for the
@@ -163,7 +163,7 @@ func runSSP(x *exp) {
 				var delta []float32
 				if x.reps[w].mathOn() {
 					before := x.reps[w].params()
-					x.reps[w].localStep(grads, cfg.LR.At(it-1))
+					x.reps[w].localStep(gf.get(), cfg.LR.At(it-1))
 					delta = x.reps[w].params()
 					for i := range delta {
 						delta[i] -= before[i]

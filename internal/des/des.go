@@ -143,14 +143,32 @@ func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
 	return p
 }
 
+// ProcState describes one process still alive when Run returned: either
+// parked with no pending wakeup (blocked — a deadlock, or waiting on input
+// that will never arrive) or holding a wakeup beyond the run horizon.
+type ProcState struct {
+	Name string
+	// State is "blocked" for a parked process with no scheduled wakeup, or
+	// "waiting until t=<time>" for one whose next wakeup lies beyond the
+	// `until` horizon.
+	State string
+}
+
+func (s ProcState) String() string { return s.Name + " (" + s.State + ")" }
+
 // Run processes events until the queue is empty, or until virtual time
 // exceeds `until` if until > 0 (events beyond the horizon stay queued).
-func (e *Engine) Run(until Time) {
+// It returns the processes still alive at drain — blocked ones are
+// deadlocked (or waiting on input that will never arrive); with a horizon,
+// processes whose next wakeup lies beyond it are reported as waiting.
+// Server loops that block forever by design show up here too; callers
+// decide which names are anomalous.
+func (e *Engine) Run(until Time) []ProcState {
 	for e.pq.Len() > 0 {
 		ev := e.pq[0]
 		if until > 0 && ev.t > until {
 			e.now = until
-			return
+			return e.drainReport()
 		}
 		heap.Pop(&e.pq)
 		e.now = ev.t
@@ -167,6 +185,34 @@ func (e *Engine) Run(until Time) {
 			ev.fn()
 		}
 	}
+	return e.drainReport()
+}
+
+// drainReport snapshots the live processes: blocked ones, plus — when
+// events remain queued past a horizon — the ones with pending wakeups.
+func (e *Engine) drainReport() []ProcState {
+	wakeAt := make(map[*Proc]Time)
+	for _, ev := range e.pq {
+		if ev.proc == nil || ev.proc.done || ev.gen != ev.proc.gen {
+			continue
+		}
+		if t, ok := wakeAt[ev.proc]; !ok || ev.t < t {
+			wakeAt[ev.proc] = ev.t
+		}
+	}
+	var out []ProcState
+	for _, p := range e.procs {
+		if p.done {
+			continue
+		}
+		if p.blocked {
+			out = append(out, ProcState{Name: p.Name, State: "blocked"})
+		} else if t, ok := wakeAt[p]; ok {
+			out = append(out, ProcState{Name: p.Name, State: fmt.Sprintf("waiting until t=%g", t)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // Stuck returns the names of processes that are blocked with no pending

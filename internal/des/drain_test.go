@@ -1,0 +1,71 @@
+package des
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunReportsBlockedAtDrain: a process parked on an empty queue is named
+// (with state) in Run's drain report instead of disappearing silently.
+func TestRunReportsBlockedAtDrain(t *testing.T) {
+	eng := NewEngine()
+	q := NewQueue[int](eng)
+	eng.Spawn("deadlocked-worker", func(p *Proc) {
+		q.Recv(p) // nobody will ever push
+	})
+	eng.Spawn("finisher", func(p *Proc) {
+		p.Sleep(1)
+	})
+	report := eng.Run(0)
+	if len(report) != 1 {
+		t.Fatalf("drain report %v, want exactly the blocked worker", report)
+	}
+	if report[0].Name != "deadlocked-worker" || report[0].State != "blocked" {
+		t.Fatalf("drain report %+v, want deadlocked-worker/blocked", report[0])
+	}
+	if s := report[0].String(); !strings.Contains(s, "deadlocked-worker") || !strings.Contains(s, "blocked") {
+		t.Fatalf("ProcState.String() = %q, want name and state", s)
+	}
+	eng.Kill()
+}
+
+// TestRunReportsWaitingBeyondHorizon: with a horizon, a process whose next
+// wakeup lies past `until` is reported as waiting, with its wakeup time.
+func TestRunReportsWaitingBeyondHorizon(t *testing.T) {
+	eng := NewEngine()
+	eng.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(100)
+	})
+	report := eng.Run(10)
+	if len(report) != 1 || report[0].Name != "sleeper" {
+		t.Fatalf("drain report %v, want the sleeper", report)
+	}
+	if !strings.Contains(report[0].State, "waiting until t=100") {
+		t.Fatalf("sleeper state %q, want waiting until t=100", report[0].State)
+	}
+	// Running to completion clears the report.
+	if report := eng.Run(0); len(report) != 0 {
+		t.Fatalf("post-completion report %v, want empty", report)
+	}
+}
+
+// TestRunReportMatchesStuck: the blocked entries of the drain report agree
+// with the legacy Stuck() accessor.
+func TestRunReportMatchesStuck(t *testing.T) {
+	eng := NewEngine()
+	q := NewQueue[int](eng)
+	for _, name := range []string{"b", "a"} {
+		eng.Spawn(name, func(p *Proc) { q.Recv(p) })
+	}
+	report := eng.Run(0)
+	stuck := eng.Stuck()
+	if len(report) != 2 || len(stuck) != 2 {
+		t.Fatalf("report %v stuck %v, want 2 each", report, stuck)
+	}
+	for i := range report {
+		if report[i].Name != stuck[i] {
+			t.Fatalf("report order %v does not match Stuck() %v", report, stuck)
+		}
+	}
+	eng.Kill()
+}

@@ -134,21 +134,26 @@ func (l *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
 }
 
 // Conv2D is a 2-D convolution over [B, C, H, W] inputs, implemented by
-// im2col lowering to GEMM. Weights are stored [OutC, InC·kh·kw].
+// im2col lowering to GEMM. Weights are stored [OutC, InC·kh·kw]. The whole
+// mini-batch is lowered into one patch-row matrix of shape
+// [B·outH·outW, InC·K·K], so forward, dW and dcols each run as a single
+// large GEMM instead of B small ones — large GEMMs amortize the kernel's
+// blocking overhead and cross its parallel-dispatch threshold.
 type Conv2D struct {
 	name                  string
 	InC, OutC             int
 	K, Stride, Pad        int
 	w, b                  *Param
-	colsBatch             []*tensor.Tensor // cached per-sample im2col matrices
+	cols                  *tensor.Tensor // batched patch rows [B·outH·outW, InC·K·K]
+	yt, dyt               *tensor.Tensor // channel-minor activations/grads [B·outH·outW, OutC]
 	x                     *tensor.Tensor
 	y, dx                 *tensor.Tensor
-	dwTmp, dcols          *tensor.Tensor
+	dwTmp, dcols          *tensor.Tensor // dcols matches cols' shape
 	h, wIn, outH, outW    int
 	lastBatch, lastInSize int
 	arena                 *tensor.Arena
-	// reusable header tensors viewing per-sample slices (no per-call allocs)
-	hdrIn, hdrOut tensor.Tensor
+	// reusable header tensor viewing per-sample slices (no per-call allocs)
+	hdrIn tensor.Tensor
 }
 
 // NewConv2D creates a convolution layer with He-initialized weights.
@@ -172,25 +177,24 @@ func (c *Conv2D) setup(x *tensor.Tensor) {
 	c.h, c.wIn = x.Shape[2], x.Shape[3]
 	c.outH = (c.h+2*c.Pad-c.K)/c.Stride + 1
 	c.outW = (c.wIn+2*c.Pad-c.K)/c.Stride + 1
-	rows := c.InC * c.K * c.K
-	cols := c.outH * c.outW
+	f := c.InC * c.K * c.K
+	rows := b * c.outH * c.outW
 	if c.lastBatch != b || c.lastInSize != x.Size() {
-		// All of these are fully overwritten each pass (Im2col and the GEMMs
-		// write every element; Col2im zeroes first), so dirty arena buffers
-		// are safe.
-		for _, t := range c.colsBatch {
-			c.arena.PutTensor(t)
-		}
+		// All of these are fully overwritten each pass (Im2colRows, the
+		// gather/scatter loops and the GEMMs write every element; Col2imRows
+		// zeroes first), so dirty arena buffers are safe.
+		c.arena.PutTensor(c.cols)
+		c.arena.PutTensor(c.yt)
+		c.arena.PutTensor(c.dyt)
 		c.arena.PutTensor(c.y)
 		c.arena.PutTensor(c.dx)
 		c.arena.PutTensor(c.dcols)
-		c.colsBatch = make([]*tensor.Tensor, b)
-		for i := range c.colsBatch {
-			c.colsBatch[i] = c.arena.GetTensor(rows, cols)
-		}
+		c.cols = c.arena.GetTensor(rows, f)
+		c.yt = c.arena.GetTensor(rows, c.OutC)
+		c.dyt = c.arena.GetTensor(rows, c.OutC)
 		c.y = c.arena.GetTensor(b, c.OutC, c.outH, c.outW)
 		c.dx = c.arena.GetTensor(x.Shape...)
-		c.dcols = c.arena.GetTensor(rows, cols)
+		c.dcols = c.arena.GetTensor(rows, f)
 		c.lastBatch, c.lastInSize = b, x.Size()
 	}
 }
@@ -205,18 +209,22 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	sampleIn := c.InC * c.h * c.wIn
 	sampleOut := c.OutC * c.outH * c.outW
 	nCols := c.outH * c.outW
+	f := c.InC * c.K * c.K
 	for i := 0; i < b; i++ {
 		in3 := c.hdrIn.Rebind(x.Data[i*sampleIn:(i+1)*sampleIn], c.InC, c.h, c.wIn)
-		tensor.Im2col(in3, c.K, c.K, c.Stride, c.Pad, c.colsBatch[i])
-		out2 := c.hdrOut.Rebind(c.y.Data[i*sampleOut:(i+1)*sampleOut], c.OutC, nCols)
-		tensor.MatMul(c.w.W, c.colsBatch[i], out2)
-		// bias per output channel
-		bd := c.b.W.Data
-		for ch := 0; ch < c.OutC; ch++ {
-			row := out2.Data[ch*nCols : ch*nCols+nCols]
-			bv := bd[ch]
-			for j := range row {
-				row[j] += bv
+		tensor.Im2colRows(in3, c.K, c.K, c.Stride, c.Pad, c.cols.Data[i*nCols*f:(i+1)*nCols*f])
+	}
+	// One GEMM for the whole mini-batch: yt = cols·Wᵀ.
+	tensor.MatMulTransB(c.cols, c.w.W, c.yt)
+	// Scatter the channel-minor rows into [B, OutC, outH·outW] plus bias.
+	yd, td, bd := c.y.Data, c.yt.Data, c.b.W.Data
+	for i := 0; i < b; i++ {
+		out := yd[i*sampleOut : (i+1)*sampleOut]
+		rows := td[i*nCols*c.OutC:]
+		for pos := 0; pos < nCols; pos++ {
+			src := rows[pos*c.OutC : pos*c.OutC+c.OutC]
+			for ch, v := range src {
+				out[ch*nCols+pos] = v + bd[ch]
 			}
 		}
 	}
@@ -228,25 +236,37 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	sampleOut := c.OutC * c.outH * c.outW
 	sampleIn := c.InC * c.h * c.wIn
 	nCols := c.outH * c.outW
-	gb := c.b.G.Data
+	f := c.InC * c.K * c.K
+	// Gather dout into the channel-minor patch-row order of c.cols.
+	dd, td := dout.Data, c.dyt.Data
 	for i := 0; i < b; i++ {
-		do2 := c.hdrOut.Rebind(dout.Data[i*sampleOut:(i+1)*sampleOut], c.OutC, nCols)
-		// dW += dout·colsᵀ
-		tensor.MatMulTransB(do2, c.colsBatch[i], c.dwTmp)
-		c.w.G.AddScaled(1, c.dwTmp)
-		// db += per-channel sums
-		for ch := 0; ch < c.OutC; ch++ {
-			row := do2.Data[ch*nCols : ch*nCols+nCols]
-			var s float32
-			for _, v := range row {
-				s += v
+		src := dd[i*sampleOut : (i+1)*sampleOut]
+		rows := td[i*nCols*c.OutC:]
+		for pos := 0; pos < nCols; pos++ {
+			dst := rows[pos*c.OutC : pos*c.OutC+c.OutC]
+			for ch := range dst {
+				dst[ch] = src[ch*nCols+pos]
 			}
-			gb[ch] += s
 		}
-		// dcols = Wᵀ·dout ; dx = col2im(dcols)
-		tensor.MatMulTransA(c.w.W, do2, c.dcols)
+	}
+	// dW += dytᵀ·cols — one GEMM over every sample's patches.
+	tensor.MatMulTransA(c.dyt, c.cols, c.dwTmp)
+	c.w.G.AddScaled(1, c.dwTmp)
+	// db += column sums of dyt.
+	gb := c.b.G.Data
+	for r := 0; r < b*nCols; r++ {
+		row := td[r*c.OutC : r*c.OutC+c.OutC]
+		for ch, v := range row {
+			gb[ch] += v
+		}
+	}
+	// dcols = dyt·W in one GEMM, then scatter each sample back to image
+	// space.
+	tensor.MatMul(c.dyt, c.w.W, c.dcols)
+	cd := c.dcols.Data
+	for i := 0; i < b; i++ {
 		dx3 := c.hdrIn.Rebind(c.dx.Data[i*sampleIn:(i+1)*sampleIn], c.InC, c.h, c.wIn)
-		tensor.Col2im(c.dcols, c.InC, c.h, c.wIn, c.K, c.K, c.Stride, c.Pad, dx3)
+		tensor.Col2imRows(cd[i*nCols*f:(i+1)*nCols*f], c.InC, c.h, c.wIn, c.K, c.K, c.Stride, c.Pad, dx3)
 	}
 	return c.dx
 }

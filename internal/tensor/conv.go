@@ -94,6 +94,98 @@ func Col2im(cols *Tensor, c, h, w, kh, kw, stride, pad int, grad *Tensor) {
 	}
 }
 
+// Im2colRows is Im2col's transposed, slice-based variant for batched
+// convolution: row (oy·outW+ox) of dst holds output position (oy,ox)'s
+// receptive field, laid out [c·kh·kw]. Stacking every sample's block into
+// one (B·outH·outW) × (c·kh·kw) matrix lets a whole mini-batch's
+// convolution run as a single GEMM. dst must have outH·outW·c·kh·kw
+// elements; padding positions contribute zeros.
+func Im2colRows(in *Tensor, kh, kw, stride, pad int, dst []float32) {
+	c, h, w := in.Shape[0], in.Shape[1], in.Shape[2]
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	f := c * kh * kw
+	if len(dst) != outH*outW*f {
+		panic(fmt.Sprintf("tensor: im2colrows dst len %d, want %d", len(dst), outH*outW*f))
+	}
+	id := in.Data
+	r := 0
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			row := dst[r*f : r*f+f]
+			p := 0
+			for ch := 0; ch < c; ch++ {
+				base := ch * h * w
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
+						for kx := 0; kx < kw; kx++ {
+							row[p] = 0
+							p++
+						}
+						continue
+					}
+					rowBase := base + iy*w
+					for kx := 0; kx < kw; kx++ {
+						ix := ox*stride - pad + kx
+						if ix < 0 || ix >= w {
+							row[p] = 0
+						} else {
+							row[p] = id[rowBase+ix]
+						}
+						p++
+					}
+				}
+			}
+			r++
+		}
+	}
+}
+
+// Col2imRows scatters one sample's block of the patch-row matrix produced
+// by Im2colRows back into an input gradient of shape (C×H×W), accumulating
+// where receptive fields overlap. grad is zeroed first. src must have
+// outH·outW·c·kh·kw elements.
+func Col2imRows(src []float32, c, h, w, kh, kw, stride, pad int, grad *Tensor) {
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	f := c * kh * kw
+	if len(src) != outH*outW*f {
+		panic(fmt.Sprintf("tensor: col2imrows src len %d, want %d", len(src), outH*outW*f))
+	}
+	if grad.Shape[0] != c || grad.Shape[1] != h || grad.Shape[2] != w {
+		panic(fmt.Sprintf("tensor: col2imrows grad shape %v, want [%d %d %d]", grad.Shape, c, h, w))
+	}
+	grad.Zero()
+	gd := grad.Data
+	r := 0
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			row := src[r*f : r*f+f]
+			p := 0
+			for ch := 0; ch < c; ch++ {
+				base := ch * h * w
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
+						p += kw
+						continue
+					}
+					rowBase := base + iy*w
+					for kx := 0; kx < kw; kx++ {
+						ix := ox*stride - pad + kx
+						if ix >= 0 && ix < w {
+							gd[rowBase+ix] += row[p]
+						}
+						p++
+					}
+				}
+			}
+			r++
+		}
+	}
+}
+
 // MaxPool2x2 applies 2×2 max pooling with stride 2 to a (C×H×W) tensor and
 // records the argmax index of each output cell into idx (same length as the
 // output) so the backward pass can route gradients. H and W must be even.

@@ -1,0 +1,72 @@
+package tensor
+
+import (
+	"testing"
+
+	"disttrain/internal/rng"
+)
+
+// TestIm2colRowsMatchesIm2col: the patch-row layout is the exact transpose
+// of the classic column layout, for strided, padded and multi-channel cases.
+func TestIm2colRowsMatchesIm2col(t *testing.T) {
+	cases := []struct{ c, h, w, k, stride, pad int }{
+		{1, 4, 4, 1, 1, 0},
+		{3, 5, 5, 3, 1, 1},
+		{2, 6, 8, 3, 2, 1},
+		{4, 7, 7, 5, 2, 2},
+	}
+	r := rng.New(31)
+	for _, tc := range cases {
+		in := New(tc.c, tc.h, tc.w)
+		in.RandNormal(r, 1)
+		outH := (tc.h+2*tc.pad-tc.k)/tc.stride + 1
+		outW := (tc.w+2*tc.pad-tc.k)/tc.stride + 1
+		f := tc.c * tc.k * tc.k
+		nCols := outH * outW
+
+		cols := New(f, nCols)
+		Im2col(in, tc.k, tc.k, tc.stride, tc.pad, cols)
+		rows := make([]float32, nCols*f)
+		Im2colRows(in, tc.k, tc.k, tc.stride, tc.pad, rows)
+
+		for p := 0; p < nCols; p++ {
+			for j := 0; j < f; j++ {
+				if got, want := rows[p*f+j], cols.Data[j*nCols+p]; got != want {
+					t.Fatalf("case %+v: rows[%d,%d]=%v, cols[%d,%d]=%v", tc, p, j, got, j, p, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCol2imRowsMatchesCol2im: scattering the transposed layout accumulates
+// the same input gradient as the classic path.
+func TestCol2imRowsMatchesCol2im(t *testing.T) {
+	const c, h, w, k, stride, pad = 2, 6, 6, 3, 1, 1
+	outH := (h+2*pad-k)/stride + 1
+	outW := (w+2*pad-k)/stride + 1
+	f := c * k * k
+	nCols := outH * outW
+
+	r := rng.New(33)
+	cols := New(f, nCols)
+	cols.RandNormal(r, 1)
+	rows := make([]float32, nCols*f)
+	for p := 0; p < nCols; p++ {
+		for j := 0; j < f; j++ {
+			rows[p*f+j] = cols.Data[j*nCols+p]
+		}
+	}
+
+	want := New(c, h, w)
+	Col2im(cols, c, h, w, k, k, stride, pad, want)
+	got := New(c, h, w)
+	Col2imRows(rows, c, h, w, k, k, stride, pad, got)
+
+	for i := range want.Data {
+		d := got.Data[i] - want.Data[i]
+		if d < -1e-5 || d > 1e-5 {
+			t.Fatalf("grad[%d]: rows %v vs cols %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}

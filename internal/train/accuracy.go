@@ -1,7 +1,6 @@
 package train
 
 import (
-	"context"
 	"fmt"
 	"sync"
 
@@ -35,7 +34,7 @@ func accuracyRuns(o Options) ([]*core.Result, error) {
 		cfg := s.config(algo, workers, o.seed())
 		applyPaperHyper(&cfg, o.Quick)
 		o.logf("table2/fig1: running %s (%d workers, %d iters)", algo, workers, cfg.Iters)
-		res, err := core.Run(context.Background(), cfg)
+		res, err := o.run(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", algo, err)
 		}
@@ -159,7 +158,7 @@ func runTable3(o Options) ([]string, error) {
 				v.tune(&cfg)
 			}
 			o.logf("table3: %s @ %d workers", v.name, w)
-			res, err := core.Run(context.Background(), cfg)
+			res, err := o.run(cfg)
 			if err != nil {
 				return nil, fmt.Errorf("%s@%d: %w", v.name, w, err)
 			}
@@ -199,7 +198,7 @@ func runTable4(o Options) ([]string, error) {
 			v.tune(&base)
 		}
 		o.logf("table4: %s baseline", v.name)
-		r1, err := core.Run(context.Background(), base)
+		r1, err := o.run(base)
 		if err != nil {
 			return nil, err
 		}
@@ -219,7 +218,7 @@ func runTable4(o Options) ([]string, error) {
 		}
 		withDGC.DGC = &d
 		o.logf("table4: %s with DGC", v.name)
-		r2, err := core.Run(context.Background(), withDGC)
+		r2, err := o.run(withDGC)
 		if err != nil {
 			return nil, err
 		}

@@ -1,7 +1,6 @@
 package train
 
 import (
-	"context"
 	"fmt"
 
 	"disttrain/internal/cluster"
@@ -37,7 +36,7 @@ func runExtensions(o Options) ([]string, error) {
 				cfg.Workload.GPU.StragglerProb = 0.1
 				cfg.Workload.GPU.StragglerMult = 6
 			}
-			return core.Run(context.Background(), cfg)
+			return o.run(cfg)
 		}
 		o.logf("ext: stragglers %s", algo)
 		clean, err := run(false)
@@ -68,7 +67,7 @@ func runExtensions(o Options) ([]string, error) {
 			cfg.LocalAgg = true
 		}
 		o.logf("ext: burstiness %s", algo)
-		res, err := core.Run(context.Background(), cfg)
+		res, err := o.run(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -101,7 +100,7 @@ func runExtensions(o Options) ([]string, error) {
 		cfg.Workload.GPU.StragglerProb = 0.2
 		cfg.Workload.GPU.StragglerMult = 8
 		o.logf("ext: staleness %s", sr.name)
-		res, err := core.Run(context.Background(), cfg)
+		res, err := o.run(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -122,7 +121,7 @@ func runExtensions(o Options) ([]string, error) {
 			name = "unconstrained (naive)"
 		}
 		o.logf("ext: deadlock %s", name)
-		res, err := core.Run(context.Background(), cfg)
+		res, err := o.run(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -156,7 +155,7 @@ func runExtensions(o Options) ([]string, error) {
 			}
 		}
 		o.logf("ext: baseline %s", algo)
-		res, err := core.Run(context.Background(), cfg)
+		res, err := o.run(cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -1,7 +1,6 @@
 package train
 
 import (
-	"context"
 	"fmt"
 
 	"disttrain/internal/cluster"
@@ -94,7 +93,7 @@ func runTable1(o Options) ([]string, error) {
 		Header: []string{"algorithm", "analytic", "predicted", "measured", "ratio"}}
 	for _, r := range rows {
 		o.logf("table1: %s", r.name)
-		res, err := core.Run(context.Background(), r.cfg)
+		res, err := o.run(r.cfg)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", r.name, err)
 		}
@@ -153,7 +152,7 @@ func runFig2(o Options) ([]string, error) {
 					cfg := perfConfig(algo, model, w, gbps, iters, o.seed())
 					fig2Tune(&cfg)
 					o.logf("fig2: %s %s %gG %dw", model, algo, gbps, w)
-					res, err := core.Run(context.Background(), cfg)
+					res, err := o.run(cfg)
 					if err != nil {
 						return nil, fmt.Errorf("fig2 %s/%s/%d: %w", model, algo, w, err)
 					}
@@ -188,7 +187,7 @@ func runFig3(o Options) ([]string, error) {
 				cfg := perfConfig(algo, model, workers, gbps, iters, o.seed())
 				fig2Tune(&cfg)
 				o.logf("fig3: %s %s %gG", model, algo, gbps)
-				res, err := core.Run(context.Background(), cfg)
+				res, err := o.run(cfg)
 				if err != nil {
 					return nil, err
 				}
@@ -270,7 +269,7 @@ func runFig4(o Options) ([]string, error) {
 						cfg := perfConfig(algo, model, w, gbps, iters, o.seed())
 						v.tune(&cfg)
 						o.logf("fig4: %s %s %gG %s N=%d", model, algo, gbps, v.name, w)
-						res, err := core.Run(context.Background(), cfg)
+						res, err := o.run(cfg)
 						if err != nil {
 							return nil, err
 						}

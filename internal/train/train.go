@@ -11,6 +11,7 @@
 package train
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -31,8 +32,21 @@ type Options struct {
 	Quick bool
 	// Seed is the master seed (0 means 1).
 	Seed uint64
+	// Pool sizes the shared compute pool that overlaps virtually-concurrent
+	// replicas' gradient passes on real cores (core.Config.PoolSize). 0 keeps
+	// the serial inline path; results are bit-identical for every value, only
+	// wall time changes.
+	Pool int
 	// Log receives progress lines; nil discards them.
 	Log io.Writer
+}
+
+// run executes one experiment configuration with the option-level overrides
+// applied — currently just the compute-pool size, so every preset shares the
+// same real-core parallelism knob.
+func (o Options) run(cfg core.Config) (*core.Result, error) {
+	cfg.PoolSize = o.Pool
+	return core.Run(context.Background(), cfg)
 }
 
 func (o Options) seed() uint64 {
