@@ -10,6 +10,11 @@
 // keeps the best of -reps repetitions. Speedup is relative to the inline
 // pool=0 baseline of the same algorithm. On a single-core host the speedup
 // stays ~1x by construction — the record of that is the point.
+//
+// A second grid compares the simulator against the live loopback-TCP
+// transport (internal/live) for BSP at 2 and 4 workers, recording wall-clock
+// images/sec for each — the real cost of moving the same frames over
+// sockets instead of virtual time.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"disttrain/internal/core"
 	"disttrain/internal/costmodel"
 	"disttrain/internal/data"
+	"disttrain/internal/live"
 	"disttrain/internal/nn"
 	"disttrain/internal/opt"
 	"disttrain/internal/rng"
@@ -38,6 +44,8 @@ type cell struct {
 	Iters      int     `json:"iters"`
 	Workers    int     `json:"workers"`
 	Speedup    float64 `json:"speedup_vs_pool0"`
+	Transport  string  `json:"transport,omitempty"`
+	ImagesSec  float64 `json:"images_per_sec,omitempty"`
 }
 
 type record struct {
@@ -117,6 +125,53 @@ func main() {
 			}
 			rec.Cells = append(rec.Cells, c)
 			fmt.Printf("%-6s pool=%-2d wall %.3fs  speedup %.2fx\n", algo, pool, best, c.Speedup)
+		}
+	}
+
+	// Live-vs-sim grid: the same BSP configuration once through the
+	// virtual-time simulator and once over real loopback TCP, reporting
+	// wall-clock images/sec side by side.
+	for _, w := range []int{2, 4} {
+		cfg := mk(core.BSP, 0)
+		cfg.Workers = w
+		cfg.Cluster = cluster.Paper56G(w)
+		for _, transport := range []string{"sim", "tcp"} {
+			best := 0.0
+			totalIters := 0
+			for rep := 0; rep < *reps; rep++ {
+				var wall float64
+				var iters int
+				if transport == "sim" {
+					t0 := time.Now()
+					if _, err := core.Run(context.Background(), cfg); err != nil {
+						fmt.Fprintf(os.Stderr, "benchrecord: bsp sim w=%d: %v\n", w, err)
+						os.Exit(1)
+					}
+					wall = time.Since(t0).Seconds()
+					iters = w * cfg.Iters // faultless BSP completes every iteration
+				} else {
+					res, err := live.RunLoopback(cfg)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "benchrecord: bsp tcp w=%d: %v\n", w, err)
+						os.Exit(1)
+					}
+					wall = res.WallSec
+					iters = 0
+					for _, it := range res.WorkerIters {
+						iters += it
+					}
+				}
+				if best == 0 || wall < best {
+					best = wall
+					totalIters = iters
+				}
+			}
+			c := cell{Algo: "bsp", WallSec: best, Iters: *iters, Workers: w, Transport: transport}
+			if best > 0 {
+				c.ImagesSec = float64(totalIters*cfg.Real.Batch) / best
+			}
+			rec.Cells = append(rec.Cells, c)
+			fmt.Printf("bsp    %-4s w=%-2d  wall %.3fs  %.1f images/s\n", transport, w, best, c.ImagesSec)
 		}
 	}
 

@@ -13,10 +13,21 @@
 // Fault-injection run (deterministic chaos):
 //
 //	disttrain -algo bsp -workers 8 -iters 60 -elastic -faults 'crash@iter20:w3:restart=5'
+//
+// Live run over real loopback TCP (wall-clock, see docs/LIVE.md):
+//
+//	disttrain -algo bsp -workers 4 -iters 50 -real -transport tcp
+//
+// Live multi-process run (one coordinator, N workers, possibly on other
+// machines):
+//
+//	disttrain -algo arsgd -workers 2 -iters 50 -real -transport tcp -role coordinator -coord :9901
+//	disttrain -algo arsgd -workers 2 -iters 50 -real -transport tcp -role worker -coord host:9901
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +36,7 @@ import (
 
 	"disttrain/internal/cli"
 	"disttrain/internal/core"
+	"disttrain/internal/live"
 	"disttrain/internal/metrics"
 	"disttrain/internal/report"
 	"disttrain/internal/trace"
@@ -45,6 +57,21 @@ func main() {
 	}
 	ctx, stop := cli.Context()
 	defer stop()
+
+	if f.Transport != "sim" {
+		if *sweep != "" || *traceOut != "" {
+			cli.Fatal(fmt.Errorf("-sweep and -traceout are simulator-only"))
+		}
+		res, err := f.RunLive(cfg)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		if res == nil {
+			return // worker role: the coordinator process owns the Result
+		}
+		printLive(f, res, *jsonOut)
+		return
+	}
 
 	if *sweep != "" {
 		runSweep(ctx, cfg, *sweep, f.Gbps)
@@ -115,6 +142,31 @@ func main() {
 		fmt.Println()
 		fmt.Print(fig.String())
 	}
+}
+
+// printLive reports a live run: the Summary in JSON mode, a wall-clock
+// metrics table otherwise.
+func printLive(f *cli.Flags, res *live.Result, jsonOut bool) {
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res.Summary()); err != nil {
+			cli.Fatal(err)
+		}
+		return
+	}
+	t := report.Table{Title: fmt.Sprintf("%s live (%s), %d workers", f.Algo, res.Transport, f.Workers),
+		Header: []string{"metric", "value"}}
+	t.AddRow("wall time", report.Fmt(res.WallSec, 3)+" s")
+	t.AddRow("throughput", report.Fmt(res.Throughput, 1)+" samples/s (wall)")
+	t.AddRow("frames sent", strconv.FormatInt(res.Net.FramesSent, 10))
+	t.AddRow("bytes sent", report.FmtBytes(float64(res.Net.BytesSent)))
+	if res.Net.Kills > 0 || res.Net.Redials > 0 {
+		t.AddRow("connection kills/redials", fmt.Sprintf("%d / %d", res.Net.Kills, res.Net.Redials))
+	}
+	t.AddRow("final test accuracy", report.Fmt(res.FinalTestAcc, 4))
+	t.AddRow("final train loss", report.Fmt(res.FinalTrainLoss, 4))
+	fmt.Print(t.String())
 }
 
 // runSweep re-runs the configuration at each worker count and prints the

@@ -22,6 +22,7 @@ import (
 	"disttrain/internal/data"
 	"disttrain/internal/fault"
 	"disttrain/internal/grad"
+	"disttrain/internal/live"
 	"disttrain/internal/nn"
 	"disttrain/internal/opt"
 	"disttrain/internal/rng"
@@ -56,6 +57,11 @@ type Flags struct {
 	FaultFile string
 	Elastic   bool
 	Timeout   float64
+
+	Transport  string
+	Role       string
+	Coord      string
+	MeshListen string
 }
 
 // Register binds the shared experiment flags onto fs and returns the
@@ -88,6 +94,11 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.FaultFile, "faultsjson", "", "JSON file with a fault schedule ({\"events\": [...]})")
 	fs.BoolVar(&f.Elastic, "elastic", false, "elastic membership: barriers exclude crashed workers instead of stalling")
 	fs.Float64Var(&f.Timeout, "timeout", 0, "barrier timeout in virtual seconds (0 = 5 mean iterations)")
+
+	fs.StringVar(&f.Transport, "transport", "sim", "execution backend: sim (virtual-time simulator) | tcp (live TCP) | chan (live in-process channels); live backends require -real")
+	fs.StringVar(&f.Role, "role", "", "live multi-process role: coordinator|worker (empty = single-process loopback harness)")
+	fs.StringVar(&f.Coord, "coord", "127.0.0.1:9901", "coordinator address: listen address for -role=coordinator, dial address for -role=worker")
+	fs.StringVar(&f.MeshListen, "meshlisten", "127.0.0.1:0", "live worker's mesh listen address (use a peer-reachable host:0 for multi-machine runs)")
 	return f
 }
 
@@ -210,6 +221,33 @@ func Cluster(gbps float64, workers int) cluster.Config {
 // mid-print.
 func Context() (context.Context, context.CancelFunc) {
 	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// RunLive dispatches a live (wall-clock) run according to the transport
+// and role flags. A nil Result with nil error means this process was a
+// worker: it trained to completion, and the coordinator process owns the
+// run's Result.
+func (f *Flags) RunLive(cfg core.Config) (*live.Result, error) {
+	switch f.Transport {
+	case "chan":
+		if f.Role != "" {
+			return nil, fmt.Errorf("cli: -role applies only to -transport=tcp")
+		}
+		return live.RunChan(cfg)
+	case "tcp":
+		switch f.Role {
+		case "":
+			return live.RunLoopback(cfg)
+		case "coordinator":
+			return live.RunCoordinator(cfg, f.Coord)
+		case "worker":
+			return nil, live.RunWorker(cfg, f.Coord, f.MeshListen)
+		default:
+			return nil, fmt.Errorf("cli: unknown -role %q (want coordinator or worker)", f.Role)
+		}
+	default:
+		return nil, fmt.Errorf("cli: unknown -transport %q (want sim, tcp or chan)", f.Transport)
+	}
 }
 
 // MustRun runs one experiment and exits the process on error.

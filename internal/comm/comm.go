@@ -9,9 +9,10 @@
 // experiments) and with nil payloads where only message sizes drive the
 // simulation (cost-only scalability experiments).
 //
-// The entry point is Collective with a CollectiveOpts; the positional
-// helpers (RingAllReduce, TreeAllReduce, LocalGather, LocalBroadcast) are
-// deprecated wrappers kept for existing call sites.
+// The single entry point is Collective with a CollectiveOpts. Malformed
+// opts and protocol violations (an unexpected message in a strict,
+// stash-less collective) surface as errors from Collective, not as panics
+// deep inside the ring.
 package comm
 
 import (
@@ -73,25 +74,81 @@ type CollectiveOpts struct {
 // received vector for OpBroadcast members, Vec otherwise) and the wire
 // seconds accumulated by this participant's receives — the "network" share
 // of the collective for time-breakdown metrics.
-func Collective(p *des.Proc, o CollectiveOpts) ([]float32, des.Time) {
+//
+// Malformed opts are rejected up front; a protocol violation mid-collective
+// (a message that matches neither the expected round nor a stash) aborts
+// with an error. On error the payload vector may be partially reduced.
+func Collective(p *des.Proc, o CollectiveOpts) ([]float32, des.Time, error) {
+	if err := o.validate(); err != nil {
+		return o.Vec, 0, err
+	}
 	switch o.Op {
 	case OpRingAllReduce:
-		return o.Vec, ringAllReduce(p, &o)
+		wire, err := ringAllReduce(p, &o)
+		return o.Vec, wire, err
 	case OpTreeAllReduce:
-		return o.Vec, treeAllReduce(p, &o)
+		wire, err := treeAllReduce(p, &o)
+		return o.Vec, wire, err
 	case OpGather:
-		return o.Vec, localGather(p, &o)
+		wire, err := localGather(p, &o)
+		return o.Vec, wire, err
 	case OpBroadcast:
 		return localBroadcast(p, &o)
 	default:
-		panic(fmt.Sprintf("comm: unknown op %d", o.Op))
+		return o.Vec, 0, fmt.Errorf("comm: unknown op %d", o.Op)
 	}
+}
+
+// validate rejects opts that would corrupt or deadlock the collective:
+// empty or inconsistent membership, a caller outside the group, and
+// payload/size mismatches. Catching these here turns a crash deep in the
+// ring into an error at the call site.
+func (o *CollectiveOpts) validate() error {
+	if o.Net == nil {
+		return fmt.Errorf("comm: %v needs a network", o.Op)
+	}
+	if len(o.Nodes) == 0 {
+		return fmt.Errorf("comm: %v with no participants", o.Op)
+	}
+	if o.Self < 0 || o.Self >= len(o.Nodes) {
+		return fmt.Errorf("comm: self index %d outside group of %d", o.Self, len(o.Nodes))
+	}
+	if o.Bytes < 0 {
+		return fmt.Errorf("comm: negative wire size %d", o.Bytes)
+	}
+	if o.Op == OpRingAllReduce || o.Op == OpTreeAllReduce {
+		if o.Vec == nil && o.VirtualLen <= 0 {
+			return fmt.Errorf("comm: %v in cost-only mode needs a positive VirtualLen", o.Op)
+		}
+		if o.Vec != nil && len(o.Vec) == 0 {
+			return fmt.Errorf("comm: %v with an empty payload vector", o.Op)
+		}
+	}
+	if o.Vec != nil && o.VirtualLen != 0 && o.VirtualLen != len(o.Vec) {
+		return fmt.Errorf("comm: VirtualLen %d disagrees with payload length %d", o.VirtualLen, len(o.Vec))
+	}
+	return nil
+}
+
+// String names the op for error messages.
+func (op Op) String() string {
+	switch op {
+	case OpRingAllReduce:
+		return "ring allreduce"
+	case OpTreeAllReduce:
+		return "tree allreduce"
+	case OpGather:
+		return "gather"
+	case OpBroadcast:
+		return "broadcast"
+	}
+	return fmt.Sprintf("op(%d)", int(op))
 }
 
 // recvMatch returns the next message matching (Kind, Clock, and Seg when
 // useSeg). With a stash attached, non-matching messages are buffered for
-// later calls; without one, a mismatch panics.
-func recvMatch(p *des.Proc, o *CollectiveOpts, wantSeg int, useSeg bool) simnet.Msg {
+// later calls; without one, a mismatch is a protocol violation and errors.
+func recvMatch(p *des.Proc, o *CollectiveOpts, wantSeg int, useSeg bool) (simnet.Msg, error) {
 	inbox := o.Net.Node(o.Nodes[o.Self]).Inbox
 	match := func(m simnet.Msg) bool {
 		return m.Kind == o.Kind && m.Clock == o.Clock && (!useSeg || m.Seg == wantSeg)
@@ -100,35 +157,32 @@ func recvMatch(p *des.Proc, o *CollectiveOpts, wantSeg int, useSeg bool) simnet.
 		for i, m := range *o.Stash {
 			if match(m) {
 				*o.Stash = append((*o.Stash)[:i], (*o.Stash)[i+1:]...)
-				return m
+				return m, nil
 			}
 		}
 	}
 	for {
 		m := inbox.Recv(p)
 		if match(m) {
-			return m
+			return m, nil
 		}
 		if o.Stash == nil {
-			panic(fmt.Sprintf("comm: got kind %d clock %d seg %d, want kind %d clock %d seg %d",
-				m.Kind, m.Clock, m.Seg, o.Kind, o.Clock, wantSeg))
+			return simnet.Msg{}, fmt.Errorf("comm: %v got kind %d clock %d seg %d, want kind %d clock %d seg %d",
+				o.Op, m.Kind, m.Clock, m.Seg, o.Kind, o.Clock, wantSeg)
 		}
 		*o.Stash = append(*o.Stash, m)
 	}
 }
 
-func ringAllReduce(p *des.Proc, o *CollectiveOpts) des.Time {
+func ringAllReduce(p *des.Proc, o *CollectiveOpts) (des.Time, error) {
 	n := len(o.Nodes)
 	if n == 1 {
-		return 0
+		return 0, nil
 	}
 	virtualLen := o.VirtualLen
 	vec := o.Vec
 	if vec != nil {
 		virtualLen = len(vec)
-	}
-	if virtualLen <= 0 {
-		panic("comm: ring allreduce needs a positive length")
 	}
 	chunkLo := func(c int) int { return virtualLen * c / n }
 	chunkHi := func(c int) int { return virtualLen * (c + 1) / n }
@@ -152,7 +206,10 @@ func ringAllReduce(p *des.Proc, o *CollectiveOpts) des.Time {
 	for s := 0; s < n-1; s++ {
 		sendChunk(((o.Self-s)%n+n)%n, true)
 		c := ((o.Self-s-1)%n + n) % n
-		m := recvMatch(p, o, c, true)
+		m, err := recvMatch(p, o, c, true)
+		if err != nil {
+			return wire, err
+		}
 		wire += m.WireSec
 		if vec != nil {
 			tensor.AxpyF32(1, m.Vec, vec[chunkLo(c):chunkHi(c)])
@@ -162,13 +219,16 @@ func ringAllReduce(p *des.Proc, o *CollectiveOpts) des.Time {
 	for s := 0; s < n-1; s++ {
 		sendChunk(((o.Self+1-s)%n+n)%n, false)
 		c := ((o.Self-s)%n + n) % n
-		m := recvMatch(p, o, c, true)
+		m, err := recvMatch(p, o, c, true)
+		if err != nil {
+			return wire, err
+		}
 		wire += m.WireSec
 		if vec != nil {
 			copy(vec[chunkLo(c):chunkHi(c)], m.Vec)
 		}
 	}
-	return wire
+	return wire, nil
 }
 
 func b2f(b bool) float64 {
@@ -178,15 +238,12 @@ func b2f(b bool) float64 {
 	return 0
 }
 
-func treeAllReduce(p *des.Proc, o *CollectiveOpts) des.Time {
+func treeAllReduce(p *des.Proc, o *CollectiveOpts) (des.Time, error) {
 	n := len(o.Nodes)
 	if n == 1 {
-		return 0
+		return 0, nil
 	}
 	vec := o.Vec
-	if vec == nil && o.VirtualLen <= 0 {
-		panic("comm: tree allreduce needs a positive length")
-	}
 	self := o.Self
 	var wire des.Time
 
@@ -198,8 +255,11 @@ func treeAllReduce(p *des.Proc, o *CollectiveOpts) des.Time {
 		o.Net.Send(simnet.Msg{From: o.Nodes[self], To: o.Nodes[to], Kind: o.Kind, Clock: o.Clock,
 			Bytes: o.Bytes, Vec: payload})
 	}
-	recv := func(add bool) {
-		m := recvMatch(p, o, 0, false)
+	recv := func(add bool) error {
+		m, err := recvMatch(p, o, 0, false)
+		if err != nil {
+			return err
+		}
 		wire += m.WireSec
 		if vec != nil && m.Vec != nil {
 			if add {
@@ -208,6 +268,7 @@ func treeAllReduce(p *des.Proc, o *CollectiveOpts) des.Time {
 				copy(vec, m.Vec)
 			}
 		}
+		return nil
 	}
 
 	// Reduce: in round k (distance d = 2^k), ranks with self%2d == d send to
@@ -219,7 +280,9 @@ func treeAllReduce(p *des.Proc, o *CollectiveOpts) des.Time {
 			break
 		}
 		if self%(2*d) == 0 && self+d < n {
-			recv(true)
+			if err := recv(true); err != nil {
+				return wire, err
+			}
 		}
 	}
 	// Broadcast back down the same tree, mirrored: largest distance first.
@@ -232,15 +295,17 @@ func treeAllReduce(p *des.Proc, o *CollectiveOpts) des.Time {
 		case self%(2*d) == 0 && self+d < n:
 			send(self + d)
 		case self%(2*d) == d:
-			recv(false)
+			if err := recv(false); err != nil {
+				return wire, err
+			}
 		}
 	}
-	return wire
+	return wire, nil
 }
 
-func localGather(p *des.Proc, o *CollectiveOpts) des.Time {
+func localGather(p *des.Proc, o *CollectiveOpts) (des.Time, error) {
 	if len(o.Nodes) == 1 {
-		return 0
+		return 0, nil
 	}
 	const leader = 0
 	if o.Self != leader {
@@ -250,22 +315,25 @@ func localGather(p *des.Proc, o *CollectiveOpts) des.Time {
 		}
 		o.Net.Send(simnet.Msg{From: o.Nodes[o.Self], To: o.Nodes[leader], Kind: o.Kind, Clock: o.Clock,
 			Bytes: o.Bytes, Vec: payload})
-		return 0
+		return 0, nil
 	}
 	var wire des.Time
 	for i := 0; i < len(o.Nodes)-1; i++ {
-		m := recvMatch(p, o, 0, false)
+		m, err := recvMatch(p, o, 0, false)
+		if err != nil {
+			return wire, err
+		}
 		wire += m.WireSec
 		if o.Vec != nil && m.Vec != nil {
 			tensor.AxpyF32(1, m.Vec, o.Vec)
 		}
 	}
-	return wire
+	return wire, nil
 }
 
-func localBroadcast(p *des.Proc, o *CollectiveOpts) ([]float32, des.Time) {
+func localBroadcast(p *des.Proc, o *CollectiveOpts) ([]float32, des.Time, error) {
 	if len(o.Nodes) == 1 {
-		return o.Vec, 0
+		return o.Vec, 0, nil
 	}
 	const leader = 0
 	if o.Self == leader {
@@ -277,58 +345,11 @@ func localBroadcast(p *des.Proc, o *CollectiveOpts) ([]float32, des.Time) {
 			o.Net.Send(simnet.Msg{From: o.Nodes[leader], To: o.Nodes[i], Kind: o.Kind, Clock: o.Clock,
 				Bytes: o.Bytes, Vec: payload})
 		}
-		return o.Vec, 0
+		return o.Vec, 0, nil
 	}
-	m := recvMatch(p, o, 0, false)
-	return m.Vec, m.WireSec
-}
-
-// RingAllReduce performs an in-place sum-AllReduce of vec across the
-// participants' nodes. Every participant must call it with the same ids and
-// kind; self is the caller's index into ids. vec may be nil in cost-only
-// mode, in which case virtualLen supplies the element count used for chunk
-// sizing. totalBytes is the wire size of the full vector.
-//
-// Returns the wire seconds accumulated by this participant's receives.
-//
-// Deprecated: use Collective with OpRingAllReduce.
-func RingAllReduce(p *des.Proc, net *simnet.Net, ids []int, self int, vec []float32, virtualLen int, totalBytes int64, kind int) des.Time {
-	_, wire := Collective(p, CollectiveOpts{Op: OpRingAllReduce, Net: net, Nodes: ids, Self: self,
-		Vec: vec, VirtualLen: virtualLen, Bytes: totalBytes, Kind: kind})
-	return wire
-}
-
-// TreeAllReduce performs a sum-AllReduce as a binomial reduce-to-root
-// followed by a binomial broadcast — the algorithm MPI implementations
-// prefer for small messages, where ring AllReduce's 2(N−1) latency hops
-// dominate. Each participant moves O(M·log N) bytes instead of the ring's
-// O(M) per link, so for large vectors the ring wins; see
-// BenchmarkAblationAllReduce for the crossover.
-//
-// Deprecated: use Collective with OpTreeAllReduce.
-func TreeAllReduce(p *des.Proc, net *simnet.Net, ids []int, self int, vec []float32, virtualLen int, totalBytes int64, kind int) des.Time {
-	_, wire := Collective(p, CollectiveOpts{Op: OpTreeAllReduce, Net: net, Nodes: ids, Self: self,
-		Vec: vec, VirtualLen: virtualLen, Bytes: totalBytes, Kind: kind})
-	return wire
-}
-
-// LocalGather implements the member side and leader side of intra-machine
-// gradient aggregation (the paper's "local aggregation"): every member
-// sends its vector to the group leader, which sums them into its own vec.
-//
-// Deprecated: use Collective with OpGather.
-func LocalGather(p *des.Proc, net *simnet.Net, group []int, self int, vec []float32, totalBytes int64, kind int) des.Time {
-	_, wire := Collective(p, CollectiveOpts{Op: OpGather, Net: net, Nodes: group, Self: self,
-		Vec: vec, Bytes: totalBytes, Kind: kind})
-	return wire
-}
-
-// LocalBroadcast sends vec from the group leader to every member (leader
-// side), or receives it (member side), returning the received vector and
-// wire time.
-//
-// Deprecated: use Collective with OpBroadcast.
-func LocalBroadcast(p *des.Proc, net *simnet.Net, group []int, self int, vec []float32, totalBytes int64, kind int) ([]float32, des.Time) {
-	return Collective(p, CollectiveOpts{Op: OpBroadcast, Net: net, Nodes: group, Self: self,
-		Vec: vec, Bytes: totalBytes, Kind: kind})
+	m, err := recvMatch(p, o, 0, false)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m.Vec, m.WireSec, nil
 }

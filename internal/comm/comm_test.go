@@ -12,6 +12,42 @@ import (
 
 const testKind = 7
 
+// Positional helpers over Collective keep the test bodies compact; any
+// collective error is a test failure.
+func ring(t *testing.T, p *des.Proc, net *simnet.Net, ids []int, self int, vec []float32, virtualLen int, bytes int64) {
+	t.Helper()
+	if _, _, err := Collective(p, CollectiveOpts{Op: OpRingAllReduce, Net: net, Nodes: ids, Self: self,
+		Vec: vec, VirtualLen: virtualLen, Bytes: bytes, Kind: testKind}); err != nil {
+		t.Errorf("ring allreduce: %v", err)
+	}
+}
+
+func tree(t *testing.T, p *des.Proc, net *simnet.Net, ids []int, self int, vec []float32, virtualLen int, bytes int64) {
+	t.Helper()
+	if _, _, err := Collective(p, CollectiveOpts{Op: OpTreeAllReduce, Net: net, Nodes: ids, Self: self,
+		Vec: vec, VirtualLen: virtualLen, Bytes: bytes, Kind: testKind}); err != nil {
+		t.Errorf("tree allreduce: %v", err)
+	}
+}
+
+func gather(t *testing.T, p *des.Proc, net *simnet.Net, group []int, self int, vec []float32, bytes int64) {
+	t.Helper()
+	if _, _, err := Collective(p, CollectiveOpts{Op: OpGather, Net: net, Nodes: group, Self: self,
+		Vec: vec, Bytes: bytes, Kind: testKind}); err != nil {
+		t.Errorf("gather: %v", err)
+	}
+}
+
+func bcast(t *testing.T, p *des.Proc, net *simnet.Net, group []int, self int, vec []float32, bytes int64) []float32 {
+	t.Helper()
+	out, _, err := Collective(p, CollectiveOpts{Op: OpBroadcast, Net: net, Nodes: group, Self: self,
+		Vec: vec, Bytes: bytes, Kind: testKind})
+	if err != nil {
+		t.Errorf("broadcast: %v", err)
+	}
+	return out
+}
+
 func buildNet(machines, perMachine int) (*des.Engine, *simnet.Net, []int) {
 	eng := des.NewEngine()
 	cfg := cluster.Config{
@@ -47,7 +83,7 @@ func TestRingAllReduceSum(t *testing.T) {
 		for i := 0; i < n; i++ {
 			i := i
 			eng.Spawn("w", func(p *des.Proc) {
-				RingAllReduce(p, net, ids, i, vecs[i], 0, 40, testKind)
+				ring(t, p, net, ids, i, vecs[i], 0, 40)
 			})
 		}
 		eng.Run(0)
@@ -70,7 +106,7 @@ func TestRingAllReduceCostOnly(t *testing.T) {
 	for i := 0; i < n; i++ {
 		i := i
 		eng.Spawn("w", func(p *des.Proc) {
-			RingAllReduce(p, net, ids, i, nil, 1000, 4000, testKind)
+			ring(t, p, net, ids, i, nil, 1000, 4000)
 		})
 	}
 	eng.Run(0)
@@ -100,7 +136,7 @@ func TestRingAllReduceUnevenLength(t *testing.T) {
 	for i := 0; i < n; i++ {
 		i := i
 		eng.Spawn("w", func(p *des.Proc) {
-			RingAllReduce(p, net, ids, i, vecs[i], 0, 28, testKind)
+			ring(t, p, net, ids, i, vecs[i], 0, 28)
 		})
 	}
 	eng.Run(0)
@@ -127,7 +163,7 @@ func TestRingAllReduceTimeScalesWithBandwidth(t *testing.T) {
 		for i := 0; i < 4; i++ {
 			i := i
 			eng.Spawn("w", func(p *des.Proc) {
-				RingAllReduce(p, net, ids, i, nil, 1<<20, 4<<20, testKind)
+				ring(t, p, net, ids, i, nil, 1<<20, 4<<20)
 				if p.Now() > end {
 					end = p.Now()
 				}
@@ -152,7 +188,7 @@ func TestLocalGatherSumsOnLeader(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		i := i
 		eng.Spawn("w", func(p *des.Proc) {
-			LocalGather(p, net, ids, i, vecs[i], 8, testKind)
+			gather(t, p, net, ids, i, vecs[i], 8)
 		})
 	}
 	eng.Run(0)
@@ -173,7 +209,7 @@ func TestLocalBroadcastDelivers(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		i := i
 		eng.Spawn("w", func(p *des.Proc) {
-			v, _ := LocalBroadcast(p, net, ids, i, payloadIf(i == 0, payload), 8, testKind)
+			v := bcast(t, p, net, ids, i, payloadIf(i == 0, payload), 8)
 			got[i] = v
 		})
 	}
@@ -197,8 +233,8 @@ func TestSingleMemberGroupsAreNoOps(t *testing.T) {
 	ran := false
 	eng.Spawn("w", func(p *des.Proc) {
 		v := []float32{1}
-		LocalGather(p, net, ids[:1], 0, v, 4, testKind)
-		out, _ := LocalBroadcast(p, net, ids[:1], 0, v, 4, testKind)
+		gather(t, p, net, ids[:1], 0, v, 4)
+		out := bcast(t, p, net, ids[:1], 0, v, 4)
 		if out[0] != 1 {
 			t.Error("no-op broadcast changed vector")
 		}
@@ -227,7 +263,7 @@ func TestLocalAggregationReducesCrossTraffic(t *testing.T) {
 				group = ids[2:4]
 				self = i - 2
 			}
-			LocalGather(p, net, group, self, nil, 1000, testKind)
+			gather(t, p, net, group, self, nil, 1000)
 		})
 	}
 	eng.Run(0)
@@ -256,7 +292,7 @@ func TestTreeAllReduceSum(t *testing.T) {
 		for i := 0; i < n; i++ {
 			i := i
 			eng.Spawn("w", func(p *des.Proc) {
-				TreeAllReduce(p, net, ids, i, vecs[i], 0, 24, testKind)
+				tree(t, p, net, ids, i, vecs[i], 0, 24)
 			})
 		}
 		eng.Run(0)
@@ -284,9 +320,9 @@ func TestTreeAllReduceRepeatedRounds(t *testing.T) {
 	for i := 0; i < n; i++ {
 		i := i
 		eng.Spawn("w", func(p *des.Proc) {
-			TreeAllReduce(p, net, ids, i, vecs[i], 0, 4, testKind)
+			tree(t, p, net, ids, i, vecs[i], 0, 4)
 			// all now 4; second round sums to 16
-			TreeAllReduce(p, net, ids, i, vecs[i], 0, 4, testKind)
+			tree(t, p, net, ids, i, vecs[i], 0, 4)
 		})
 	}
 	eng.Run(0)
@@ -301,7 +337,7 @@ func TestTreeVsRingLatencyCrossover(t *testing.T) {
 	// Small message: tree's O(log N) rounds beat the ring's 2(N-1) rounds.
 	// Large message: the ring's O(M) per-link traffic beats the tree's
 	// O(M log N) root bottleneck.
-	run := func(tree bool, bytes int64) des.Time {
+	run := func(useTree bool, bytes int64) des.Time {
 		n := 8
 		eng := des.NewEngine()
 		cfg := cluster.Config{Machines: n, WorkersPerMachine: 1,
@@ -315,10 +351,10 @@ func TestTreeVsRingLatencyCrossover(t *testing.T) {
 		for i := 0; i < n; i++ {
 			i := i
 			eng.Spawn("w", func(p *des.Proc) {
-				if tree {
-					TreeAllReduce(p, net, ids, i, nil, int(bytes/4), bytes, testKind)
+				if useTree {
+					tree(t, p, net, ids, i, nil, int(bytes/4), bytes)
 				} else {
-					RingAllReduce(p, net, ids, i, nil, int(bytes/4), bytes, testKind)
+					ring(t, p, net, ids, i, nil, int(bytes/4), bytes)
 				}
 				if p.Now() > end {
 					end = p.Now()

@@ -68,7 +68,7 @@ func runARSGD(x *exp) {
 					}
 				}
 				reduce := func(vec []float32, vlen int) des.Time {
-					_, wire := comm.Collective(p, comm.CollectiveOpts{
+					_, wire := collective(p, comm.CollectiveOpts{
 						Op: op, Net: x.net, Nodes: nodes, Self: self,
 						Vec: vec, VirtualLen: vlen, Bytes: x.bytesFor(vlen),
 						Kind: kindAllReduce, Clock: it, Stash: stashP})

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"disttrain/internal/comm"
 	"disttrain/internal/des"
@@ -65,6 +66,7 @@ func runBSP(x *exp) {
 					agg = make([]float32, x.vecLen)
 				}
 				recipients := make([]int, 0, expect)
+				msgs := make([]simnet.Msg, 0, expect)
 				lr := cfg.LR.At(it)
 				for i := 0; i < expect; i++ {
 					var m simnet.Msg
@@ -78,6 +80,17 @@ func runBSP(x *exp) {
 						m = inbox.Recv(p)
 					}
 					psAggSleep(p, m.Bytes)
+					msgs = append(msgs, m)
+					recipients = append(recipients, m.From)
+				}
+				// Reduction-order contract, shared with the live runtime:
+				// gradients are summed in ascending sender rank, not arrival
+				// order. Float addition is order-sensitive, so pinning the
+				// order is what lets a wall-clock TCP run reproduce the
+				// simulator's parameters bit for bit. Replies below still go
+				// out in arrival order, so virtual timing is unchanged.
+				sort.Slice(msgs, func(i, j int) bool { return msgs[i].From < msgs[j].From })
+				for _, m := range msgs {
 					switch m.Kind {
 					case kindSparseGrad:
 						// DGC: plain sparse step per message; linearity
@@ -91,7 +104,6 @@ func runBSP(x *exp) {
 					default:
 						panic(fmt.Sprintf("bsp shard: unexpected kind %d", m.Kind))
 					}
-					recipients = append(recipients, m.From)
 				}
 				if cfg.DGC == nil {
 					x.global.ApplyGrad(x.assign[s], agg, scale, lr)
@@ -136,7 +148,7 @@ func runBSP(x *exp) {
 							aggVec = append([]float32(nil), grads...)
 						}
 						t0 := p.Now()
-						_, wire := comm.Collective(p, comm.CollectiveOpts{
+						_, wire := collective(p, comm.CollectiveOpts{
 							Op: comm.OpGather, Net: x.net, Nodes: group, Self: selfInGroup,
 							Vec: aggVec, Bytes: x.fullBytes(), Kind: kindLocalGather})
 						bd.Add(metrics.Network, wire)
@@ -150,7 +162,7 @@ func runBSP(x *exp) {
 						if grads != nil {
 							payload = append([]float32(nil), grads...)
 						}
-						comm.Collective(p, comm.CollectiveOpts{
+						collective(p, comm.CollectiveOpts{
 							Op: comm.OpGather, Net: x.net, Nodes: group, Self: selfInGroup,
 							Vec: payload, Bytes: x.fullBytes(), Kind: kindLocalGather})
 					}
@@ -198,7 +210,7 @@ func runBSP(x *exp) {
 						if len(fresh) > 0 {
 							payload = fresh
 						}
-						comm.Collective(p, comm.CollectiveOpts{
+						collective(p, comm.CollectiveOpts{
 							Op: comm.OpBroadcast, Net: x.net, Nodes: group, Self: selfInGroup,
 							Vec: payload, Bytes: x.fullBytes(), Kind: kindLocalBcast})
 					}

@@ -193,6 +193,10 @@ type Config struct {
 	// protocol whose wait-for cycles deadlock, motivating the paper's
 	// bipartite design.
 	ADPSGDNoBipartite bool
+	// CaptureParams copies every replica's final parameter vector into
+	// Result.WorkerParams (real mode only). The live runtime's bit-identity
+	// tests compare these against a wall-clock TCP run's final parameters.
+	CaptureParams bool
 }
 
 // Validate normalizes defaults and rejects inconsistent configurations.
@@ -372,4 +376,8 @@ type Result struct {
 	// effectively hung, so Throughput is reported as 0; per-worker partial
 	// iteration counts remain in Metrics.
 	StalledWorkers int
+	// WorkerParams holds each replica's final parameter vector, captured
+	// only when Config.CaptureParams is set in a real-mode run. Index is
+	// worker rank.
+	WorkerParams [][]float32
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"disttrain/internal/comm"
 	"disttrain/internal/costmodel"
 	"disttrain/internal/des"
 	"disttrain/internal/fault"
@@ -863,6 +864,12 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		res.FinalTestAcc = 1 - last.TestErr
 		res.FinalTrainLoss = last.TrainLoss
 		res.ReplicaSpreadL2 = x.replicaSpread()
+		if cfg.CaptureParams {
+			res.WorkerParams = make([][]float32, len(x.reps))
+			for w, r := range x.reps {
+				res.WorkerParams[w] = append([]float32(nil), r.params()...)
+			}
+		}
 	}
 	x.eng.Kill()
 	return res, nil
@@ -966,4 +973,15 @@ func expectedStuck(a Algo) bool {
 		return true
 	}
 	return false
+}
+
+// collective runs a comm.Collective and treats any error as a simulation
+// invariant violation: the experiment built the opts itself, so a rejection
+// or protocol mismatch is a bug, not an input problem.
+func collective(p *des.Proc, o comm.CollectiveOpts) ([]float32, des.Time) {
+	out, wire, err := comm.Collective(p, o)
+	if err != nil {
+		panic(fmt.Sprintf("core: collective failed: %v", err))
+	}
+	return out, wire
 }

@@ -1,0 +1,169 @@
+package live
+
+import (
+	"disttrain/internal/tensor"
+	"disttrain/internal/xport"
+)
+
+// The live collectives mirror internal/comm's algorithms over xport
+// endpoints: identical chunk boundaries, identical reduction order,
+// identical tree shape — which is what keeps an AR-SGD run bit-identical
+// between the simulator and the live path. The one wire-level difference:
+// the simulator's in-order links let reduce-scatter and all-gather share
+// chunk tags, but TCP ordering is per-connection and redials can reorder,
+// so the live ring tags all-gather chunks with Seg = n + c to keep the two
+// phases unambiguous in the mailbox.
+
+// ringAllReduce sums vec in place across the group: reduce-scatter then
+// all-gather around the ring, comm.OpRingAllReduce's exact math. nodes are
+// mesh ranks; self indexes the caller.
+func ringAllReduce(mb *mailbox, nodes []int, self int, clock int32, vec []float32) error {
+	n := len(nodes)
+	if n == 1 {
+		return nil
+	}
+	l := len(vec)
+	chunkLo := func(c int) int { return l * c / n }
+	chunkHi := func(c int) int { return l * (c + 1) / n }
+	right := nodes[(self+1)%n]
+	send := func(c, tag int) error {
+		payload := append([]float32(nil), vec[chunkLo(c):chunkHi(c)]...)
+		return mb.ep.Send(right, &xport.Frame{Kind: kindAllReduce, From: int32(nodes[self]),
+			Clock: clock, Seg: int32(tag), Vec: payload})
+	}
+
+	// Reduce-scatter: after n-1 steps, participant i holds the full sum of
+	// chunk (i+1) mod n.
+	for s := 0; s < n-1; s++ {
+		c := ((self-s)%n + n) % n
+		if err := send(c, c); err != nil {
+			return err
+		}
+		c = ((self-s-1)%n + n) % n
+		f, err := mb.recvMatch(kindAllReduce, clock, int32(c), true, recvTimeout)
+		if err != nil {
+			return err
+		}
+		tensor.AxpyF32(1, f.Vec, vec[chunkLo(c):chunkHi(c)])
+	}
+	// All-gather: circulate the reduced chunks (tags offset by n).
+	for s := 0; s < n-1; s++ {
+		c := ((self+1-s)%n + n) % n
+		if err := send(c, n+c); err != nil {
+			return err
+		}
+		c = ((self-s)%n + n) % n
+		f, err := mb.recvMatch(kindAllReduce, clock, int32(n+c), true, recvTimeout)
+		if err != nil {
+			return err
+		}
+		copy(vec[chunkLo(c):chunkHi(c)], f.Vec)
+	}
+	return nil
+}
+
+// treeAllReduce sums vec across the group with a binomial reduce-to-root
+// plus broadcast, comm.OpTreeAllReduce's exact shape. Reduce frames carry
+// Seg 0, broadcast frames Seg 1.
+func treeAllReduce(mb *mailbox, nodes []int, self int, clock int32, vec []float32) error {
+	n := len(nodes)
+	if n == 1 {
+		return nil
+	}
+	send := func(to int, seg int32) error {
+		payload := append([]float32(nil), vec...)
+		return mb.ep.Send(nodes[to], &xport.Frame{Kind: kindAllReduce, From: int32(nodes[self]),
+			Clock: clock, Seg: seg, Vec: payload})
+	}
+	recv := func(seg int32, add bool) error {
+		f, err := mb.recvMatch(kindAllReduce, clock, seg, true, recvTimeout)
+		if err != nil {
+			return err
+		}
+		if add {
+			tensor.AxpyF32(1, f.Vec, vec)
+		} else {
+			copy(vec, f.Vec)
+		}
+		return nil
+	}
+
+	// Reduce: in round k (distance d = 2^k), ranks with self%2d == d send to
+	// self-d and drop out; ranks with self%2d == 0 receive.
+	for d := 1; d < n; d *= 2 {
+		if self%(2*d) == d {
+			if err := send(self-d, 0); err != nil {
+				return err
+			}
+			break
+		}
+		if self%(2*d) == 0 && self+d < n {
+			if err := recv(0, true); err != nil {
+				return err
+			}
+		}
+	}
+	// Broadcast back down the same tree, mirrored: largest distance first.
+	top := 1
+	for top < n {
+		top *= 2
+	}
+	for d := top / 2; d >= 1; d /= 2 {
+		switch {
+		case self%(2*d) == 0 && self+d < n:
+			if err := send(self+d, 1); err != nil {
+				return err
+			}
+		case self%(2*d) == d:
+			if err := recv(1, false); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// gather sums every member's vector into the leader's (nodes[0]); members
+// return immediately after sending — comm.OpGather.
+func gather(mb *mailbox, nodes []int, self int, clock int32, vec []float32) error {
+	if len(nodes) == 1 {
+		return nil
+	}
+	if self != 0 {
+		payload := append([]float32(nil), vec...)
+		return mb.ep.Send(nodes[0], &xport.Frame{Kind: kindGather, From: int32(nodes[self]),
+			Clock: clock, Vec: payload})
+	}
+	for i := 0; i < len(nodes)-1; i++ {
+		f, err := mb.recvMatch(kindGather, clock, 0, false, recvTimeout)
+		if err != nil {
+			return err
+		}
+		tensor.AxpyF32(1, f.Vec, vec)
+	}
+	return nil
+}
+
+// broadcast ships the leader's vector to every member; members receive it
+// into vec — comm.OpBroadcast.
+func broadcast(mb *mailbox, nodes []int, self int, clock int32, vec []float32) error {
+	if len(nodes) == 1 {
+		return nil
+	}
+	if self == 0 {
+		for i := 1; i < len(nodes); i++ {
+			payload := append([]float32(nil), vec...)
+			if err := mb.ep.Send(nodes[i], &xport.Frame{Kind: kindBcast, From: int32(nodes[0]),
+				Clock: clock, Vec: payload}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	f, err := mb.recvMatch(kindBcast, clock, 0, false, recvTimeout)
+	if err != nil {
+		return err
+	}
+	copy(vec, f.Vec)
+	return nil
+}

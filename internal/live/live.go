@@ -1,0 +1,173 @@
+// Package live is the wall-clock runtime: it runs the same distributed
+// training algorithms the deterministic simulator runs, but as real
+// communicating workers over xport endpoints (loopback or cross-machine
+// TCP, or in-process channels). Where internal/core advances a virtual
+// clock and delivers messages through simnet, live workers block on real
+// sockets, suffer real scheduler jitter, and finish in real seconds.
+//
+// The determinism contract with the simulator (see docs/LIVE.md):
+//
+//   - Synchronous algorithms (BSP, AR-SGD) produce final parameters
+//     bit-identical to a core.Run of the same Config and seed. This works
+//     because both sides derive the same per-worker RNG streams, build the
+//     same replicas, and pin the same floating-point reduction order (BSP
+//     sums gradients in ascending sender rank; the ring/tree AllReduce
+//     order is fixed by the topology).
+//   - Asynchronous algorithms (ASP, SSP, EASGD, GoSGD, AD-PSGD) run with
+//     real nondeterminism — arrival order at the PS, gossip interleaving —
+//     and report the same metrics Summary shape as the simulator.
+//
+// Entry points: RunLoopback (coordinator + N goroutine workers over
+// loopback TCP, no orchestration needed), RunChan (in-process channel
+// transport, no sockets), and RunCoordinator/RunWorker for real
+// multi-process deployments.
+package live
+
+import (
+	"fmt"
+	"time"
+
+	"disttrain/internal/core"
+	"disttrain/internal/fault"
+	"disttrain/internal/xport"
+)
+
+// recvTimeout bounds every blocking receive in the live protocol loops: a
+// hung or dead peer surfaces as an error instead of a silent stall. Large
+// enough that CI-grade machines under -race never trip it in healthy runs.
+const recvTimeout = 60 * time.Second
+
+// Validate checks that cfg can run on the live path. It normalizes the
+// config through core's Validate first, then rejects everything the live
+// runtime does not support: cost-only mode (a wall-clock run of no real
+// math measures nothing), PS sharding (live hosts a single PS rank),
+// simulator-only optimizations, and fault kinds with no transport
+// projection.
+func Validate(cfg *core.Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if cfg.Real == nil {
+		return fmt.Errorf("live: real-math mode required (cost-only runs are simulator-only)")
+	}
+	switch cfg.Algo {
+	case core.BSP, core.ASP, core.SSP, core.EASGD, core.ARSGD, core.GoSGD, core.ADPSGD:
+	default:
+		return fmt.Errorf("live: algorithm %s is simulator-only", cfg.Algo)
+	}
+	if cfg.Sharding != core.ShardNone || cfg.Shards > 1 {
+		return fmt.Errorf("live: PS sharding is not supported (single live PS rank)")
+	}
+	switch {
+	case cfg.WaitFreeBP:
+		return fmt.Errorf("live: wait-free BP is a simulator overlap model")
+	case cfg.DGC != nil:
+		return fmt.Errorf("live: DGC is not supported on the live path")
+	case cfg.Quantize8:
+		return fmt.Errorf("live: 8-bit quantization is not supported on the live path")
+	case cfg.LocalAgg:
+		return fmt.Errorf("live: local aggregation is not supported on the live path")
+	case cfg.Elastic:
+		return fmt.Errorf("live: elastic membership is not supported on the live path")
+	case cfg.StalenessDamping:
+		return fmt.Errorf("live: staleness damping is not supported on the live path")
+	case cfg.ADPSGDNoBipartite:
+		return fmt.Errorf("live: the AD-PSGD no-bipartite ablation is simulator-only")
+	}
+	if !cfg.Faults.Empty() {
+		if _, err := TranslateFaults(cfg.Faults, cfg.Seed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result is what one live run produces, the wall-clock counterpart of
+// core.Result.
+type Result struct {
+	Config    core.Config
+	Transport string
+	// WallSec is real seconds from the START barrier to the last DONE.
+	WallSec float64
+	// Throughput is samples/second of wall time (total completed
+	// iterations x batch / WallSec) — directly comparable with the
+	// simulator's virtual-time images/sec.
+	Throughput float64
+	// WorkerIters is each rank's completed iteration count.
+	WorkerIters []int
+	// WorkerParams is each rank's final parameter vector, captured when the
+	// worker's training loop finished (asynchronous serve traffic arriving
+	// after that point is not reflected).
+	WorkerParams [][]float32
+	// FinalTestAcc and FinalTrainLoss evaluate the final global model: the
+	// PS parameters for centralized algorithms, the replica average for
+	// decentralized ones.
+	FinalTestAcc   float64
+	FinalTrainLoss float64
+	// Net aggregates transport counters over every TCP endpoint in the run
+	// (zero for the channel transport, which keeps no counters).
+	Net xport.Stats
+}
+
+// Summary projects the live result into the simulator's Summary shape so
+// the same plotting/analysis tooling consumes both. VirtualSec carries the
+// wall-clock makespan (a live run has no virtual time).
+func (r *Result) Summary() core.Summary {
+	iters := 0
+	for _, n := range r.WorkerIters {
+		iters += n
+	}
+	return core.Summary{
+		Algo:       string(r.Config.Algo) + "+" + r.Transport,
+		Workers:    r.Config.Workers,
+		Machines:   r.Config.Cluster.Machines,
+		Model:      r.Config.Workload.Profile.Name,
+		Iters:      r.Config.Iters,
+		Seed:       r.Config.Seed,
+		VirtualSec: r.WallSec,
+		Throughput: r.Throughput,
+		TotalBytes: r.Net.BytesSent,
+
+		FinalTestAcc:   r.FinalTestAcc,
+		FinalTrainLoss: r.FinalTrainLoss,
+	}
+}
+
+// TranslateFaults maps a simulator fault schedule onto the live transport:
+// drop windows become connection-kill windows (the frame is rewritten on a
+// redialed connection — live TCP loses no acknowledged bytes, so "drop"
+// exercises reconnection rather than message loss), and slow/degrade
+// windows become injected send latency. Event.At and Event.Duration are
+// read as wall-clock seconds from the run's START barrier. Crash and
+// partition events have no live projection and are rejected.
+func TranslateFaults(s *fault.Schedule, seed uint64) (*xport.FaultPlan, error) {
+	if s.Empty() {
+		return nil, nil
+	}
+	// An open-ended window (Duration <= 0) covers the rest of the run.
+	const forever = time.Duration(1) << 62
+	plan := &xport.FaultPlan{Seed: seed}
+	for i, e := range s.Events {
+		from := time.Duration(e.At * float64(time.Second))
+		to := forever
+		if e.Duration > 0 {
+			to = from + time.Duration(e.Duration*float64(time.Second))
+		}
+		switch e.Kind {
+		case fault.Drop:
+			plan.Kills = append(plan.Kills, xport.KillWindow{From: from, To: to, Prob: e.Prob})
+		case fault.Slow, fault.Degrade:
+			// Each unit of slowdown factor above 1 costs a fixed extra
+			// latency per send; the live path has no virtual wire time to
+			// scale, so the factor maps onto a concrete delay.
+			d := time.Duration((e.Factor - 1) * float64(10*time.Millisecond))
+			if d < 0 {
+				d = 0
+			}
+			plan.Delays = append(plan.Delays, xport.DelayWindow{From: from, To: to, Delay: d})
+		default:
+			return nil, fmt.Errorf("live: fault event %d: %s has no live-transport projection", i, e.Kind)
+		}
+	}
+	return plan, nil
+}

@@ -1,0 +1,375 @@
+package live
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"disttrain/internal/cluster"
+	"disttrain/internal/core"
+	"disttrain/internal/costmodel"
+	"disttrain/internal/data"
+	"disttrain/internal/fault"
+	"disttrain/internal/nn"
+	"disttrain/internal/opt"
+	"disttrain/internal/rng"
+	"disttrain/internal/xport"
+)
+
+// liveConfig builds a small real-math config shared by the simulator and
+// the live runtime: MLP on Gaussian clusters, paper-scale timing model.
+func liveConfig(algo core.Algo, workers, iters int, seed uint64) core.Config {
+	r := rng.New(seed + 1000)
+	ds := data.GenGauss(r, 600, 3, 0.45)
+	train, test := ds.Split(r.Split(1), 120)
+	cfg := core.Config{
+		Algo:     algo,
+		Cluster:  cluster.Paper56G(workers),
+		Workers:  workers,
+		Workload: costmodel.NewWorkload(costmodel.ResNet50(), costmodel.TitanV(), 128),
+		Iters:    iters,
+		Seed:     seed,
+		Momentum: 0.9,
+		LR:       opt.Schedule{Base: 0.05},
+		Real: &core.RealConfig{
+			Factory: func(rr *rng.RNG) *nn.Model { return nn.NewMLP(rr, 2, 16, 3) },
+			Train:   train,
+			Test:    test,
+			Batch:   16,
+		},
+	}
+	switch algo {
+	case core.SSP:
+		cfg.Staleness = 3
+	case core.EASGD:
+		cfg.Tau = 4
+	case core.GoSGD:
+		cfg.GossipP = 0.5
+	}
+	return cfg
+}
+
+// simParams runs the simulator with parameter capture and returns its
+// per-worker final parameters.
+func simParams(t *testing.T, cfg core.Config) [][]float32 {
+	t.Helper()
+	cfg.CaptureParams = true
+	res, err := core.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("sim run: %v", err)
+	}
+	if len(res.WorkerParams) != cfg.Workers {
+		t.Fatalf("sim captured %d param vectors, want %d", len(res.WorkerParams), cfg.Workers)
+	}
+	return res.WorkerParams
+}
+
+// requireBitIdentical fails unless every worker's live parameters match
+// the simulator's bit for bit.
+func requireBitIdentical(t *testing.T, sim, live [][]float32) {
+	t.Helper()
+	if len(sim) != len(live) {
+		t.Fatalf("worker count: sim %d vs live %d", len(sim), len(live))
+	}
+	for w := range sim {
+		if len(sim[w]) != len(live[w]) {
+			t.Fatalf("worker %d: param count sim %d vs live %d", w, len(sim[w]), len(live[w]))
+		}
+		for i := range sim[w] {
+			if math.Float32bits(sim[w][i]) != math.Float32bits(live[w][i]) {
+				t.Fatalf("worker %d param %d: sim %x vs live %x (%g vs %g)",
+					w, i, math.Float32bits(sim[w][i]), math.Float32bits(live[w][i]),
+					sim[w][i], live[w][i])
+			}
+		}
+	}
+}
+
+// TestLiveBSPBitIdenticalToSim is the determinism contract's anchor: BSP
+// over real loopback TCP with 4 workers must reproduce the simulator's
+// final parameters exactly, at the same config and seed.
+func TestLiveBSPBitIdenticalToSim(t *testing.T) {
+	cfg := liveConfig(core.BSP, 4, 6, 42)
+	sim := simParams(t, cfg)
+	res, err := RunLoopback(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, sim, res.WorkerParams)
+	if res.WallSec <= 0 || res.Throughput <= 0 {
+		t.Fatalf("wall=%v throughput=%v", res.WallSec, res.Throughput)
+	}
+	if res.Net.FramesSent == 0 || res.Net.BytesSent == 0 {
+		t.Fatalf("no transport traffic recorded: %+v", res.Net)
+	}
+}
+
+// TestLiveARSGDBitIdenticalToSim: the ring AllReduce path, and with
+// TreeAllReduce the binomial-tree path, both bit-identical.
+func TestLiveARSGDBitIdenticalToSim(t *testing.T) {
+	for _, tree := range []bool{false, true} {
+		cfg := liveConfig(core.ARSGD, 4, 6, 42)
+		cfg.TreeAllReduce = tree
+		sim := simParams(t, cfg)
+		res, err := RunLoopback(cfg)
+		if err != nil {
+			t.Fatalf("tree=%v: %v", tree, err)
+		}
+		requireBitIdentical(t, sim, res.WorkerParams)
+	}
+}
+
+// TestLiveBSPChanBitIdenticalToSim runs the same contract over the
+// in-process channel transport.
+func TestLiveBSPChanBitIdenticalToSim(t *testing.T) {
+	cfg := liveConfig(core.BSP, 4, 6, 42)
+	sim := simParams(t, cfg)
+	res, err := RunChan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, sim, res.WorkerParams)
+	if res.Transport != "chan" {
+		t.Fatalf("transport %q", res.Transport)
+	}
+}
+
+// TestLiveAsyncAlgosComplete runs the asynchronous algorithms over
+// loopback TCP with real nondeterminism: each must complete every
+// iteration and report a populated Summary.
+func TestLiveAsyncAlgosComplete(t *testing.T) {
+	for _, algo := range []core.Algo{core.ASP, core.SSP, core.EASGD, core.GoSGD, core.ADPSGD} {
+		algo := algo
+		t.Run(string(algo), func(t *testing.T) {
+			t.Parallel()
+			cfg := liveConfig(algo, 4, 8, 11)
+			res, err := RunLoopback(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for w, n := range res.WorkerIters {
+				if n != cfg.Iters {
+					t.Fatalf("worker %d completed %d/%d iterations", w, n, cfg.Iters)
+				}
+			}
+			s := res.Summary()
+			if s.VirtualSec <= 0 || s.Throughput <= 0 || s.TotalBytes == 0 {
+				t.Fatalf("summary not populated: %+v", s)
+			}
+			if s.FinalTrainLoss == 0 {
+				t.Fatalf("no training loss reported")
+			}
+			if s.FinalTestAcc <= 1.0/3+0.05 {
+				t.Fatalf("%s live run did not learn: acc %.3f", algo, s.FinalTestAcc)
+			}
+		})
+	}
+}
+
+// TestLiveBSPSurvivesKilledConnections exercises the fault satellite: a
+// drop schedule becomes connection kills on the live transport, and
+// because kills happen before the write and the frame is retried on a
+// fresh connection, the run must still complete — and, since no frames are
+// lost, stay bit-identical to the simulator without faults.
+func TestLiveBSPSurvivesKilledConnections(t *testing.T) {
+	clean := liveConfig(core.BSP, 4, 6, 42)
+	sim := simParams(t, clean)
+
+	cfg := liveConfig(core.BSP, 4, 6, 42)
+	cfg.Faults = &fault.Schedule{Events: []fault.Event{
+		{Kind: fault.Drop, At: 0, Duration: 0, Prob: 0.5, Machine: -1},
+	}}
+	res, err := RunLoopback(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each kill closes the peer connection before a write; the send then
+	// lazily re-dials, so completion + kills recorded means the redial path
+	// actually ran. (Stats.Redials counts write-failure retries, a
+	// different path.)
+	if res.Net.Kills == 0 {
+		t.Fatalf("fault plan injected no connection kills: %+v", res.Net)
+	}
+	requireBitIdentical(t, sim, res.WorkerParams)
+}
+
+// TestTranslateFaults covers the schedule→plan projection directly.
+func TestTranslateFaults(t *testing.T) {
+	s := &fault.Schedule{Events: []fault.Event{
+		{Kind: fault.Drop, At: 1, Duration: 2, Prob: 0.3, Machine: -1},
+		{Kind: fault.Slow, At: 0, Duration: 0, Factor: 3, Worker: 0},
+	}}
+	plan, err := TranslateFaults(s, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Kills) != 1 || len(plan.Delays) != 1 {
+		t.Fatalf("plan %+v", plan)
+	}
+	k := plan.Kills[0]
+	if k.From != time.Second || k.To != 3*time.Second || k.Prob != 0.3 {
+		t.Fatalf("kill window %+v", k)
+	}
+	d := plan.Delays[0]
+	if d.Delay != 20*time.Millisecond {
+		t.Fatalf("delay %v, want 20ms", d.Delay)
+	}
+	if d.To <= d.From || d.To < time.Duration(1)<<61 {
+		t.Fatalf("open-ended window not extended: %+v", d)
+	}
+
+	if _, err := TranslateFaults(&fault.Schedule{Events: []fault.Event{
+		{Kind: fault.Crash, AtIter: 1, Worker: 0},
+	}}, 7); err == nil {
+		t.Fatal("crash events must be rejected")
+	}
+}
+
+// TestValidateRejectsUnsupported table-drives the live config gate.
+func TestValidateRejectsUnsupported(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*core.Config)
+	}{
+		{"cost-only", func(c *core.Config) { c.Real = nil }},
+		{"sharded PS", func(c *core.Config) { c.Sharding = core.ShardBalanced; c.Shards = 2 }},
+		{"wait-free BP", func(c *core.Config) { c.WaitFreeBP = true }},
+		{"quantize8", func(c *core.Config) { c.Quantize8 = true }},
+		{"local agg", func(c *core.Config) { c.LocalAgg = true }},
+		{"elastic", func(c *core.Config) { c.Elastic = true }},
+		{"staleness damping", func(c *core.Config) { c.Algo = core.ASP; c.StalenessDamping = true }},
+		{"crash fault", func(c *core.Config) {
+			c.Faults = &fault.Schedule{Events: []fault.Event{{Kind: fault.Crash, AtIter: 1, Worker: 0}}}
+		}},
+	}
+	for _, tc := range cases {
+		cfg := liveConfig(core.BSP, 4, 4, 1)
+		tc.mut(&cfg)
+		if err := Validate(&cfg); err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+	}
+	ok := liveConfig(core.BSP, 4, 4, 1)
+	if err := Validate(&ok); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+// chanGroup builds a W-rank channel mesh with one mailbox per rank for
+// collective unit tests.
+func chanGroup(w int) ([]*mailbox, []int) {
+	cn := xport.NewChanNet(w)
+	mbs := make([]*mailbox, w)
+	nodes := make([]int, w)
+	for i := 0; i < w; i++ {
+		mbs[i] = newMailbox(cn.Endpoint(i))
+		nodes[i] = i
+	}
+	return mbs, nodes
+}
+
+// TestLiveCollectivesSum checks ring and tree AllReduce against the exact
+// expected sum, using integer-valued floats so order cannot blur the
+// comparison, at sizes that exercise odd rings and non-power-of-two trees.
+func TestLiveCollectivesSum(t *testing.T) {
+	for _, w := range []int{2, 3, 4, 5} {
+		for _, useTree := range []bool{false, true} {
+			mbs, nodes := chanGroup(w)
+			vecs := make([][]float32, w)
+			want := make([]float32, 7)
+			for i := range vecs {
+				vecs[i] = make([]float32, 7)
+				for j := range vecs[i] {
+					vecs[i][j] = float32((i + 1) * (j + 1))
+					want[j] += vecs[i][j]
+				}
+			}
+			errs := make(chan error, w)
+			for i := 0; i < w; i++ {
+				i := i
+				go func() {
+					if useTree {
+						errs <- treeAllReduce(mbs[i], nodes, i, 1, vecs[i])
+					} else {
+						errs <- ringAllReduce(mbs[i], nodes, i, 1, vecs[i])
+					}
+				}()
+			}
+			for i := 0; i < w; i++ {
+				if err := <-errs; err != nil {
+					t.Fatalf("w=%d tree=%v: %v", w, useTree, err)
+				}
+			}
+			for i := range vecs {
+				for j := range want {
+					if vecs[i][j] != want[j] {
+						t.Fatalf("w=%d tree=%v rank %d elem %d: got %g want %g",
+							w, useTree, i, j, vecs[i][j], want[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLiveGatherBroadcast checks the remaining collectives over the
+// channel mesh.
+func TestLiveGatherBroadcast(t *testing.T) {
+	const w = 4
+	mbs, nodes := chanGroup(w)
+	vecs := make([][]float32, w)
+	var want float32
+	for i := range vecs {
+		vecs[i] = []float32{float32(i + 1)}
+		want += vecs[i][0]
+	}
+	errs := make(chan error, w)
+	for i := 0; i < w; i++ {
+		i := i
+		go func() { errs <- gather(mbs[i], nodes, i, 1, vecs[i]) }()
+	}
+	for i := 0; i < w; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if vecs[0][0] != want {
+		t.Fatalf("gather: leader has %g, want %g", vecs[0][0], want)
+	}
+	for i := 0; i < w; i++ {
+		i := i
+		go func() { errs <- broadcast(mbs[i], nodes, i, 2, vecs[i]) }()
+	}
+	for i := 0; i < w; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range vecs {
+		if vecs[i][0] != want {
+			t.Fatalf("broadcast: rank %d has %g, want %g", i, vecs[i][0], want)
+		}
+	}
+}
+
+// TestDeriveStreamsMatchSim verifies the stream replay against the
+// documented derivation order: distinct shard streams per worker,
+// identical init streams across workers.
+func TestDeriveStreamsMatchSim(t *testing.T) {
+	a0 := deriveStreams(9, 0)
+	a1 := deriveStreams(9, 1)
+	if a0.init.Uint64() != a1.init.Uint64() {
+		t.Fatal("init streams must be identical across workers")
+	}
+	if a0.shard.Uint64() == a1.shard.Uint64() {
+		t.Fatal("shard streams must differ across workers")
+	}
+	if a0.algo.Uint64() == a1.algo.Uint64() {
+		t.Fatal("algo streams must differ across workers")
+	}
+	b0 := deriveStreams(9, 0)
+	if b0.shard.Uint64() != deriveStreams(9, 0).shard.Uint64() {
+		t.Fatal("derivation must be deterministic")
+	}
+}

@@ -1,0 +1,121 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"disttrain/internal/xport"
+)
+
+// Data-plane frame kinds. The values mirror internal/core's message kinds
+// one for one so a packet capture of a live run reads against the
+// simulator's message taxonomy.
+const (
+	kindGrad        uint16 = 1
+	kindParams      uint16 = 3
+	kindPull        uint16 = 4
+	kindAck         uint16 = 5
+	kindEASGDPush   uint16 = 6
+	kindEASGDReply  uint16 = 7
+	kindAllReduce   uint16 = 8
+	kindGossip      uint16 = 9
+	kindExchangeReq uint16 = 10
+	kindExchangeRep uint16 = 11
+	kindGather      uint16 = 12
+	kindBcast       uint16 = 13
+)
+
+// Control-plane frame kinds, used on the rendezvous connection and for the
+// mesh-level termination handshake. They start at 100 to stay disjoint
+// from the data plane.
+const (
+	kindHello uint16 = 100 + iota
+	kindAssign
+	kindAddr
+	kindPeers
+	kindReady
+	kindStart
+	kindDone
+	kindBye
+)
+
+// mailbox wraps an Endpoint with a stash so protocol loops can wait for a
+// specific (kind, clock, seg) while out-of-order traffic — a fast peer's
+// next-round chunk, a straggler's late gossip — is parked instead of
+// dropped. A mailbox has exactly one owning goroutine; it is not safe for
+// concurrent use.
+type mailbox struct {
+	ep    xport.Endpoint
+	stash []xport.Frame
+}
+
+func newMailbox(ep xport.Endpoint) *mailbox { return &mailbox{ep: ep} }
+
+// recv returns the oldest stashed frame, or blocks on the endpoint.
+func (mb *mailbox) recv(timeout time.Duration) (xport.Frame, error) {
+	if len(mb.stash) > 0 {
+		f := mb.stash[0]
+		mb.stash = mb.stash[1:]
+		return f, nil
+	}
+	return mb.ep.Recv(timeout)
+}
+
+// match reports whether f is the frame recvMatch is waiting for.
+func match(f xport.Frame, kind uint16, clock int32, seg int32, useSeg bool) bool {
+	return f.Kind == kind && f.Clock == clock && (!useSeg || f.Seg == seg)
+}
+
+// recvMatch returns the first frame (stash first, then the wire) with the
+// given kind and clock — and seg, when useSeg is set, which the collectives
+// use to separate chunks and phases. Non-matching frames are stashed in
+// arrival order. The timeout covers the whole wait.
+func (mb *mailbox) recvMatch(kind uint16, clock, seg int32, useSeg bool, timeout time.Duration) (xport.Frame, error) {
+	for i, f := range mb.stash {
+		if match(f, kind, clock, seg, useSeg) {
+			mb.stash = append(mb.stash[:i], mb.stash[i+1:]...)
+			return f, nil
+		}
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return xport.Frame{}, fmt.Errorf("live: timeout waiting for kind=%d clock=%d seg=%d (useSeg=%v): %w",
+				kind, clock, seg, useSeg, xport.ErrTimeout)
+		}
+		f, err := mb.ep.Recv(remain)
+		if err != nil {
+			if errors.Is(err, xport.ErrTimeout) {
+				return xport.Frame{}, fmt.Errorf("live: timeout waiting for kind=%d clock=%d seg=%d (useSeg=%v): %w",
+					kind, clock, seg, useSeg, err)
+			}
+			return xport.Frame{}, err
+		}
+		if match(f, kind, clock, seg, useSeg) {
+			return f, nil
+		}
+		mb.stash = append(mb.stash, f)
+	}
+}
+
+// poll performs a short non-blocking-ish receive: it drains the stash
+// first, then gives the endpoint one brief window. Returns ok=false when
+// nothing arrived — the asynchronous drains (GoSGD gossip, SSP acks) call
+// this between iterations.
+func (mb *mailbox) poll() (xport.Frame, bool, error) {
+	if len(mb.stash) > 0 {
+		f := mb.stash[0]
+		mb.stash = mb.stash[1:]
+		return f, true, nil
+	}
+	f, err := mb.ep.Recv(200 * time.Microsecond)
+	if errors.Is(err, xport.ErrTimeout) {
+		return xport.Frame{}, false, nil
+	}
+	if err != nil {
+		return xport.Frame{}, false, err
+	}
+	return f, true, nil
+}

@@ -1,0 +1,297 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"disttrain/internal/core"
+	"disttrain/internal/xport"
+)
+
+// ctlTimeout bounds each control-plane read. Its ceiling is the full
+// training run: a worker's DONE only arrives after its last iteration, and
+// the BYE after the slowest worker's DONE.
+const ctlTimeout = 10 * time.Minute
+
+// writeCtl sends one control frame on the rendezvous connection.
+func writeCtl(c net.Conn, f *xport.Frame) error {
+	c.SetWriteDeadline(time.Now().Add(recvTimeout))
+	return xport.WriteFrame(c, f)
+}
+
+// readCtl reads one control frame, requiring the given kind.
+func readCtl(c net.Conn, want uint16) (xport.Frame, error) {
+	c.SetReadDeadline(time.Now().Add(ctlTimeout))
+	f, err := xport.ReadFrame(c, xport.MaxFrameBytes)
+	if err != nil {
+		return f, err
+	}
+	if f.Kind != want {
+		if f.Kind == kindDone && f.Seg < 0 {
+			// A worker's failure report: surface its error.
+			return f, fmt.Errorf("worker %d failed: %s", f.From, f.Data)
+		}
+		return f, fmt.Errorf("control frame kind %d, want %d", f.Kind, want)
+	}
+	return f, nil
+}
+
+// fingerprint digests the parts of the config every participant must agree
+// on. The coordinator rejects a HELLO whose fingerprint differs from its
+// own — catching a worker launched with a stale flag before it can skew
+// the run.
+func fingerprint(cfg *core.Config) string {
+	return fmt.Sprintf("%s|w%d|i%d|s%d|m%v|wd%v|st%d|tau%d|mr%v|gp%v|tree%v|b%d|n%d",
+		cfg.Algo, cfg.Workers, cfg.Iters, cfg.Seed, cfg.Momentum, cfg.WeightDecay,
+		cfg.Staleness, cfg.Tau, cfg.MovingRate, cfg.GossipP, cfg.TreeAllReduce,
+		cfg.Real.Batch, cfg.Real.Train.N())
+}
+
+// doneInfo is what one worker's DONE frame reports.
+type doneInfo struct {
+	iters    int
+	loss     float64
+	lossInit bool
+	params   []float32
+	stats    xport.Stats
+}
+
+// coordinate runs the coordinator's side of a live run on an established
+// listener: accept W workers, assign ranks, exchange mesh addresses,
+// barrier everyone, host the PS (centralized algorithms), and collect the
+// workers' final reports into a Result.
+func coordinate(cfg *core.Config, ln net.Listener) (*Result, error) {
+	W := cfg.Workers
+	n := meshSize(cfg)
+	fp := fingerprint(cfg)
+
+	conns := make([]net.Conn, 0, W)
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+
+	// Admit W workers in connection order; the accept order is the rank
+	// order.
+	type deadliner interface{ SetDeadline(time.Time) error }
+	if d, ok := ln.(deadliner); ok {
+		d.SetDeadline(time.Now().Add(recvTimeout))
+	}
+	for rank := 0; rank < W; rank++ {
+		c, err := ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("live: accept worker %d: %w", rank, err)
+		}
+		conns = append(conns, c)
+		hello, err := readCtl(c, kindHello)
+		if err != nil {
+			return nil, fmt.Errorf("live: hello from worker %d: %w", rank, err)
+		}
+		if string(hello.Data) != fp {
+			return nil, fmt.Errorf("live: worker %d config fingerprint %q does not match coordinator's %q",
+				rank, hello.Data, fp)
+		}
+		if err := writeCtl(c, &xport.Frame{Kind: kindAssign, From: int32(rank),
+			Clock: int32(n), Seg: int32(serverRank(cfg))}); err != nil {
+			return nil, fmt.Errorf("live: assign worker %d: %w", rank, err)
+		}
+	}
+
+	// Collect every worker's mesh address, then open the PS endpoint on the
+	// coordinator's own host.
+	addrs := make([]string, n)
+	for rank, c := range conns {
+		f, err := readCtl(c, kindAddr)
+		if err != nil {
+			return nil, fmt.Errorf("live: addr from worker %d: %w", rank, err)
+		}
+		addrs[f.From] = string(f.Data)
+	}
+	var srvNet *xport.TCPNet
+	if cfg.Algo.Centralized() {
+		host, _, err := net.SplitHostPort(ln.Addr().String())
+		if err != nil || host == "" || host == "::" || host == "0.0.0.0" {
+			host = "127.0.0.1"
+		}
+		srvNet, err = xport.ListenTCP(W, n, net.JoinHostPort(host, "0"))
+		if err != nil {
+			return nil, fmt.Errorf("live: PS listen: %w", err)
+		}
+		defer srvNet.Close()
+		addrs[W] = srvNet.Addr()
+		srvNet.SetPeers(addrs)
+	}
+
+	peerList := strings.Join(addrs, ",")
+	for rank, c := range conns {
+		if err := writeCtl(c, &xport.Frame{Kind: kindPeers, Data: []byte(peerList)}); err != nil {
+			return nil, fmt.Errorf("live: peers to worker %d: %w", rank, err)
+		}
+	}
+	for rank, c := range conns {
+		if _, err := readCtl(c, kindReady); err != nil {
+			return nil, fmt.Errorf("live: ready from worker %d: %w", rank, err)
+		}
+	}
+
+	// START is the wall-clock epoch: training time and fault windows are
+	// measured from here.
+	start := time.Now()
+	for rank, c := range conns {
+		if err := writeCtl(c, &xport.Frame{Kind: kindStart}); err != nil {
+			return nil, fmt.Errorf("live: start to worker %d: %w", rank, err)
+		}
+	}
+
+	var finalGlobal []float32
+	srvDone := make(chan error, 1)
+	if srvNet != nil {
+		go func() {
+			sv := newServer(cfg, srvNet)
+			params, err := sv.run()
+			finalGlobal = params
+			srvDone <- err
+		}()
+	} else {
+		srvDone <- nil
+	}
+
+	// Collect DONEs. Reading the connections in rank order still waits for
+	// all of them; arrival order does not matter here.
+	reports := make([]doneInfo, W)
+	for rank, c := range conns {
+		f, err := readCtl(c, kindDone)
+		if err != nil {
+			return nil, fmt.Errorf("live: done from worker %d: %w", rank, err)
+		}
+		var st xport.Stats
+		if len(f.Data) > 0 {
+			if err := json.Unmarshal(f.Data, &st); err != nil {
+				return nil, fmt.Errorf("live: worker %d stats: %w", rank, err)
+			}
+		}
+		reports[int(f.From)] = doneInfo{
+			iters:    int(f.Clock),
+			loss:     f.Aux,
+			lossInit: f.Seg == 1,
+			params:   f.Vec,
+			stats:    st,
+		}
+	}
+	wall := time.Since(start).Seconds()
+
+	if err := <-srvDone; err != nil {
+		return nil, err
+	}
+
+	// BYE releases the workers' tail loops (gossip drains, passive serves);
+	// only after it may they close their endpoints.
+	for rank, c := range conns {
+		if err := writeCtl(c, &xport.Frame{Kind: kindBye}); err != nil {
+			return nil, fmt.Errorf("live: bye to worker %d: %w", rank, err)
+		}
+	}
+
+	return buildResult(cfg, reports, finalGlobal, wall, srvNet)
+}
+
+// buildResult assembles the Result from the workers' reports and the final
+// global parameters, and evaluates the final model exactly the way the
+// simulator's evalGlobal does.
+func buildResult(cfg *core.Config, reports []doneInfo, finalGlobal []float32, wall float64, srvNet *xport.TCPNet) (*Result, error) {
+	res := &Result{Config: *cfg, Transport: "tcp", WallSec: wall}
+	totalIters := 0
+	var loss float64
+	cnt := 0
+	for _, rep := range reports {
+		res.WorkerIters = append(res.WorkerIters, rep.iters)
+		res.WorkerParams = append(res.WorkerParams, rep.params)
+		totalIters += rep.iters
+		if rep.lossInit {
+			loss += rep.loss
+			cnt++
+		}
+		res.Net.FramesSent += rep.stats.FramesSent
+		res.Net.FramesRecv += rep.stats.FramesRecv
+		res.Net.BytesSent += rep.stats.BytesSent
+		res.Net.BytesRecv += rep.stats.BytesRecv
+		res.Net.Redials += rep.stats.Redials
+		res.Net.Kills += rep.stats.Kills
+		res.Net.DelayNanos += rep.stats.DelayNanos
+	}
+	if srvNet != nil {
+		st := srvNet.Stats()
+		res.Net.FramesSent += st.FramesSent
+		res.Net.FramesRecv += st.FramesRecv
+		res.Net.BytesSent += st.BytesSent
+		res.Net.BytesRecv += st.BytesRecv
+		res.Net.Redials += st.Redials
+		res.Net.Kills += st.Kills
+		res.Net.DelayNanos += st.DelayNanos
+	}
+	if cnt > 0 {
+		res.FinalTrainLoss = loss / float64(cnt)
+	}
+	if wall > 0 {
+		res.Throughput = float64(totalIters*cfg.Real.Batch) / wall
+	}
+
+	global := finalGlobal
+	if global == nil {
+		// Decentralized: the global model is the replica average, summed in
+		// rank order then scaled — the simulator's globalParams.
+		var out []float32
+		cnt := 0
+		for _, rep := range reports {
+			if rep.params == nil {
+				continue
+			}
+			if out == nil {
+				out = make([]float32, len(rep.params))
+			}
+			for i, v := range rep.params {
+				out[i] += v
+			}
+			cnt++
+		}
+		if cnt > 0 {
+			inv := 1 / float32(cnt)
+			for i := range out {
+				out[i] *= inv
+			}
+		}
+		global = out
+	}
+	res.FinalTestAcc = evalParams(cfg, global)
+	return res, nil
+}
+
+// evalParams runs the simulator's final-evaluation recipe on a parameter
+// vector: a model from the shared init stream, the test set capped at
+// EvalMax, Evaluate's accuracy.
+func evalParams(cfg *core.Config, params []float32) float64 {
+	if params == nil {
+		return 0
+	}
+	model := newEvalModel(cfg)
+	model.SetFlatParams(params)
+	test := cfg.Real.Test
+	n := test.N()
+	if cfg.Real.EvalMax > 0 && cfg.Real.EvalMax < n {
+		n = cfg.Real.EvalMax
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	xb, yb := test.Gather(idx, nil, nil)
+	_, acc := model.Evaluate(xb, yb)
+	// The simulator reports FinalTestAcc as 1-TestErr with TestErr=1-acc;
+	// 1-(1-acc) is not bitwise acc in float64, and live summaries must
+	// match the simulator's reported numbers exactly, not just its params.
+	return 1 - (1 - acc)
+}

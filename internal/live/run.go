@@ -1,0 +1,264 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"disttrain/internal/core"
+	"disttrain/internal/nn"
+	"disttrain/internal/rng"
+	"disttrain/internal/xport"
+)
+
+// newEvalModel builds the evaluation model from the shared init stream,
+// the same construction the simulator uses for its eval model.
+func newEvalModel(cfg *core.Config) *nn.Model {
+	return cfg.Real.Factory(rng.New(cfg.Seed).Split(1))
+}
+
+// RunCoordinator listens on listenAddr, rendezvouses cfg.Workers worker
+// processes, hosts the PS for centralized algorithms, and returns the
+// run's Result. This is the multi-process entry point; RunLoopback wraps
+// it (plus in-process workers) for single-machine runs.
+func RunCoordinator(cfg core.Config, listenAddr string) (*Result, error) {
+	if err := Validate(&cfg); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("live: coordinator listen %s: %w", listenAddr, err)
+	}
+	defer ln.Close()
+	return coordinate(&cfg, ln)
+}
+
+// RunWorker dials the coordinator at coordAddr and runs one worker to
+// completion. meshListen is the address the worker's mesh endpoint listens
+// on ("127.0.0.1:0" for loopback; a reachable host:0 for multi-machine
+// runs). The worker's rank is assigned by the coordinator.
+func RunWorker(cfg core.Config, coordAddr, meshListen string) error {
+	if err := Validate(&cfg); err != nil {
+		return err
+	}
+	if meshListen == "" {
+		meshListen = "127.0.0.1:0"
+	}
+	var conn net.Conn
+	var err error
+	for attempt := 0; attempt < 40; attempt++ {
+		conn, err = net.DialTimeout("tcp", coordAddr, 2*time.Second)
+		if err == nil {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("live: dial coordinator %s: %w", coordAddr, err)
+	}
+	defer conn.Close()
+	return runWorkerConn(&cfg, conn, meshListen)
+}
+
+// runWorkerConn executes the worker side of the rendezvous protocol and
+// the training run on an established coordinator connection.
+func runWorkerConn(cfg *core.Config, conn net.Conn, meshListen string) error {
+	if err := writeCtl(conn, &xport.Frame{Kind: kindHello, Data: []byte(fingerprint(cfg))}); err != nil {
+		return fmt.Errorf("live: hello: %w", err)
+	}
+	assign, err := readCtl(conn, kindAssign)
+	if err != nil {
+		return fmt.Errorf("live: assign: %w", err)
+	}
+	rank, n := int(assign.From), int(assign.Clock)
+
+	mesh, err := xport.ListenTCP(rank, n, meshListen)
+	if err != nil {
+		return fmt.Errorf("live: worker %d mesh listen: %w", rank, err)
+	}
+	defer mesh.Close()
+	if err := writeCtl(conn, &xport.Frame{Kind: kindAddr, From: int32(rank),
+		Data: []byte(mesh.Addr())}); err != nil {
+		return fmt.Errorf("live: worker %d addr: %w", rank, err)
+	}
+	peers, err := readCtl(conn, kindPeers)
+	if err != nil {
+		return fmt.Errorf("live: worker %d peers: %w", rank, err)
+	}
+	mesh.SetPeers(strings.Split(string(peers.Data), ","))
+
+	// Replica construction happens before READY so the START barrier
+	// measures training, not model building.
+	w := newWorker(cfg, rank, mesh)
+	if err := writeCtl(conn, &xport.Frame{Kind: kindReady, From: int32(rank)}); err != nil {
+		return fmt.Errorf("live: worker %d ready: %w", rank, err)
+	}
+	if _, err := readCtl(conn, kindStart); err != nil {
+		return fmt.Errorf("live: worker %d start: %w", rank, err)
+	}
+	if plan, err := TranslateFaults(cfg.Faults, cfg.Seed+uint64(rank)); err == nil && plan != nil {
+		mesh.SetFaults(plan, time.Now())
+	}
+
+	runErr := w.run()
+	if runErr != nil {
+		// Report the failure instead of a DONE so the coordinator aborts
+		// with the cause rather than a timeout.
+		_ = writeCtl(conn, &xport.Frame{Kind: kindDone, From: int32(rank), Seg: -1,
+			Data: []byte(runErr.Error())})
+		return runErr
+	}
+
+	loss, lossInit := w.rep.loss()
+	seg := int32(0)
+	if lossInit {
+		seg = 1
+	}
+	stats, _ := json.Marshal(mesh.Stats())
+	if err := writeCtl(conn, &xport.Frame{Kind: kindDone, From: int32(rank),
+		Clock: int32(w.iters), Seg: seg, Aux: loss, Vec: w.rep.params(), Data: stats}); err != nil {
+		return fmt.Errorf("live: worker %d done: %w", rank, err)
+	}
+
+	// Stay responsive until the coordinator's BYE: gossip targets and
+	// AD-PSGD passives must outlive the slowest worker.
+	stop := make(chan struct{})
+	byeErr := make(chan error, 1)
+	go func() {
+		_, err := readCtl(conn, kindBye)
+		close(stop)
+		byeErr <- err
+	}()
+	if err := w.tail(stop); err != nil {
+		return fmt.Errorf("live: worker %d tail: %w", rank, err)
+	}
+	if err := <-byeErr; err != nil {
+		return fmt.Errorf("live: worker %d bye: %w", rank, err)
+	}
+	return nil
+}
+
+// RunLoopback performs a complete live run on this machine: a coordinator
+// and cfg.Workers workers, each a goroutine, rendezvousing and training
+// over loopback TCP sockets — the full wire path with no orchestration.
+func RunLoopback(cfg core.Config) (*Result, error) {
+	if err := Validate(&cfg); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("live: loopback listen: %w", err)
+	}
+	defer ln.Close()
+
+	workerErrs := make(chan error, cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		wcfg := cfg
+		go func() {
+			conn, err := net.DialTimeout("tcp", ln.Addr().String(), 2*time.Second)
+			if err != nil {
+				workerErrs <- fmt.Errorf("live: dial coordinator: %w", err)
+				return
+			}
+			defer conn.Close()
+			workerErrs <- runWorkerConn(&wcfg, conn, "127.0.0.1:0")
+		}()
+	}
+
+	res, err := coordinate(&cfg, ln)
+	var firstWorkerErr error
+	for i := 0; i < cfg.Workers; i++ {
+		if werr := <-workerErrs; werr != nil && firstWorkerErr == nil {
+			firstWorkerErr = werr
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if firstWorkerErr != nil {
+		return nil, firstWorkerErr
+	}
+	return res, nil
+}
+
+// RunChan performs a complete live run over the in-process channel
+// transport: no sockets, no rendezvous — a direct harness for the worker
+// and server protocol loops. Real goroutine scheduling still applies, so
+// asynchronous algorithms remain nondeterministic.
+func RunChan(cfg core.Config) (*Result, error) {
+	if err := Validate(&cfg); err != nil {
+		return nil, err
+	}
+	n := meshSize(&cfg)
+	cn := xport.NewChanNet(n)
+
+	var finalGlobal []float32
+	srvDone := make(chan error, 1)
+	if cfg.Algo.Centralized() {
+		go func() {
+			sv := newServer(&cfg, cn.Endpoint(cfg.Workers))
+			params, err := sv.run()
+			finalGlobal = params
+			srvDone <- err
+		}()
+	} else {
+		srvDone <- nil
+	}
+
+	start := time.Now()
+	workers := make([]*worker, cfg.Workers)
+	reports := make([]doneInfo, cfg.Workers)
+	errs := make([]error, cfg.Workers)
+	stop := make(chan struct{})
+	var running sync.WaitGroup
+	var tails sync.WaitGroup
+	for i := 0; i < cfg.Workers; i++ {
+		i := i
+		workers[i] = newWorker(&cfg, i, cn.Endpoint(i))
+		running.Add(1)
+		tails.Add(1)
+		go func() {
+			w := workers[i]
+			err := w.run()
+			loss, lossInit := w.rep.loss()
+			reports[i] = doneInfo{iters: w.iters, loss: loss, lossInit: lossInit, params: w.rep.params()}
+			errs[i] = err
+			running.Done()
+			if err == nil {
+				err = w.tail(stop)
+				if err != nil {
+					errs[i] = err
+				}
+			}
+			tails.Done()
+		}()
+	}
+
+	running.Wait()
+	wall := time.Since(start).Seconds()
+	if err := <-srvDone; err != nil {
+		close(stop)
+		tails.Wait()
+		return nil, err
+	}
+	close(stop) // the in-process BYE: release the tail loops
+	tails.Wait()
+	for i := 0; i < n; i++ {
+		cn.Endpoint(i).Close()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res, err := buildResult(&cfg, reports, finalGlobal, wall, nil)
+	if err != nil {
+		return nil, err
+	}
+	res.Transport = "chan"
+	return res, nil
+}

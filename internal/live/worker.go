@@ -1,0 +1,406 @@
+package live
+
+import (
+	"fmt"
+
+	"disttrain/internal/core"
+	"disttrain/internal/rng"
+	"disttrain/internal/xport"
+)
+
+// meshSize is the number of xport ranks a run needs: one per worker, plus
+// one extra rank hosting the parameter server for centralized algorithms.
+func meshSize(cfg *core.Config) int {
+	if cfg.Algo.Centralized() {
+		return cfg.Workers + 1
+	}
+	return cfg.Workers
+}
+
+// serverRank is the PS's mesh rank (the last one), or -1 for
+// decentralized algorithms.
+func serverRank(cfg *core.Config) int {
+	if cfg.Algo.Centralized() {
+		return cfg.Workers
+	}
+	return -1
+}
+
+// worker drives one replica through its algorithm's live protocol. The
+// main loop owns the mailbox; only AD-PSGD adds a second goroutine (the
+// communication thread of Lian et al.), which then becomes the sole
+// endpoint owner while the compute loop stays local.
+type worker struct {
+	cfg  *core.Config
+	rank int
+	srv  int // mesh rank of the PS; -1 when decentralized
+	ep   xport.Endpoint
+	mb   *mailbox
+	rep  *liveReplica
+	algo *rng.RNG
+
+	iters  int     // completed iterations
+	weight float64 // GoSGD mixing weight
+}
+
+func newWorker(cfg *core.Config, rank int, ep xport.Endpoint) *worker {
+	s := deriveStreams(cfg.Seed, rank)
+	return &worker{
+		cfg:    cfg,
+		rank:   rank,
+		srv:    serverRank(cfg),
+		ep:     ep,
+		mb:     newMailbox(ep),
+		rep:    newLiveReplica(rank, cfg, s),
+		algo:   s.algo,
+		weight: 1,
+	}
+}
+
+// run executes the full training loop for the configured algorithm and
+// returns once this worker's iterations are complete. For centralized
+// algorithms it then tells the PS so the server loop can retire.
+func (w *worker) run() error {
+	var err error
+	switch w.cfg.Algo {
+	case core.BSP:
+		err = w.runBSP()
+	case core.ASP:
+		err = w.runASP()
+	case core.SSP:
+		err = w.runSSP()
+	case core.EASGD:
+		err = w.runEASGD()
+	case core.ARSGD:
+		err = w.runARSGD()
+	case core.GoSGD:
+		err = w.runGoSGD()
+	case core.ADPSGD:
+		err = w.runADPSGD()
+	default:
+		err = fmt.Errorf("live: no driver for %s", w.cfg.Algo)
+	}
+	if err != nil {
+		return fmt.Errorf("live: worker %d (%s): %w", w.rank, w.cfg.Algo, err)
+	}
+	if w.srv >= 0 {
+		if err := w.ep.Send(w.srv, &xport.Frame{Kind: kindBye, From: int32(w.rank)}); err != nil {
+			return fmt.Errorf("live: worker %d bye: %w", w.rank, err)
+		}
+	}
+	return nil
+}
+
+// tail keeps absorbing asynchronous traffic between the worker's DONE and
+// the coordinator's BYE: GoSGD merges late gossip pushes (the simulator's
+// final drain), everything else ignores strays. AD-PSGD's passive serve
+// goroutine keeps running on its own until shutdown, so it needs nothing
+// here. stop closes when the BYE arrived.
+func (w *worker) tail(stop <-chan struct{}) error {
+	if w.cfg.Algo != core.GoSGD {
+		<-stop
+		return nil
+	}
+	for {
+		select {
+		case <-stop:
+			// One final sweep so a gossip that raced the BYE and is already
+			// buffered (or in flight) still lands.
+			for {
+				f, ok, err := w.mb.poll()
+				if err != nil || !ok {
+					return err
+				}
+				if f.Kind == kindGossip {
+					w.weight = w.rep.weightedMerge(w.weight, f.Vec, f.Aux)
+				}
+			}
+		default:
+		}
+		f, ok, err := w.mb.poll()
+		if err != nil {
+			return err
+		}
+		if ok && f.Kind == kindGossip {
+			w.weight = w.rep.weightedMerge(w.weight, f.Vec, f.Aux)
+		}
+	}
+}
+
+func (w *worker) runBSP() error {
+	cfg := w.cfg
+	for it := 1; it <= cfg.Iters; it++ {
+		g := w.rep.gradPass()
+		if err := w.ep.Send(w.srv, &xport.Frame{Kind: kindGrad, From: int32(w.rank),
+			Clock: int32(it), Vec: g}); err != nil {
+			return err
+		}
+		f, err := w.mb.recvMatch(kindParams, int32(it), 0, false, recvTimeout)
+		if err != nil {
+			return err
+		}
+		w.rep.setParams(f.Vec)
+		w.iters = it
+	}
+	return nil
+}
+
+func (w *worker) runASP() error {
+	cfg := w.cfg
+	for it := 1; it <= cfg.Iters; it++ {
+		g := w.rep.gradPass()
+		if err := w.ep.Send(w.srv, &xport.Frame{Kind: kindGrad, From: int32(w.rank),
+			Clock: int32(it), Vec: g}); err != nil {
+			return err
+		}
+		f, err := w.mb.recvMatch(kindParams, int32(it), 0, false, recvTimeout)
+		if err != nil {
+			return err
+		}
+		w.rep.setParams(f.Vec)
+		w.iters = it
+	}
+	return nil
+}
+
+func (w *worker) runSSP() error {
+	cfg := w.cfg
+	s := cfg.Staleness
+	lastMin := 0
+	sinceRefresh := 0
+	for it := 1; it <= cfg.Iters; it++ {
+		g := w.rep.gradPass()
+		// Petuum-style SSP: apply locally, ship the resulting *update*.
+		before := w.rep.params()
+		w.rep.localStep(g, cfg.LR.At(it-1))
+		delta := w.rep.params()
+		for i := range delta {
+			delta[i] -= before[i]
+		}
+		if err := w.ep.Send(w.srv, &xport.Frame{Kind: kindGrad, From: int32(w.rank),
+			Clock: int32(it), Vec: delta}); err != nil {
+			return err
+		}
+		// Fold any acks that have piled up.
+		for {
+			f, ok, err := w.mb.poll()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			if f.Kind != kindAck {
+				return fmt.Errorf("ssp drain: unexpected kind %d", f.Kind)
+			}
+			if int(f.Clock) > lastMin {
+				lastMin = int(f.Clock)
+			}
+		}
+		sinceRefresh++
+		if sinceRefresh > s || it-lastMin > s {
+			// Staleness bound exceeded: pull the global parameters and block
+			// until the PS's clock service releases us.
+			if err := w.ep.Send(w.srv, &xport.Frame{Kind: kindPull, From: int32(w.rank),
+				Clock: int32(it)}); err != nil {
+				return err
+			}
+			for {
+				f, err := w.mb.recv(recvTimeout)
+				if err != nil {
+					return err
+				}
+				if f.Kind == kindAck {
+					if int(f.Clock) > lastMin {
+						lastMin = int(f.Clock)
+					}
+					continue
+				}
+				if f.Kind != kindParams {
+					return fmt.Errorf("ssp worker: unexpected kind %d", f.Kind)
+				}
+				w.rep.setParams(f.Vec)
+				break
+			}
+			sinceRefresh = 0
+			if lastMin < it-s {
+				// The PS only releases when the bound holds.
+				lastMin = it - s
+			}
+		}
+		w.iters = it
+	}
+	return nil
+}
+
+func (w *worker) runEASGD() error {
+	cfg := w.cfg
+	for it := 1; it <= cfg.Iters; it++ {
+		g := w.rep.gradPass()
+		w.rep.localStep(g, cfg.LR.At(it-1))
+		if it%cfg.Tau == 0 {
+			if err := w.ep.Send(w.srv, &xport.Frame{Kind: kindEASGDPush, From: int32(w.rank),
+				Clock: int32(it), Vec: w.rep.params()}); err != nil {
+				return err
+			}
+			f, err := w.mb.recvMatch(kindEASGDReply, int32(it), 0, false, recvTimeout)
+			if err != nil {
+				return err
+			}
+			w.rep.setParams(f.Vec)
+		}
+		w.iters = it
+	}
+	return nil
+}
+
+func (w *worker) runARSGD() error {
+	cfg := w.cfg
+	nodes := make([]int, cfg.Workers)
+	for i := range nodes {
+		nodes[i] = i
+	}
+	inv := 1 / float32(cfg.Workers)
+	for it := 1; it <= cfg.Iters; it++ {
+		g := w.rep.gradPass()
+		agg := append([]float32(nil), g...)
+		var err error
+		if cfg.TreeAllReduce {
+			err = treeAllReduce(w.mb, nodes, w.rank, int32(it), agg)
+		} else {
+			err = ringAllReduce(w.mb, nodes, w.rank, int32(it), agg)
+		}
+		if err != nil {
+			return err
+		}
+		for i := range agg {
+			agg[i] *= inv
+		}
+		w.rep.localStep(agg, cfg.LR.At(it-1))
+		w.iters = it
+	}
+	return nil
+}
+
+func (w *worker) runGoSGD() error {
+	cfg := w.cfg
+	W := cfg.Workers
+	r := w.algo
+	for it := 1; it <= cfg.Iters; it++ {
+		g := w.rep.gradPass()
+		w.rep.localStep(g, cfg.LR.At(it-1))
+		for {
+			f, ok, err := w.mb.poll()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			if f.Kind != kindGossip {
+				return fmt.Errorf("gosgd worker: unexpected kind %d", f.Kind)
+			}
+			w.weight = w.rep.weightedMerge(w.weight, f.Vec, f.Aux)
+		}
+		if r.Bernoulli(cfg.GossipP) && W > 1 {
+			t := r.Intn(W - 1)
+			if t >= w.rank {
+				t++
+			}
+			half := w.weight / 2
+			w.weight = half
+			// Asymmetric push: fire and forget.
+			if err := w.ep.Send(t, &xport.Frame{Kind: kindGossip, From: int32(w.rank),
+				Clock: int32(it), Aux: half, Vec: w.rep.params()}); err != nil {
+				return err
+			}
+		}
+		w.iters = it
+	}
+	return nil
+}
+
+// runADPSGD mirrors the simulator's two-thread structure: the compute loop
+// trains continuously while a communication goroutine — which owns the
+// mailbox for the whole run — either initiates one symmetric exchange per
+// completed iteration (active, even ranks) or serves incoming exchange
+// requests until shutdown (passive, odd ranks).
+func (w *worker) runADPSGD() error {
+	cfg := w.cfg
+	W := cfg.Workers
+	var passive []int
+	for i := 1; i < W; i += 2 {
+		passive = append(passive, i)
+	}
+	active := w.rank%2 == 0 && len(passive) > 0
+
+	if !active {
+		// Passive: the serve goroutine answers exchanges for the rest of the
+		// process's life (it exits when the endpoint closes at shutdown);
+		// the compute loop below trains locally, sharing the replica through
+		// its mutex.
+		go w.adpsgdServe()
+		for it := 1; it <= cfg.Iters; it++ {
+			g := w.rep.gradPass()
+			w.rep.localStep(g, cfg.LR.At(it-1))
+			w.iters = it
+		}
+		return nil
+	}
+
+	tokens := make(chan int, cfg.Iters+1)
+	commErr := make(chan error, 1)
+	go func() {
+		commErr <- w.adpsgdActive(tokens, passive)
+	}()
+	for it := 1; it <= cfg.Iters; it++ {
+		g := w.rep.gradPass()
+		w.rep.localStep(g, cfg.LR.At(it-1))
+		tokens <- it
+		w.iters = it
+	}
+	tokens <- -1
+	return <-commErr
+}
+
+// adpsgdActive is an active worker's communication thread: one symmetric
+// exchange with a random passive peer per completed compute iteration.
+func (w *worker) adpsgdActive(tokens <-chan int, passive []int) error {
+	r := w.algo
+	for it := range tokens {
+		if it < 0 {
+			return nil
+		}
+		peer := passive[r.Intn(len(passive))]
+		if err := w.ep.Send(peer, &xport.Frame{Kind: kindExchangeReq, From: int32(w.rank),
+			Clock: int32(it), Vec: w.rep.params()}); err != nil {
+			return err
+		}
+		f, err := w.mb.recvMatch(kindExchangeRep, int32(it), 0, false, recvTimeout)
+		if err != nil {
+			return err
+		}
+		w.rep.average(f.Vec)
+	}
+	return nil
+}
+
+// adpsgdServe is a passive worker's communication thread: reply to every
+// exchange request with the current parameters, then fold the active's in.
+// It exits when the endpoint closes.
+func (w *worker) adpsgdServe() {
+	for {
+		f, err := w.mb.recv(recvTimeout)
+		if err != nil {
+			return // closed at shutdown (or wedged — shutdown will follow)
+		}
+		if f.Kind != kindExchangeReq {
+			continue
+		}
+		if err := w.ep.Send(int(f.From), &xport.Frame{Kind: kindExchangeRep, From: int32(w.rank),
+			Clock: f.Clock, Vec: w.rep.params()}); err != nil {
+			return
+		}
+		w.rep.average(f.Vec)
+	}
+}

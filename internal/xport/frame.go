@@ -1,0 +1,190 @@
+// Package xport is the live transport layer: typed message frames with a
+// length-prefixed, CRC-checked binary encoding, and endpoint backends that
+// carry them — an in-process channel transport for tests and single-binary
+// harnesses, and a TCP transport for real multi-process runs.
+//
+// Where internal/simnet moves messages through the deterministic
+// discrete-event simulator, xport moves the same logical messages over a
+// real wire: framing, socket backpressure, connection setup and peer
+// failures all happen for real. internal/live builds the distributed
+// training algorithms' collectives on top of these endpoints.
+package xport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Frame is one typed message between ranks. The field set is the union of
+// what the seven algorithms' messages carry (mirroring simnet.Msg): a kind
+// tag, the sender's rank, a round clock, a segment/chunk index, one scalar
+// (gossip weights), a float payload, sparse indices, and an opaque byte
+// blob for control-plane payloads (rendezvous addresses, metric digests).
+type Frame struct {
+	Kind  uint16
+	From  int32
+	Clock int32
+	Seg   int32
+	Aux   float64
+	Idx   []int32
+	Vec   []float32
+	Data  []byte
+}
+
+// Wire format: a fixed prelude followed by the payload.
+//
+//	magic   uint16  (frameMagic)
+//	length  uint32  (payload bytes)
+//	crc32   uint32  (IEEE, over the payload)
+//	payload:
+//	  kind uint16 | from int32 | clock int32 | seg int32 | aux float64
+//	  nIdx uint32 | nVec uint32 | nData uint32
+//	  idx []int32 | vec []float32 | data []byte
+//
+// All integers are little-endian. The length prefix lets a reader skip or
+// reject a frame without parsing it; the CRC rejects corruption before any
+// field is trusted.
+const (
+	frameMagic  = 0xD7A1
+	preludeLen  = 2 + 4 + 4
+	fixedPayLen = 2 + 4 + 4 + 4 + 8 + 4 + 4 + 4
+
+	// MaxFrameBytes bounds the payload length a reader accepts. A hostile
+	// or corrupted length prefix must never make the decoder allocate
+	// unbounded memory.
+	MaxFrameBytes = 64 << 20
+)
+
+// EncodedLen returns the full wire size of the frame.
+func (f *Frame) EncodedLen() int {
+	return preludeLen + fixedPayLen + 4*len(f.Idx) + 4*len(f.Vec) + len(f.Data)
+}
+
+// AppendEncode appends the encoded frame to dst and returns the result.
+func (f *Frame) AppendEncode(dst []byte) []byte {
+	payLen := fixedPayLen + 4*len(f.Idx) + 4*len(f.Vec) + len(f.Data)
+	start := len(dst)
+	dst = binary.LittleEndian.AppendUint16(dst, frameMagic)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(payLen))
+	dst = binary.LittleEndian.AppendUint32(dst, 0) // CRC backfilled below
+	payStart := len(dst)
+	dst = binary.LittleEndian.AppendUint16(dst, f.Kind)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(f.From))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(f.Clock))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(f.Seg))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f.Aux))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.Idx)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.Vec)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.Data)))
+	for _, v := range f.Idx {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(v))
+	}
+	for _, v := range f.Vec {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
+	}
+	dst = append(dst, f.Data...)
+	crc := crc32.ChecksumIEEE(dst[payStart:])
+	binary.LittleEndian.PutUint32(dst[start+6:start+10], crc)
+	return dst
+}
+
+// WriteFrame encodes f and writes it to w in one Write call.
+func WriteFrame(w io.Writer, f *Frame) error {
+	buf := f.AppendEncode(make([]byte, 0, f.EncodedLen()))
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads and decodes one frame from r. maxBytes bounds the
+// accepted payload length (0 means MaxFrameBytes). Malformed input — a bad
+// magic, an oversized or undersized length, a CRC mismatch, section counts
+// inconsistent with the length — yields an error, never a panic; a
+// truncated stream yields io.ErrUnexpectedEOF (or io.EOF on a clean
+// boundary).
+func ReadFrame(r io.Reader, maxBytes int) (Frame, error) {
+	if maxBytes <= 0 {
+		maxBytes = MaxFrameBytes
+	}
+	var prelude [preludeLen]byte
+	if _, err := io.ReadFull(r, prelude[:1]); err != nil {
+		return Frame{}, err // clean EOF at a frame boundary stays io.EOF
+	}
+	if _, err := io.ReadFull(r, prelude[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	if magic := binary.LittleEndian.Uint16(prelude[0:2]); magic != frameMagic {
+		return Frame{}, fmt.Errorf("xport: bad frame magic %#04x", magic)
+	}
+	payLen := int(binary.LittleEndian.Uint32(prelude[2:6]))
+	wantCRC := binary.LittleEndian.Uint32(prelude[6:10])
+	if payLen < fixedPayLen {
+		return Frame{}, fmt.Errorf("xport: frame payload %d bytes, need at least %d", payLen, fixedPayLen)
+	}
+	if payLen > maxBytes {
+		return Frame{}, fmt.Errorf("xport: frame payload %d bytes exceeds limit %d", payLen, maxBytes)
+	}
+	payload := make([]byte, payLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	if crc := crc32.ChecksumIEEE(payload); crc != wantCRC {
+		return Frame{}, fmt.Errorf("xport: frame CRC mismatch (got %#08x, want %#08x)", crc, wantCRC)
+	}
+	return decodePayload(payload)
+}
+
+// DecodeFrame decodes one frame from the start of buf (prelude included).
+// It is ReadFrame over an in-memory buffer, sharing the same validation.
+func DecodeFrame(buf []byte, maxBytes int) (Frame, error) {
+	return ReadFrame(bytes.NewReader(buf), maxBytes)
+}
+
+func decodePayload(payload []byte) (Frame, error) {
+	var f Frame
+	f.Kind = binary.LittleEndian.Uint16(payload[0:2])
+	f.From = int32(binary.LittleEndian.Uint32(payload[2:6]))
+	f.Clock = int32(binary.LittleEndian.Uint32(payload[6:10]))
+	f.Seg = int32(binary.LittleEndian.Uint32(payload[10:14]))
+	f.Aux = math.Float64frombits(binary.LittleEndian.Uint64(payload[14:22]))
+	nIdx := int(binary.LittleEndian.Uint32(payload[22:26]))
+	nVec := int(binary.LittleEndian.Uint32(payload[26:30]))
+	nData := int(binary.LittleEndian.Uint32(payload[30:34]))
+	// Counts are attacker-controlled until proven consistent with the CRC'd
+	// length; 4*n arithmetic must not overflow before the check.
+	rest := len(payload) - fixedPayLen
+	if nIdx < 0 || nVec < 0 || nData < 0 ||
+		nIdx > rest/4 || nVec > rest/4 || nData > rest ||
+		4*nIdx+4*nVec+nData != rest {
+		return Frame{}, fmt.Errorf("xport: frame sections (%d idx, %d vec, %d data) inconsistent with payload %d",
+			nIdx, nVec, nData, len(payload))
+	}
+	off := fixedPayLen
+	if nIdx > 0 {
+		f.Idx = make([]int32, nIdx)
+		for i := range f.Idx {
+			f.Idx[i] = int32(binary.LittleEndian.Uint32(payload[off : off+4]))
+			off += 4
+		}
+	}
+	if nVec > 0 {
+		f.Vec = make([]float32, nVec)
+		for i := range f.Vec {
+			f.Vec[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[off : off+4]))
+			off += 4
+		}
+	}
+	if nData > 0 {
+		f.Data = append([]byte(nil), payload[off:off+nData]...)
+	}
+	return f, nil
+}

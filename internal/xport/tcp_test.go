@@ -1,0 +1,188 @@
+package xport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// tcpMesh spins up an n-rank loopback mesh with peer tables installed.
+func tcpMesh(t *testing.T, n int) []*TCPNet {
+	t.Helper()
+	eps := make([]*TCPNet, n)
+	addrs := make([]string, n)
+	for i := range eps {
+		ep, err := ListenTCP(i, n, "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen rank %d: %v", i, err)
+		}
+		eps[i] = ep
+		addrs[i] = ep.Addr()
+		t.Cleanup(func() { ep.Close() })
+	}
+	for _, ep := range eps {
+		ep.SetPeers(addrs)
+	}
+	return eps
+}
+
+func TestTCPBasicExchange(t *testing.T) {
+	eps := tcpMesh(t, 2)
+	want := Frame{Kind: 5, From: 0, Clock: 3, Vec: []float32{1, 2, 3}, Data: []byte("x")}
+	if err := eps[0].Send(1, &want); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	got, err := eps[1].Recv(5 * time.Second)
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if !framesEqual(got, want) {
+		t.Fatalf("frame mismatch: got %+v want %+v", got, want)
+	}
+}
+
+func TestTCPAllToAll(t *testing.T) {
+	const n, per = 4, 25
+	eps := tcpMesh(t, n)
+	var wg sync.WaitGroup
+	for i := range eps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				for j := range eps {
+					if j == i {
+						continue
+					}
+					f := Frame{Kind: 1, From: int32(i), Clock: int32(k), Vec: []float32{float32(i), float32(k)}}
+					if err := eps[i].Send(j, &f); err != nil {
+						t.Errorf("send %d->%d: %v", i, j, err)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := range eps {
+		seen := map[string]bool{}
+		for k := 0; k < per*(n-1); k++ {
+			f, err := eps[i].Recv(5 * time.Second)
+			if err != nil {
+				t.Fatalf("rank %d recv %d: %v", i, k, err)
+			}
+			key := fmt.Sprintf("%d/%d", f.From, f.Clock)
+			if seen[key] {
+				t.Fatalf("rank %d saw duplicate frame %s", i, key)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestTCPRecvTimeout(t *testing.T) {
+	eps := tcpMesh(t, 2)
+	if _, err := eps[0].Recv(30 * time.Millisecond); err != ErrTimeout {
+		t.Fatalf("got %v, want ErrTimeout", err)
+	}
+}
+
+func TestTCPKilledConnectionRedials(t *testing.T) {
+	eps := tcpMesh(t, 2)
+	// Always-on kill window: every send first murders the outbound conn,
+	// then must redial and still deliver. No frame may be lost.
+	eps[0].SetFaults(&FaultPlan{
+		Seed:  7,
+		Kills: []KillWindow{{From: 0, To: time.Hour, Prob: 1}},
+	}, time.Now())
+	const msgs = 10
+	for k := 0; k < msgs; k++ {
+		f := Frame{Kind: 2, Clock: int32(k)}
+		if err := eps[0].Send(1, &f); err != nil {
+			t.Fatalf("send %d under kill plan: %v", k, err)
+		}
+	}
+	// Every send rides a fresh connection and the receiver's per-connection
+	// readers race into the shared inbox, so arrival order across redials is
+	// not guaranteed — delivery (no loss, no duplication) is the contract.
+	got := map[int32]bool{}
+	for k := 0; k < msgs; k++ {
+		f, err := eps[1].Recv(5 * time.Second)
+		if err != nil {
+			t.Fatalf("recv %d: %v", k, err)
+		}
+		if got[f.Clock] {
+			t.Fatalf("duplicate delivery of clock %d", f.Clock)
+		}
+		got[f.Clock] = true
+	}
+	for k := int32(0); k < msgs; k++ {
+		if !got[k] {
+			t.Fatalf("frame with clock %d lost", k)
+		}
+	}
+	if kills := eps[0].Stats().Kills; kills < msgs-1 {
+		t.Fatalf("expected >= %d connection kills, got %d", msgs-1, kills)
+	}
+}
+
+func TestTCPDelayWindow(t *testing.T) {
+	eps := tcpMesh(t, 2)
+	const d = 20 * time.Millisecond
+	eps[0].SetFaults(&FaultPlan{
+		Delays: []DelayWindow{{From: 0, To: time.Hour, Delay: d}},
+	}, time.Now())
+	start := time.Now()
+	f := Frame{Kind: 1}
+	if err := eps[0].Send(1, &f); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < d {
+		t.Fatalf("send returned after %v, want >= %v of injected latency", elapsed, d)
+	}
+	if _, err := eps[1].Recv(5 * time.Second); err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+}
+
+func TestTCPCloseUnblocksRecv(t *testing.T) {
+	eps := tcpMesh(t, 2)
+	done := make(chan error, 1)
+	go func() {
+		_, err := eps[0].Recv(0)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	eps[0].Close()
+	select {
+	case err := <-done:
+		if err != ErrClosed {
+			t.Fatalf("got %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv did not unblock on Close")
+	}
+}
+
+func TestChanNetExchange(t *testing.T) {
+	net := NewChanNet(3)
+	want := Frame{Kind: 4, From: 2, Vec: []float32{9}}
+	if err := net.Endpoint(2).Send(0, &want); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	got, err := net.Endpoint(0).Recv(time.Second)
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if !framesEqual(got, want) {
+		t.Fatalf("frame mismatch: got %+v want %+v", got, want)
+	}
+	if err := net.Endpoint(0).Send(5, &want); err == nil {
+		t.Fatal("send to out-of-range rank succeeded")
+	}
+	net.Endpoint(1).Close()
+	if err := net.Endpoint(0).Send(1, &want); err == nil {
+		t.Fatal("send to closed endpoint succeeded")
+	}
+}
