@@ -164,6 +164,13 @@ func printLive(f *cli.Flags, res *live.Result, jsonOut bool) {
 	if res.Net.Kills > 0 || res.Net.Redials > 0 {
 		t.AddRow("connection kills/redials", fmt.Sprintf("%d / %d", res.Net.Kills, res.Net.Redials))
 	}
+	if res.Net.Partitioned > 0 {
+		t.AddRow("partition-stalled sends", strconv.FormatInt(res.Net.Partitioned, 10))
+	}
+	if res.Deaths > 0 || res.Rejoins > 0 {
+		t.AddRow("deaths/rejoins/restores", fmt.Sprintf("%d / %d / %d",
+			res.Deaths, res.Rejoins, res.Restores))
+	}
 	t.AddRow("final test accuracy", report.Fmt(res.FinalTestAcc, 4))
 	t.AddRow("final train loss", report.Fmt(res.FinalTrainLoss, 4))
 	fmt.Print(t.String())

@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"syscall"
+	"time"
 
 	"disttrain/internal/cluster"
 	"disttrain/internal/core"
@@ -62,6 +63,10 @@ type Flags struct {
 	Role       string
 	Coord      string
 	MeshListen string
+	CkptDir    string
+	CkptEvery  int
+	SlowUnitMS float64
+	Rejoin     int
 }
 
 // Register binds the shared experiment flags onto fs and returns the
@@ -99,6 +104,10 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.Role, "role", "", "live multi-process role: coordinator|worker (empty = single-process loopback harness)")
 	fs.StringVar(&f.Coord, "coord", "127.0.0.1:9901", "coordinator address: listen address for -role=coordinator, dial address for -role=worker")
 	fs.StringVar(&f.MeshListen, "meshlisten", "127.0.0.1:0", "live worker's mesh listen address (use a peer-reachable host:0 for multi-machine runs)")
+	fs.StringVar(&f.CkptDir, "ckptdir", "", "live checkpoint directory (empty = no checkpoints; required to survive crash faults)")
+	fs.IntVar(&f.CkptEvery, "ckptevery", 1, "live checkpoint cadence in iterations")
+	fs.Float64Var(&f.SlowUnitMS, "slowunit", 0, "live latency per slowdown unit in ms (0 = default 10ms)")
+	fs.IntVar(&f.Rejoin, "rejoin", -1, "restarted live worker: rejoin an in-flight run as this rank (requires -ckptdir and a crash schedule)")
 	return f
 }
 
@@ -223,25 +232,42 @@ func Context() (context.Context, context.CancelFunc) {
 	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 }
 
+// LiveOptions translates the checkpoint and slow-unit flags into live run
+// options.
+func (f *Flags) LiveOptions() []live.Option {
+	var opts []live.Option
+	if f.CkptDir != "" {
+		opts = append(opts, live.WithCheckpoints(f.CkptDir, f.CkptEvery))
+	}
+	if f.SlowUnitMS > 0 {
+		opts = append(opts, live.WithSlowUnit(time.Duration(f.SlowUnitMS*float64(time.Millisecond))))
+	}
+	return opts
+}
+
 // RunLive dispatches a live (wall-clock) run according to the transport
 // and role flags. A nil Result with nil error means this process was a
 // worker: it trained to completion, and the coordinator process owns the
 // run's Result.
 func (f *Flags) RunLive(cfg core.Config) (*live.Result, error) {
+	opts := f.LiveOptions()
 	switch f.Transport {
 	case "chan":
 		if f.Role != "" {
 			return nil, fmt.Errorf("cli: -role applies only to -transport=tcp")
 		}
-		return live.RunChan(cfg)
+		return live.RunChan(cfg, opts...)
 	case "tcp":
 		switch f.Role {
 		case "":
-			return live.RunLoopback(cfg)
+			return live.RunLoopback(cfg, opts...)
 		case "coordinator":
-			return live.RunCoordinator(cfg, f.Coord)
+			return live.RunCoordinator(cfg, f.Coord, opts...)
 		case "worker":
-			return nil, live.RunWorker(cfg, f.Coord, f.MeshListen)
+			if f.Rejoin >= 0 {
+				return nil, live.RunWorkerRejoin(cfg, f.Coord, f.Rejoin, opts...)
+			}
+			return nil, live.RunWorker(cfg, f.Coord, f.MeshListen, opts...)
 		default:
 			return nil, fmt.Errorf("cli: unknown -role %q (want coordinator or worker)", f.Role)
 		}

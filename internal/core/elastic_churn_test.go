@@ -1,0 +1,78 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"disttrain/internal/fault"
+)
+
+// churnConfig is a real-math elastic run with a multi-worker crash/restart
+// schedule: three workers die at different iterations and come back after
+// different delays, so the alive membership shrinks and regrows several
+// times over the run.
+func churnConfig(algo Algo, seed uint64) Config {
+	cfg := realConfig(algo, 4, 30, seed)
+	cfg.Elastic = true
+	mean := cfg.Workload.MeanIterSec()
+	cfg.Faults = &fault.Schedule{Events: []fault.Event{
+		{Kind: fault.Crash, AtIter: 6, Worker: 1, Restart: 2 * mean},
+		{Kind: fault.Crash, AtIter: 12, Worker: 3, Restart: 3 * mean},
+		{Kind: fault.Crash, AtIter: 20, Worker: 0, Restart: 2 * mean},
+	}}
+	return cfg
+}
+
+// TestElasticChurnReproducible pins the simulator side of the chaos
+// contract: an elastic BSP/AR-SGD run whose membership churns through
+// crash/restart cycles exports byte-identical summaries on every repeat of
+// the same (config, schedule, seed) triple, and the schedule demonstrably
+// fired (crashes and restarts both counted).
+func TestElasticChurnReproducible(t *testing.T) {
+	for _, algo := range []Algo{BSP, ARSGD} {
+		algo := algo
+		t.Run(string(algo), func(t *testing.T) {
+			var out [2]bytes.Buffer
+			for i := range out {
+				res, err := Run(context.Background(), churnConfig(algo, 42))
+				if err != nil {
+					t.Fatalf("run %d: %v", i, err)
+				}
+				f := res.Metrics.Faults
+				if f.Crashes < 3 || f.Restarts < 3 {
+					t.Fatalf("run %d: churn did not fire: crashes=%d restarts=%d, want >= 3/3",
+						i, f.Crashes, f.Restarts)
+				}
+				if err := res.WriteJSON(&out[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !bytes.Equal(out[0].Bytes(), out[1].Bytes()) {
+				t.Fatalf("%s: same seed+churn schedule produced different summaries:\n%s\n---\n%s",
+					algo, out[0].String(), out[1].String())
+			}
+		})
+	}
+}
+
+// TestElasticChurnPoolSizeBitIdentical extends the pool-independence
+// guarantee to elastic churn: the restart sleeps and membership resizes
+// reshuffle which replica futures are in flight at any wall moment, yet
+// the realized schedule — and thus the exported summary — must not depend
+// on how many real cores execute the passes.
+func TestElasticChurnPoolSizeBitIdentical(t *testing.T) {
+	for _, algo := range []Algo{BSP, ARSGD} {
+		algo := algo
+		t.Run(string(algo), func(t *testing.T) {
+			cfg := churnConfig(algo, 42)
+			want := poolSummary(t, cfg, 0)
+			for _, pool := range []int{1, 8} {
+				if got := poolSummary(t, cfg, pool); !bytes.Equal(want, got) {
+					t.Fatalf("%s churn: summary differs between pool 0 and pool %d:\npool 0: %s\npool %d: %s",
+						algo, pool, want, pool, got)
+				}
+			}
+		})
+	}
+}

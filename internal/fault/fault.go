@@ -293,12 +293,16 @@ func (e Event) String() string {
 		}
 		fmt.Fprintf(&b, ":p=%g", e.Prob)
 	case Partition:
-		b.WriteString(":m")
-		for i, m := range e.Machines {
-			if i > 0 {
-				b.WriteByte(',')
+		// An empty cut renders without the field: ":m" alone is not valid
+		// spec syntax (Validate rejects the event either way).
+		if len(e.Machines) > 0 {
+			b.WriteString(":m")
+			for i, m := range e.Machines {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "%d", m)
 			}
-			fmt.Fprintf(&b, "%d", m)
 		}
 	}
 	if e.Duration > 0 {

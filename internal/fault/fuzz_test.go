@@ -1,0 +1,42 @@
+package fault
+
+import "testing"
+
+// FuzzParseSpec feeds arbitrary strings to the CLI schedule parser. The
+// contract under fuzz: every input returns normally — a schedule or an
+// error — with no panic, and any event the parser accepts renders back
+// through Event.String into a spec the parser accepts again (re-parse
+// success, not string equality: %g formatting canonicalizes numbers).
+func FuzzParseSpec(f *testing.F) {
+	for _, spec := range []string{
+		"crash@iter20:w3:restart=5",
+		"crash@2.5:w0",
+		"slow@10:w2:x4:for=30",
+		"degrade@10:m1:x8:for=30",
+		"drop@10:p=0.05:for=60",
+		"partition@10:m0,1:for=30",
+		"crash@iter5:w1 ; slow@2:w0:x3",
+		"crash@1e300:w0",
+		"slow@1:w0:xNaN",
+		"crash@-1:w-2",
+		"partition@0:m,",
+		"@:",
+		";;;",
+		"crash@iter9999999999999999999:w0",
+	} {
+		f.Add(spec)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := ParseSpec(spec)
+		if err != nil {
+			return
+		}
+		for _, e := range s.Events {
+			rendered := e.String()
+			if _, err := ParseSpec(rendered); err != nil {
+				t.Fatalf("accepted event %+v renders to %q which fails to re-parse: %v",
+					e, rendered, err)
+			}
+		}
+	})
+}

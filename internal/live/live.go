@@ -27,8 +27,10 @@ import (
 	"fmt"
 	"time"
 
+	"disttrain/internal/cluster"
 	"disttrain/internal/core"
 	"disttrain/internal/fault"
+	"disttrain/internal/nn"
 	"disttrain/internal/xport"
 )
 
@@ -41,8 +43,9 @@ const recvTimeout = 60 * time.Second
 // config through core's Validate first, then rejects everything the live
 // runtime does not support: cost-only mode (a wall-clock run of no real
 // math measures nothing), PS sharding (live hosts a single PS rank),
-// simulator-only optimizations, and fault kinds with no transport
-// projection.
+// simulator-only optimizations, elastic membership outside BSP/AR-SGD, and
+// crash faults without elastic membership (faithful stall-and-rerun crash
+// semantics are simulator-only).
 func Validate(cfg *core.Config) error {
 	if err := cfg.Validate(); err != nil {
 		return err
@@ -67,19 +70,60 @@ func Validate(cfg *core.Config) error {
 		return fmt.Errorf("live: 8-bit quantization is not supported on the live path")
 	case cfg.LocalAgg:
 		return fmt.Errorf("live: local aggregation is not supported on the live path")
-	case cfg.Elastic:
-		return fmt.Errorf("live: elastic membership is not supported on the live path")
 	case cfg.StalenessDamping:
 		return fmt.Errorf("live: staleness damping is not supported on the live path")
 	case cfg.ADPSGDNoBipartite:
 		return fmt.Errorf("live: the AD-PSGD no-bipartite ablation is simulator-only")
 	}
+	if cfg.Elastic {
+		switch cfg.Algo {
+		case core.BSP, core.ARSGD:
+		default:
+			return fmt.Errorf("live: elastic membership supports BSP and AR-SGD only (got %s)", cfg.Algo)
+		}
+	}
 	if !cfg.Faults.Empty() {
-		if _, err := TranslateFaults(cfg.Faults, cfg.Seed); err != nil {
+		if cfg.Faults.HasKind(fault.Crash) && !cfg.Elastic {
+			return fmt.Errorf("live: crash faults require Elastic on the live path (faithful stall-and-rerun crash semantics are simulator-only)")
+		}
+		if _, err := TranslateFaults(cfg.Faults, cfg.Seed, cfg.Cluster, cfg.Workers, 0); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// Options tunes the live runtime beyond the shared core.Config: the
+// checkpoint cadence workers and the PS write their state with, and the
+// fault-projection slow unit. Build one with the With* functional options
+// accepted by every entry point.
+type Options struct {
+	ckpt     nn.Cadence
+	slowUnit time.Duration
+}
+
+// Option mutates Options; pass any number to the Run* entry points.
+type Option func(*Options)
+
+// WithCheckpoints makes every worker (and the PS) write a training-state
+// checkpoint into dir every `every` completed iterations. A worker killed
+// by a crash schedule restores from its latest checkpoint when it rejoins.
+func WithCheckpoints(dir string, every int) Option {
+	return func(o *Options) { o.ckpt = nn.Cadence{Dir: dir, Every: every} }
+}
+
+// WithSlowUnit overrides the latency one slowdown unit (Factor-1) maps onto
+// when projecting slow/degrade faults; 0 keeps xport.DefaultSlowUnit.
+func WithSlowUnit(unit time.Duration) Option {
+	return func(o *Options) { o.slowUnit = unit }
+}
+
+func buildOptions(opts []Option) *Options {
+	o := &Options{}
+	for _, fn := range opts {
+		fn(o)
+	}
+	return o
 }
 
 // Result is what one live run produces, the wall-clock counterpart of
@@ -107,6 +151,12 @@ type Result struct {
 	// Net aggregates transport counters over every TCP endpoint in the run
 	// (zero for the channel transport, which keeps no counters).
 	Net xport.Stats
+	// Deaths, Rejoins, and Restores count chaos events: scheduled worker
+	// deaths the coordinator observed, REJOIN handshakes it accepted, and
+	// checkpoint restores rejoining workers performed.
+	Deaths   int64
+	Rejoins  int64
+	Restores int64
 }
 
 // Summary projects the live result into the simulator's Summary shape so
@@ -117,13 +167,14 @@ func (r *Result) Summary() core.Summary {
 	for _, n := range r.WorkerIters {
 		iters += n
 	}
-	return core.Summary{
+	s := core.Summary{
 		Algo:       string(r.Config.Algo) + "+" + r.Transport,
 		Workers:    r.Config.Workers,
 		Machines:   r.Config.Cluster.Machines,
 		Model:      r.Config.Workload.Profile.Name,
 		Iters:      r.Config.Iters,
 		Seed:       r.Config.Seed,
+		Elastic:    r.Config.Elastic,
 		VirtualSec: r.WallSec,
 		Throughput: r.Throughput,
 		TotalBytes: r.Net.BytesSent,
@@ -131,22 +182,29 @@ func (r *Result) Summary() core.Summary {
 		FinalTestAcc:   r.FinalTestAcc,
 		FinalTrainLoss: r.FinalTrainLoss,
 	}
+	s.Faults.Crashes = int(r.Deaths)
+	s.Faults.Restarts = int(r.Rejoins)
+	return s
 }
 
 // TranslateFaults maps a simulator fault schedule onto the live transport:
 // drop windows become connection-kill windows (the frame is rewritten on a
 // redialed connection — live TCP loses no acknowledged bytes, so "drop"
-// exercises reconnection rather than message loss), and slow/degrade
-// windows become injected send latency. Event.At and Event.Duration are
-// read as wall-clock seconds from the run's START barrier. Crash and
-// partition events have no live projection and are rejected.
-func TranslateFaults(s *fault.Schedule, seed uint64) (*xport.FaultPlan, error) {
+// exercises reconnection rather than message loss), slow/degrade windows
+// become injected send latency (one slowdown unit above factor 1 maps to
+// slowUnit of delay per send; 0 keeps xport.DefaultSlowUnit), and partition
+// windows sever and stall mesh sends that cross the machine cut. Event.At
+// and Event.Duration are read as wall-clock seconds from the run's START
+// barrier. Crash events are not projected here — they are handled by the
+// chaos membership layer (worker death/restart), not the transport — so a
+// crash-only schedule yields a nil plan.
+func TranslateFaults(s *fault.Schedule, seed uint64, cl cluster.Config, workers int, slowUnit time.Duration) (*xport.FaultPlan, error) {
 	if s.Empty() {
 		return nil, nil
 	}
 	// An open-ended window (Duration <= 0) covers the rest of the run.
 	const forever = time.Duration(1) << 62
-	plan := &xport.FaultPlan{Seed: seed}
+	plan := &xport.FaultPlan{Seed: seed, SlowUnit: slowUnit}
 	for i, e := range s.Events {
 		from := time.Duration(e.At * float64(time.Second))
 		to := forever
@@ -159,15 +217,41 @@ func TranslateFaults(s *fault.Schedule, seed uint64) (*xport.FaultPlan, error) {
 		case fault.Slow, fault.Degrade:
 			// Each unit of slowdown factor above 1 costs a fixed extra
 			// latency per send; the live path has no virtual wire time to
-			// scale, so the factor maps onto a concrete delay.
-			d := time.Duration((e.Factor - 1) * float64(10*time.Millisecond))
-			if d < 0 {
-				d = 0
+			// scale, so the factor maps onto a concrete delay per the
+			// plan's slow unit.
+			f := e.Factor
+			if f < 1 {
+				f = 1
 			}
-			plan.Delays = append(plan.Delays, xport.DelayWindow{From: from, To: to, Delay: d})
+			plan.Delays = append(plan.Delays, xport.DelayWindow{From: from, To: to, Factor: f})
+		case fault.Partition:
+			// The isolated side is the set of worker ranks hosted on the
+			// event's machines; the PS rank (== workers) stays outside the
+			// side, so a centralized algorithm sees the partitioned
+			// workers stall rather than silently lose traffic — the
+			// simulator's faithful-stall semantics.
+			var side []int
+			for w := 0; w < workers; w++ {
+				m := cl.MachineOfWorker(w)
+				for _, pm := range e.Machines {
+					if m == pm {
+						side = append(side, w)
+						break
+					}
+				}
+			}
+			if len(side) == 0 {
+				return nil, fmt.Errorf("live: fault event %d: partition isolates no workers", i)
+			}
+			plan.Partitions = append(plan.Partitions, xport.PartitionWindow{From: from, To: to, Side: side})
+		case fault.Crash:
+			// Projected by the chaos membership layer, not the transport.
 		default:
 			return nil, fmt.Errorf("live: fault event %d: %s has no live-transport projection", i, e.Kind)
 		}
+	}
+	if len(plan.Kills) == 0 && len(plan.Delays) == 0 && len(plan.Partitions) == 0 {
+		return nil, nil
 	}
 	return plan, nil
 }

@@ -196,15 +196,17 @@ func TestLiveBSPSurvivesKilledConnections(t *testing.T) {
 
 // TestTranslateFaults covers the schedule→plan projection directly.
 func TestTranslateFaults(t *testing.T) {
+	cl := cluster.Paper56G(8) // 2 machines × 4 workers
 	s := &fault.Schedule{Events: []fault.Event{
 		{Kind: fault.Drop, At: 1, Duration: 2, Prob: 0.3, Machine: -1},
 		{Kind: fault.Slow, At: 0, Duration: 0, Factor: 3, Worker: 0},
+		{Kind: fault.Partition, At: 0.5, Duration: 1, Machines: []int{1}},
 	}}
-	plan, err := TranslateFaults(s, 7)
+	plan, err := TranslateFaults(s, 7, cl, 8, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(plan.Kills) != 1 || len(plan.Delays) != 1 {
+	if len(plan.Kills) != 1 || len(plan.Delays) != 1 || len(plan.Partitions) != 1 {
 		t.Fatalf("plan %+v", plan)
 	}
 	k := plan.Kills[0]
@@ -212,17 +214,37 @@ func TestTranslateFaults(t *testing.T) {
 		t.Fatalf("kill window %+v", k)
 	}
 	d := plan.Delays[0]
-	if d.Delay != 20*time.Millisecond {
-		t.Fatalf("delay %v, want 20ms", d.Delay)
+	if d.Factor != 3 {
+		t.Fatalf("delay factor %v, want 3", d.Factor)
 	}
 	if d.To <= d.From || d.To < time.Duration(1)<<61 {
 		t.Fatalf("open-ended window not extended: %+v", d)
 	}
+	p := plan.Partitions[0]
+	if p.From != 500*time.Millisecond || p.To != 1500*time.Millisecond {
+		t.Fatalf("partition window %+v", p)
+	}
+	// Machine 1 hosts worker ranks 4..7; the PS rank (8) must stay out.
+	want := []int{4, 5, 6, 7}
+	if len(p.Side) != len(want) {
+		t.Fatalf("partition side %v, want %v", p.Side, want)
+	}
+	for i, w := range want {
+		if p.Side[i] != w {
+			t.Fatalf("partition side %v, want %v", p.Side, want)
+		}
+	}
 
-	if _, err := TranslateFaults(&fault.Schedule{Events: []fault.Event{
+	// Crash events project onto the chaos membership layer, not the
+	// transport: a crash-only schedule yields no transport plan at all.
+	plan, err = TranslateFaults(&fault.Schedule{Events: []fault.Event{
 		{Kind: fault.Crash, AtIter: 1, Worker: 0},
-	}}, 7); err == nil {
-		t.Fatal("crash events must be rejected")
+	}}, 7, cl, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan != nil {
+		t.Fatalf("crash-only schedule produced a transport plan: %+v", plan)
 	}
 }
 
@@ -237,9 +259,9 @@ func TestValidateRejectsUnsupported(t *testing.T) {
 		{"wait-free BP", func(c *core.Config) { c.WaitFreeBP = true }},
 		{"quantize8", func(c *core.Config) { c.Quantize8 = true }},
 		{"local agg", func(c *core.Config) { c.LocalAgg = true }},
-		{"elastic", func(c *core.Config) { c.Elastic = true }},
+		{"elastic async", func(c *core.Config) { c.Algo = core.ASP; c.Elastic = true }},
 		{"staleness damping", func(c *core.Config) { c.Algo = core.ASP; c.StalenessDamping = true }},
-		{"crash fault", func(c *core.Config) {
+		{"crash without elastic", func(c *core.Config) {
 			c.Faults = &fault.Schedule{Events: []fault.Event{{Kind: fault.Crash, AtIter: 1, Worker: 0}}}
 		}},
 	}
@@ -253,6 +275,20 @@ func TestValidateRejectsUnsupported(t *testing.T) {
 	ok := liveConfig(core.BSP, 4, 4, 1)
 	if err := Validate(&ok); err != nil {
 		t.Fatalf("valid config rejected: %v", err)
+	}
+	// The fixed-cohort rejection is lifted: elastic BSP and AR-SGD validate,
+	// with and without a crash schedule.
+	for _, algo := range []core.Algo{core.BSP, core.ARSGD} {
+		ecfg := liveConfig(algo, 4, 4, 1)
+		ecfg.Elastic = true
+		if err := Validate(&ecfg); err != nil {
+			t.Fatalf("elastic %s rejected: %v", algo, err)
+		}
+		ecfg.Faults = &fault.Schedule{Events: []fault.Event{
+			{Kind: fault.Crash, AtIter: 2, Worker: 1, Restart: 0.1}}}
+		if err := Validate(&ecfg); err != nil {
+			t.Fatalf("elastic %s with crash schedule rejected: %v", algo, err)
+		}
 	}
 }
 

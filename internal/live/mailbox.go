@@ -38,6 +38,16 @@ const (
 	kindStart
 	kindDone
 	kindBye
+	// kindHeartbeat renews a worker's liveness lease with the coordinator
+	// (Clock carries the worker's latest completed iteration).
+	kindHeartbeat
+	// kindRejoin is a restarted worker's re-admission request (From = its
+	// original rank, Data = the config fingerprint).
+	kindRejoin
+	// kindRejoinOK re-admits a rejoining worker (Data = the peer address
+	// list, Aux = seconds elapsed since the run's START barrier so the
+	// worker can re-anchor its fault-plan clock).
+	kindRejoinOK
 )
 
 // mailbox wraps an Endpoint with a stash so protocol loops can wait for a

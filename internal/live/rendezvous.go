@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"strings"
+	"sync"
 	"time"
 
 	"disttrain/internal/core"
@@ -15,6 +16,29 @@ import (
 // training run: a worker's DONE only arrives after its last iteration, and
 // the BYE after the slowest worker's DONE.
 const ctlTimeout = 10 * time.Minute
+
+// heartbeatPeriod is how often a worker under a crash schedule renews its
+// liveness lease with the coordinator; leaseTimeout is how long the
+// coordinator tolerates silence from a connected worker before declaring
+// the run wedged. A disconnected worker with a scheduled crash gets its
+// largest scheduled restart delay on top.
+const (
+	heartbeatPeriod = 500 * time.Millisecond
+	leaseTimeout    = 15 * time.Second
+)
+
+// ctlLink serializes writes on one control connection: the heartbeat
+// goroutine and the training loop's DONE share the worker side of it.
+type ctlLink struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+func (l *ctlLink) write(f *xport.Frame) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return writeCtl(l.c, f)
+}
 
 // writeCtl sends one control frame on the rendezvous connection.
 func writeCtl(c net.Conn, f *xport.Frame) error {
@@ -39,6 +63,12 @@ func readCtl(c net.Conn, want uint16) (xport.Frame, error) {
 	return f, nil
 }
 
+// readAnyCtl reads one control frame of any kind with the given deadline.
+func readAnyCtl(c net.Conn, d time.Duration) (xport.Frame, error) {
+	c.SetReadDeadline(time.Now().Add(d))
+	return xport.ReadFrame(c, xport.MaxFrameBytes)
+}
+
 // fingerprint digests the parts of the config every participant must agree
 // on. The coordinator rejects a HELLO whose fingerprint differs from its
 // own — catching a worker launched with a stale flag before it can skew
@@ -50,28 +80,54 @@ func fingerprint(cfg *core.Config) string {
 		cfg.Real.Batch, cfg.Real.Train.N())
 }
 
+// doneStats is the stats payload of a DONE frame: the transport counters
+// accumulated across every incarnation of the worker, plus how many
+// checkpoint restores its restarts performed. The embedded struct keeps the
+// JSON flat, so pre-chaos payloads decode unchanged.
+type doneStats struct {
+	xport.Stats
+	Restores int64 `json:"restores,omitempty"`
+}
+
+// add folds one endpoint's counters into the accumulated stats.
+func (d *doneStats) add(s xport.Stats) {
+	d.FramesSent += s.FramesSent
+	d.FramesRecv += s.FramesRecv
+	d.BytesSent += s.BytesSent
+	d.BytesRecv += s.BytesRecv
+	d.Redials += s.Redials
+	d.Kills += s.Kills
+	d.DelayNanos += s.DelayNanos
+	d.Partitioned += s.Partitioned
+}
+
 // doneInfo is what one worker's DONE frame reports.
 type doneInfo struct {
 	iters    int
 	loss     float64
 	lossInit bool
 	params   []float32
-	stats    xport.Stats
+	stats    doneStats
 }
 
 // coordinate runs the coordinator's side of a live run on an established
 // listener: accept W workers, assign ranks, exchange mesh addresses,
 // barrier everyone, host the PS (centralized algorithms), and collect the
-// workers' final reports into a Result.
-func coordinate(cfg *core.Config, ln net.Listener) (*Result, error) {
+// workers' final reports into a Result. Under a crash schedule it
+// additionally runs per-rank lease monitors, a rejoin acceptor, and a
+// watchdog, so scheduled deaths are distinguished from wedged runs.
+func coordinate(cfg *core.Config, ln net.Listener, o *Options) (*Result, error) {
 	W := cfg.Workers
 	n := meshSize(cfg)
 	fp := fingerprint(cfg)
+	ch := newChaos(cfg)
 
 	conns := make([]net.Conn, 0, W)
 	defer func() {
 		for _, c := range conns {
-			c.Close()
+			if c != nil {
+				c.Close()
+			}
 		}
 	}()
 
@@ -151,13 +207,17 @@ func coordinate(cfg *core.Config, ln net.Listener) (*Result, error) {
 	srvDone := make(chan error, 1)
 	if srvNet != nil {
 		go func() {
-			sv := newServer(cfg, srvNet)
+			sv := newServer(cfg, srvNet, o)
 			params, err := sv.run()
 			finalGlobal = params
 			srvDone <- err
 		}()
 	} else {
 		srvDone <- nil
+	}
+
+	if ch != nil {
+		return coordinateChaos(cfg, ln, ch, conns, fp, peerList, start, srvDone, &finalGlobal, srvNet)
 	}
 
 	// Collect DONEs. Reading the connections in rank order still waits for
@@ -168,7 +228,7 @@ func coordinate(cfg *core.Config, ln net.Listener) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("live: done from worker %d: %w", rank, err)
 		}
-		var st xport.Stats
+		var st doneStats
 		if len(f.Data) > 0 {
 			if err := json.Unmarshal(f.Data, &st); err != nil {
 				return nil, fmt.Errorf("live: worker %d stats: %w", rank, err)
@@ -199,6 +259,261 @@ func coordinate(cfg *core.Config, ln net.Listener) (*Result, error) {
 	return buildResult(cfg, reports, finalGlobal, wall, srvNet)
 }
 
+// runState is the coordinator's shared view of a chaos run: the current
+// control connection, lease, and progress per rank, which ranks have
+// reported (or been written off), and the death/rejoin counters.
+type runState struct {
+	cfg      *core.Config
+	ch       *chaos
+	fp       string
+	peerList string
+	start    time.Time
+
+	mu      sync.Mutex
+	conns   []net.Conn // current control conn per rank; nil while dead
+	beat    []time.Time
+	iter    []int
+	reports []doneInfo
+	done    []bool
+	deaths  int64
+	rejoins int64
+
+	doneCh chan int
+	errCh  chan error
+	quit   chan struct{}
+}
+
+func (st *runState) fail(err error) {
+	select {
+	case st.errCh <- err:
+	default:
+	}
+}
+
+// monitor owns one rank's control connection: it folds heartbeats into the
+// lease state, records the DONE report, and routes disconnects to the
+// death/rejoin machinery.
+func (st *runState) monitor(rank int, c net.Conn) {
+	for {
+		f, err := readAnyCtl(c, ctlTimeout)
+		if err != nil {
+			st.onDisconnect(rank, c)
+			return
+		}
+		switch f.Kind {
+		case kindHeartbeat:
+			st.mu.Lock()
+			if st.conns[rank] == c {
+				st.beat[rank] = time.Now()
+				if int(f.Clock) > st.iter[rank] {
+					st.iter[rank] = int(f.Clock)
+				}
+			}
+			st.mu.Unlock()
+		case kindDone:
+			if f.Seg < 0 {
+				st.fail(fmt.Errorf("live: worker %d failed: %s", rank, f.Data))
+				return
+			}
+			var ds doneStats
+			if len(f.Data) > 0 {
+				if err := json.Unmarshal(f.Data, &ds); err != nil {
+					st.fail(fmt.Errorf("live: worker %d stats: %w", rank, err))
+					return
+				}
+			}
+			st.mu.Lock()
+			st.reports[rank] = doneInfo{iters: int(f.Clock), loss: f.Aux,
+				lossInit: f.Seg == 1, params: f.Vec, stats: ds}
+			st.done[rank] = true
+			st.mu.Unlock()
+			st.doneCh <- rank
+			return
+		default:
+			st.fail(fmt.Errorf("live: worker %d: unexpected control kind %d", rank, f.Kind))
+			return
+		}
+	}
+}
+
+// onDisconnect classifies a dropped control connection: a scheduled death
+// (awaiting rejoin, or written off when the schedule never revives the
+// rank) or a genuine failure.
+func (st *runState) onDisconnect(rank int, c net.Conn) {
+	st.mu.Lock()
+	if st.conns[rank] != c || st.done[rank] {
+		// Superseded by a rejoin, or the post-DONE teardown: not a death.
+		st.mu.Unlock()
+		return
+	}
+	st.conns[rank] = nil
+	if !st.ch.hasCrash(rank) {
+		st.mu.Unlock()
+		st.fail(fmt.Errorf("live: worker %d control connection lost", rank))
+		return
+	}
+	st.deaths++
+	if !st.ch.finishes(rank) {
+		// The schedule never revives this rank before the run ends:
+		// synthesize its report from the last heartbeat so the run can
+		// complete without it.
+		st.reports[rank] = doneInfo{iters: st.iter[rank]}
+		st.done[rank] = true
+		st.mu.Unlock()
+		st.doneCh <- rank
+		return
+	}
+	st.mu.Unlock()
+}
+
+// rejoinLoop keeps accepting on the rendezvous listener after the START
+// barrier; every connection must open with a REJOIN. It exits when the
+// listener closes.
+func (st *runState) rejoinLoop(ln net.Listener) {
+	type deadliner interface{ SetDeadline(time.Time) error }
+	if d, ok := ln.(deadliner); ok {
+		d.SetDeadline(time.Time{})
+	}
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go st.handleRejoin(c)
+	}
+}
+
+// handleRejoin re-admits a restarted worker: verify its rank and config
+// fingerprint, install the new control connection, and hand back the peer
+// list plus the wall-clock offset so the worker re-anchors its fault plan.
+func (st *runState) handleRejoin(c net.Conn) {
+	f, err := readAnyCtl(c, recvTimeout)
+	if err != nil || f.Kind != kindRejoin {
+		c.Close()
+		return
+	}
+	rank := int(f.From)
+	st.mu.Lock()
+	if rank < 0 || rank >= len(st.conns) || string(f.Data) != st.fp ||
+		st.done[rank] || !st.ch.hasCrash(rank) {
+		st.mu.Unlock()
+		c.Close()
+		return
+	}
+	if old := st.conns[rank]; old != nil {
+		// The rejoin outran the old monitor's read error: count the death
+		// here and supersede the stale connection (its monitor stands down
+		// when it sees conns[rank] changed).
+		st.deaths++
+		old.Close()
+	}
+	st.conns[rank] = c
+	st.beat[rank] = time.Now()
+	st.rejoins++
+	elapsed := time.Since(st.start).Seconds()
+	st.mu.Unlock()
+	if err := writeCtl(c, &xport.Frame{Kind: kindRejoinOK, Aux: elapsed,
+		Data: []byte(st.peerList)}); err != nil {
+		st.onDisconnect(rank, c)
+		return
+	}
+	go st.monitor(rank, c)
+}
+
+// watchdog fails the run when a rank goes silent past its lease: the
+// heartbeat period plus slack for a connected worker, plus the largest
+// scheduled restart delay while a crashed worker is disconnected.
+func (st *runState) watchdog() {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-st.quit:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		st.mu.Lock()
+		for r := 0; r < len(st.conns); r++ {
+			if st.done[r] {
+				continue
+			}
+			last := st.beat[r]
+			if last.IsZero() {
+				last = st.start
+			}
+			allow := leaseTimeout
+			if st.conns[r] == nil && st.ch.hasCrash(r) {
+				allow += time.Duration(st.ch.maxRestart(r)*float64(time.Second)) + leaseTimeout
+			}
+			if now.Sub(last) > allow {
+				st.mu.Unlock()
+				st.fail(fmt.Errorf("live: worker %d lease expired after %.1fs of silence", r, now.Sub(last).Seconds()))
+				return
+			}
+		}
+		st.mu.Unlock()
+	}
+}
+
+// coordinateChaos is the post-START coordinator path for crash schedules:
+// per-rank monitors collect DONEs and classify disconnects, the rejoin
+// acceptor re-admits restarted workers, and the watchdog bounds silence.
+func coordinateChaos(cfg *core.Config, ln net.Listener, ch *chaos, conns []net.Conn,
+	fp, peerList string, start time.Time, srvDone chan error, finalGlobal *[]float32,
+	srvNet *xport.TCPNet) (*Result, error) {
+	W := cfg.Workers
+	st := &runState{
+		cfg: cfg, ch: ch, fp: fp, peerList: peerList, start: start,
+		conns: conns, beat: make([]time.Time, W), iter: make([]int, W),
+		reports: make([]doneInfo, W), done: make([]bool, W),
+		doneCh: make(chan int, W), errCh: make(chan error, 1),
+		quit: make(chan struct{}),
+	}
+	for r := 0; r < W; r++ {
+		go st.monitor(r, conns[r])
+	}
+	go st.rejoinLoop(ln)
+	go st.watchdog()
+
+	finished := 0
+	var runErr error
+	for finished < W && runErr == nil {
+		select {
+		case <-st.doneCh:
+			finished++
+		case runErr = <-st.errCh:
+		}
+	}
+	wall := time.Since(start).Seconds()
+	close(st.quit)
+	if runErr != nil {
+		return nil, runErr
+	}
+	if err := <-srvDone; err != nil {
+		return nil, err
+	}
+
+	st.mu.Lock()
+	// BYE releases the tail loops of the workers that finished on a live
+	// connection; written-off ranks have no connection to release.
+	for r, c := range st.conns {
+		if c != nil && st.done[r] {
+			_ = writeCtl(c, &xport.Frame{Kind: kindBye})
+		}
+	}
+	reports := append([]doneInfo(nil), st.reports...)
+	deaths, rejoins := st.deaths, st.rejoins
+	st.mu.Unlock()
+
+	res, err := buildResult(cfg, reports, *finalGlobal, wall, srvNet)
+	if err != nil {
+		return nil, err
+	}
+	res.Deaths, res.Rejoins = deaths, rejoins
+	return res, nil
+}
+
 // buildResult assembles the Result from the workers' reports and the final
 // global parameters, and evaluates the final model exactly the way the
 // simulator's evalGlobal does.
@@ -222,6 +537,8 @@ func buildResult(cfg *core.Config, reports []doneInfo, finalGlobal []float32, wa
 		res.Net.Redials += rep.stats.Redials
 		res.Net.Kills += rep.stats.Kills
 		res.Net.DelayNanos += rep.stats.DelayNanos
+		res.Net.Partitioned += rep.stats.Partitioned
+		res.Restores += rep.stats.Restores
 	}
 	if srvNet != nil {
 		st := srvNet.Stats()
@@ -232,6 +549,7 @@ func buildResult(cfg *core.Config, reports []doneInfo, finalGlobal []float32, wa
 		res.Net.Redials += st.Redials
 		res.Net.Kills += st.Kills
 		res.Net.DelayNanos += st.DelayNanos
+		res.Net.Partitioned += st.Partitioned
 	}
 	if cnt > 0 {
 		res.FinalTrainLoss = loss / float64(cnt)

@@ -153,6 +153,46 @@ func (r *liveReplica) average(other []float32) {
 	r.model.SetFlatParams(flat)
 }
 
+// saveState checkpoints the replica's full training state — parameters,
+// momentum, loss EWMA, and the data-stream counters — atomically to path.
+func (r *liveReplica) saveState(path string, step, draws int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := &nn.TrainState{
+		Step:     uint64(step),
+		Draws:    uint64(draws),
+		Loss:     r.lossEWMA,
+		LossInit: r.lossInit,
+		Velocity: r.localO.Velocity(),
+	}
+	return nn.SaveState(path, r.model, st)
+}
+
+// restoreState loads a checkpoint written by saveState into the replica:
+// parameters and momentum in place, loss EWMA, and the sampler
+// fast-forwarded by the checkpointed draw count. NewSampler shuffles
+// deterministically from the shard stream and Next reshuffles on epoch
+// boundaries only as a function of the draw count, so replaying Draws calls
+// on a freshly built replica reproduces the dead worker's exact stream
+// position. Returns the checkpointed step so the caller knows where to
+// resume.
+func (r *liveReplica) restoreState(path string) (step, draws int, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, err := nn.LoadState(path, r.model)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(st.Velocity) > 0 {
+		copy(r.localO.Velocity(), st.Velocity)
+	}
+	r.lossEWMA, r.lossInit = st.Loss, st.LossInit
+	for i := uint64(0); i < st.Draws; i++ {
+		r.sampler.Next()
+	}
+	return int(st.Step), int(st.Draws), nil
+}
+
 // weightedMerge performs GoSGD's merge: x ← (w·x + ws·xs)/(w+ws),
 // returning the new local weight w+ws.
 func (r *liveReplica) weightedMerge(own float64, xs []float32, ws float64) float64 {

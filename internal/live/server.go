@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"disttrain/internal/core"
+	"disttrain/internal/nn"
 	"disttrain/internal/ps"
 	"disttrain/internal/rng"
 	"disttrain/internal/xport"
@@ -23,15 +24,21 @@ type server struct {
 	global *ps.Global
 	assign ps.Assignment
 	vecLen int
+
+	// model is kept around as the serialization vehicle for PS checkpoints;
+	// ch and ckpt mirror the workers' chaos membership and cadence.
+	model *nn.Model
+	ch    *chaos
+	ckpt  nn.Cadence
 }
 
-func newServer(cfg *core.Config, ep xport.Endpoint) *server {
+func newServer(cfg *core.Config, ep xport.Endpoint, o *Options) *server {
 	// The simulator seeds the global from replica 0's parameters; every
 	// replica starts from the shared init stream (seed → Split(1)), so
 	// building a model from a fresh stream yields the identical vector.
 	model := cfg.Real.Factory(rng.New(cfg.Seed).Split(1))
 	init := model.FlatParams(nil)
-	return &server{
+	sv := &server{
 		cfg:    cfg,
 		W:      cfg.Workers,
 		ep:     ep,
@@ -39,7 +46,23 @@ func newServer(cfg *core.Config, ep xport.Endpoint) *server {
 		global: ps.NewGlobal(init, cfg.Momentum, cfg.WeightDecay),
 		assign: ps.Single(len(init)),
 		vecLen: len(init),
+		model:  model,
+		ch:     newChaos(cfg),
 	}
+	if o != nil {
+		sv.ckpt = o.ckpt
+	}
+	return sv
+}
+
+// maybeCheckpoint writes the global parameters as a PS checkpoint if step
+// is a cadence boundary.
+func (sv *server) maybeCheckpoint(step int) error {
+	if !sv.ckpt.Due(step) {
+		return nil
+	}
+	sv.model.SetFlatParams(sv.snapshot())
+	return nn.SaveState(sv.ckpt.Path(-1), sv.model, &nn.TrainState{Step: uint64(step)})
 }
 
 // snapshot returns a fresh copy of the global parameters.
@@ -71,10 +94,16 @@ func (sv *server) run() ([]float32, error) {
 	return sv.snapshot(), nil
 }
 
-// awaitByes blocks until the remaining workers have said goodbye. Frames
-// of other kinds at this point are protocol violations.
+// awaitByes blocks until the remaining workers have said goodbye — all of
+// them, or under a crash schedule only the ones that finish the run (a
+// worker dead at the final iteration never returns). Frames of other kinds
+// at this point are protocol violations.
 func (sv *server) awaitByes(byes int) error {
-	for byes < sv.W {
+	want := sv.W
+	if sv.ch != nil {
+		want = sv.ch.finisherCount()
+	}
+	for byes < want {
 		f, err := sv.mb.recvMatch(kindBye, 0, 0, false, recvTimeout)
 		if err != nil {
 			return err
@@ -91,8 +120,25 @@ func (sv *server) awaitByes(byes int) error {
 func (sv *server) runBSP() error {
 	cfg := sv.cfg
 	for it := 0; it < cfg.Iters; it++ {
-		msgs := make([]xport.Frame, 0, sv.W)
-		for i := 0; i < sv.W; i++ {
+		// The round's barrier width is the alive membership — the
+		// simulator's elastic aliveCount — and connections to workers
+		// resuming this round are refreshed before their first exchange.
+		expect := sv.W
+		if sv.ch != nil {
+			if pd, ok := sv.ep.(peerDropper); ok {
+				for w := 0; w < sv.W; w++ {
+					if sv.ch.resumedAt(w, it+1) {
+						pd.DropPeer(w)
+					}
+				}
+			}
+			expect = sv.ch.aliveCount(it + 1)
+			if expect == 0 {
+				continue
+			}
+		}
+		msgs := make([]xport.Frame, 0, expect)
+		for i := 0; i < expect; i++ {
 			f, err := sv.mb.recvMatch(kindGrad, int32(it+1), 0, false, recvTimeout)
 			if err != nil {
 				return err
@@ -106,13 +152,16 @@ func (sv *server) runBSP() error {
 				agg[i] += v
 			}
 		}
-		sv.global.ApplyGrad(sv.assign[0], agg, 1/float32(sv.W), cfg.LR.At(it))
+		sv.global.ApplyGrad(sv.assign[0], agg, 1/float32(expect), cfg.LR.At(it))
 		snap := sv.snapshot()
 		for _, m := range msgs {
 			if err := sv.ep.Send(int(m.From), &xport.Frame{Kind: kindParams, From: int32(sv.W),
 				Clock: m.Clock, Vec: snap}); err != nil {
 				return err
 			}
+		}
+		if err := sv.maybeCheckpoint(it + 1); err != nil {
+			return err
 		}
 	}
 	return sv.awaitByes(0)

@@ -2,8 +2,10 @@ package live
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"disttrain/internal/core"
+	"disttrain/internal/nn"
 	"disttrain/internal/rng"
 	"disttrain/internal/xport"
 )
@@ -41,20 +43,90 @@ type worker struct {
 
 	iters  int     // completed iterations
 	weight float64 // GoSGD mixing weight
+
+	// Chaos state: ch is the shared crash-membership function (nil in a
+	// crash-free run), startIter is where this incarnation's loop begins
+	// (>1 after a checkpoint restore), draws counts sampler draws for the
+	// checkpoint, prog publishes progress to the heartbeat goroutine, and
+	// ckpt is the checkpoint cadence.
+	ch        *chaos
+	startIter int
+	draws     int
+	prog      atomic.Int64
+	ckpt      nn.Cadence
 }
 
-func newWorker(cfg *core.Config, rank int, ep xport.Endpoint) *worker {
+func newWorker(cfg *core.Config, rank int, ep xport.Endpoint, o *Options) *worker {
 	s := deriveStreams(cfg.Seed, rank)
-	return &worker{
-		cfg:    cfg,
-		rank:   rank,
-		srv:    serverRank(cfg),
-		ep:     ep,
-		mb:     newMailbox(ep),
-		rep:    newLiveReplica(rank, cfg, s),
-		algo:   s.algo,
-		weight: 1,
+	w := &worker{
+		cfg:       cfg,
+		rank:      rank,
+		srv:       serverRank(cfg),
+		ep:        ep,
+		mb:        newMailbox(ep),
+		rep:       newLiveReplica(rank, cfg, s),
+		algo:      s.algo,
+		weight:    1,
+		ch:        newChaos(cfg),
+		startIter: 1,
 	}
+	if o != nil {
+		w.ckpt = o.ckpt
+	}
+	return w
+}
+
+// deathErr signals a scheduled crash: the worker reached an iteration its
+// crash schedule says it does not run. The life driver catches it, tears
+// the process state down, and restarts after the scheduled delay.
+type deathErr struct{ it int }
+
+func (e deathErr) Error() string {
+	return fmt.Sprintf("scheduled death at iteration %d", e.it)
+}
+
+// peerDropper is the optional transport capability chaos needs: discard a
+// cached connection so the next send redials. TCPNet implements it; the
+// channel transport (which cannot lose bytes) does not and needs nothing.
+type peerDropper interface{ DropPeer(int) }
+
+// dropResumedPeers discards cached connections to every peer that comes
+// back from a dead window exactly at iteration it. The old socket is
+// half-closed on the peer's side; a write on it could be silently lost, so
+// the first post-restart exchange must start on a fresh dial.
+func (w *worker) dropResumedPeers(it int) {
+	pd, ok := w.ep.(peerDropper)
+	if !ok {
+		return
+	}
+	for ww := 0; ww < w.cfg.Workers; ww++ {
+		if ww != w.rank && w.ch.resumedAt(ww, it) {
+			pd.DropPeer(ww)
+		}
+	}
+}
+
+// gate is the per-round chaos check for the synchronous loops: it returns a
+// deathErr when this worker's schedule says iteration it is not run, and
+// otherwise refreshes connections to peers resuming this round.
+func (w *worker) gate(it int) error {
+	if w.ch == nil {
+		return nil
+	}
+	if !w.ch.aliveAt(w.rank, it) {
+		return deathErr{it: it}
+	}
+	w.dropResumedPeers(it)
+	return nil
+}
+
+// maybeCheckpoint writes this worker's training state if the cadence says
+// iteration it is a checkpoint boundary.
+func (w *worker) maybeCheckpoint(it int) error {
+	if !w.ckpt.Due(it) {
+		return nil
+	}
+	return w.rep.saveState(w.ckpt.Path(w.rank), it, w.draws)
 }
 
 // run executes the full training loop for the configured algorithm and
@@ -129,8 +201,12 @@ func (w *worker) tail(stop <-chan struct{}) error {
 
 func (w *worker) runBSP() error {
 	cfg := w.cfg
-	for it := 1; it <= cfg.Iters; it++ {
+	for it := w.startIter; it <= cfg.Iters; it++ {
+		if err := w.gate(it); err != nil {
+			return err
+		}
 		g := w.rep.gradPass()
+		w.draws++
 		if err := w.ep.Send(w.srv, &xport.Frame{Kind: kindGrad, From: int32(w.rank),
 			Clock: int32(it), Vec: g}); err != nil {
 			return err
@@ -141,6 +217,10 @@ func (w *worker) runBSP() error {
 		}
 		w.rep.setParams(f.Vec)
 		w.iters = it
+		w.prog.Store(int64(it))
+		if err := w.maybeCheckpoint(it); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -256,19 +336,30 @@ func (w *worker) runEASGD() error {
 
 func (w *worker) runARSGD() error {
 	cfg := w.cfg
-	nodes := make([]int, cfg.Workers)
-	for i := range nodes {
-		nodes[i] = i
+	full := make([]int, cfg.Workers)
+	for i := range full {
+		full[i] = i
 	}
-	inv := 1 / float32(cfg.Workers)
-	for it := 1; it <= cfg.Iters; it++ {
+	for it := w.startIter; it <= cfg.Iters; it++ {
+		if err := w.gate(it); err != nil {
+			return err
+		}
+		// The round's group is the alive membership — the simulator's
+		// elastic aliveNodes — so the ring is rebuilt every round from the
+		// shared membership function, no view exchange needed.
+		nodes, self := full, w.rank
+		if w.ch != nil {
+			nodes, self = w.ch.aliveNodes(it, w.rank)
+		}
+		inv := 1 / float32(len(nodes))
 		g := w.rep.gradPass()
+		w.draws++
 		agg := append([]float32(nil), g...)
 		var err error
 		if cfg.TreeAllReduce {
-			err = treeAllReduce(w.mb, nodes, w.rank, int32(it), agg)
+			err = treeAllReduce(w.mb, nodes, self, int32(it), agg)
 		} else {
-			err = ringAllReduce(w.mb, nodes, w.rank, int32(it), agg)
+			err = ringAllReduce(w.mb, nodes, self, int32(it), agg)
 		}
 		if err != nil {
 			return err
@@ -278,6 +369,10 @@ func (w *worker) runARSGD() error {
 		}
 		w.rep.localStep(agg, cfg.LR.At(it-1))
 		w.iters = it
+		w.prog.Store(int64(it))
+		if err := w.maybeCheckpoint(it); err != nil {
+			return err
+		}
 	}
 	return nil
 }

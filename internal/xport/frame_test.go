@@ -161,6 +161,13 @@ func FuzzDecodeFrame(f *testing.F) {
 	for _, fr := range sampleFrames() {
 		f.Add(fr.AppendEncode(nil))
 	}
+	// Control-plane shapes from the live rendezvous protocol: heartbeat
+	// (108, progress in Clock), rejoin (109, config fingerprint in Data),
+	// and rejoin-ok (110, peer list in Data, elapsed seconds in Aux).
+	f.Add((&Frame{Kind: 108, From: 2, Clock: 17}).AppendEncode(nil))
+	f.Add((&Frame{Kind: 109, From: 1, Data: []byte("fp:bsp/4/42")}).AppendEncode(nil))
+	f.Add((&Frame{Kind: 110, Aux: 1.75,
+		Data: []byte(`["127.0.0.1:1","127.0.0.1:2"]`)}).AppendEncode(nil))
 	good := (&Frame{Kind: 3, Vec: []float32{1, 2}}).AppendEncode(nil)
 	f.Add(good[:5])                          // truncated header
 	f.Add(flipByte(good, 7))                 // bad CRC

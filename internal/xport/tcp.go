@@ -30,20 +30,74 @@ type KillWindow struct {
 	Prob     float64
 }
 
-// DelayWindow injects Delay before every send while inside [From, To).
+// DelayWindow injects latency before every send while inside [From, To):
+// the fixed Delay plus, when Factor > 1, (Factor-1) times the plan's slow
+// unit — the projection of a simulator slowdown factor onto concrete wall
+// time.
 type DelayWindow struct {
 	From, To time.Duration
 	Delay    time.Duration
+	Factor   float64
 }
 
+// PartitionWindow isolates the ranks in Side from the rest of the mesh
+// while inside [From, To): a send crossing the cut first severs the cached
+// connection, then blocks until the window closes — TCP loses no
+// acknowledged bytes, so a live partition delays traffic rather than
+// dropping it.
+type PartitionWindow struct {
+	From, To time.Duration
+	Side     []int
+}
+
+// separates reports whether ranks a and b are on opposite sides of the cut.
+func (w *PartitionWindow) separates(a, b int) bool {
+	var inA, inB bool
+	for _, r := range w.Side {
+		if r == a {
+			inA = true
+		}
+		if r == b {
+			inB = true
+		}
+	}
+	return inA != inB
+}
+
+// DefaultSlowUnit is the injected latency per slowdown unit (Factor-1) when
+// a FaultPlan does not set its own SlowUnit.
+const DefaultSlowUnit = 10 * time.Millisecond
+
 // FaultPlan is the live-path projection of a fault schedule: connection
-// kills and send latency, both windowed on wall time since SetEpoch. The
-// kill coin-flips are drawn from a seeded stream so a given plan behaves
-// comparably across runs (wall-clock timing still varies).
+// kills, send latency, and rank partitions, all windowed on wall time since
+// SetEpoch. The kill coin-flips are drawn from a seeded stream so a given
+// plan behaves comparably across runs (wall-clock timing still varies).
 type FaultPlan struct {
-	Seed   uint64
-	Kills  []KillWindow
-	Delays []DelayWindow
+	Seed uint64
+	// SlowUnit is the latency one slowdown unit (Factor-1) maps onto; 0
+	// means DefaultSlowUnit.
+	SlowUnit   time.Duration
+	Kills      []KillWindow
+	Delays     []DelayWindow
+	Partitions []PartitionWindow
+}
+
+// slowUnit resolves the configured slow unit, applying the default.
+func (p *FaultPlan) slowUnit() time.Duration {
+	if p.SlowUnit > 0 {
+		return p.SlowUnit
+	}
+	return DefaultSlowUnit
+}
+
+// delayFor is the total injected latency of one delay window: the fixed
+// delay plus the factor-scaled slow unit.
+func (w *DelayWindow) delayFor(unit time.Duration) time.Duration {
+	d := w.Delay
+	if w.Factor > 1 {
+		d += time.Duration((w.Factor - 1) * float64(unit))
+	}
+	return d
 }
 
 // Stats counts transport-level events; read a snapshot via TCPNet.Stats.
@@ -52,6 +106,8 @@ type Stats struct {
 	BytesSent, BytesRecv   int64
 	Redials, Kills         int64
 	DelayNanos             int64
+	// Partitioned counts sends that blocked on an active partition window.
+	Partitioned int64
 }
 
 // TCPNet is an Endpoint over real TCP sockets: one listener per rank, a
@@ -81,6 +137,7 @@ type TCPNet struct {
 		bytesSent, bytesRecv   atomic.Int64
 		redials, kills         atomic.Int64
 		delayNanos             atomic.Int64
+		partitioned            atomic.Int64
 	}
 }
 
@@ -131,13 +188,14 @@ func (t *TCPNet) SetFaults(plan *FaultPlan, epoch time.Time) {
 // Stats returns a snapshot of the transport counters.
 func (t *TCPNet) Stats() Stats {
 	return Stats{
-		FramesSent: t.stats.framesSent.Load(),
-		FramesRecv: t.stats.framesRecv.Load(),
-		BytesSent:  t.stats.bytesSent.Load(),
-		BytesRecv:  t.stats.bytesRecv.Load(),
-		Redials:    t.stats.redials.Load(),
-		Kills:      t.stats.kills.Load(),
-		DelayNanos: t.stats.delayNanos.Load(),
+		FramesSent:  t.stats.framesSent.Load(),
+		FramesRecv:  t.stats.framesRecv.Load(),
+		BytesSent:   t.stats.bytesSent.Load(),
+		BytesRecv:   t.stats.bytesRecv.Load(),
+		Redials:     t.stats.redials.Load(),
+		Kills:       t.stats.kills.Load(),
+		DelayNanos:  t.stats.delayNanos.Load(),
+		Partitioned: t.stats.partitioned.Load(),
 	}
 }
 
@@ -175,22 +233,39 @@ func (t *TCPNet) Send(to int, f *Frame) error {
 	return fmt.Errorf("xport: send to rank %d failed after %d attempts: %w", to, writeAttempts, lastErr)
 }
 
-// applyFaults runs the send through the active fault plan: injected latency
-// first, then a possible connection kill. The kill closes the outbound
-// conn so the frame that follows is written on a redialed one — the
-// message is never lost, the reconnect machinery is what gets exercised.
+// applyFaults runs the send through the active fault plan: a partition
+// block first (sever the cached connection, then wait out the window),
+// injected latency next, then a possible connection kill. The kill closes
+// the outbound conn so the frame that follows is written on a redialed one
+// — the message is never lost, the reconnect machinery is what gets
+// exercised.
 func (t *TCPNet) applyFaults(to int) {
 	t.faultMu.Lock()
 	plan, epoch := t.plan, t.epoch
 	var kill bool
 	if plan != nil {
 		since := time.Since(epoch)
-		for _, w := range plan.Delays {
-			if since >= w.From && since < w.To && w.Delay > 0 {
+		for i := range plan.Partitions {
+			w := &plan.Partitions[i]
+			if since >= w.From && since < w.To && w.separates(t.rank, to) {
+				remain := w.To - since
 				t.faultMu.Unlock()
-				time.Sleep(w.Delay)
-				t.stats.delayNanos.Add(int64(w.Delay))
+				t.DropPeer(to)
+				t.stats.partitioned.Add(1)
+				time.Sleep(remain)
 				t.faultMu.Lock()
+				since = time.Since(epoch)
+			}
+		}
+		unit := plan.slowUnit()
+		for i := range plan.Delays {
+			w := &plan.Delays[i]
+			if d := w.delayFor(unit); since >= w.From && since < w.To && d > 0 {
+				t.faultMu.Unlock()
+				time.Sleep(d)
+				t.stats.delayNanos.Add(int64(d))
+				t.faultMu.Lock()
+				since = time.Since(epoch)
 			}
 		}
 		for _, w := range plan.Kills {
@@ -209,6 +284,22 @@ func (t *TCPNet) applyFaults(to int) {
 		}
 		t.mu.Unlock()
 	}
+}
+
+// DropPeer discards the cached outbound connection to a peer so the next
+// send redials. Callers that know a peer restarted (and so holds a fresh
+// listener on the same address) use this to keep a write from landing on a
+// half-closed socket and being silently lost.
+func (t *TCPNet) DropPeer(to int) {
+	if to < 0 || to >= t.size {
+		return
+	}
+	t.mu.Lock()
+	if c := t.conns[to]; c != nil {
+		c.Close()
+		t.conns[to] = nil
+	}
+	t.mu.Unlock()
 }
 
 // peerConn returns the outbound connection to a peer, dialing it if absent.
