@@ -23,21 +23,26 @@
 //
 //	disttrain -algo arsgd -workers 2 -iters 50 -real -transport tcp -role coordinator -coord :9901
 //	disttrain -algo arsgd -workers 2 -iters 50 -real -transport tcp -role worker -coord host:9901
+//
+// Remote run through the experiment control plane (cmd/expd, see
+// docs/CONTROLPLANE.md) — the flags become an ExperimentSpec, the service
+// runs it, and metrics stream back live:
+//
+//	disttrain -server http://127.0.0.1:7070 -algo bsp -workers 4 -iters 50 -real -transport tcp
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
+	"disttrain/internal/api"
 	"disttrain/internal/cli"
 	"disttrain/internal/core"
-	"disttrain/internal/live"
-	"disttrain/internal/metrics"
+	"disttrain/internal/costmodel"
 	"disttrain/internal/report"
 	"disttrain/internal/trace"
 )
@@ -45,18 +50,28 @@ import (
 func main() {
 	f := cli.Register(flag.CommandLine)
 	var (
-		jsonOut  = flag.Bool("json", false, "emit a JSON summary instead of tables")
+		jsonOut  = flag.Bool("json", false, "emit the unified RunResult JSON instead of tables")
 		sweep    = flag.String("sweep", "", "comma-separated worker counts; runs the config per count and prints a speedup figure (cost-only)")
 		traceOut = flag.String("traceout", "", "write a Chrome trace (chrome://tracing) of the run to this path")
+		server   = flag.String("server", "", "submit to a control-plane service at this URL (cmd/expd) instead of running locally")
 	)
 	flag.Parse()
+
+	ctx, stop := cli.Context()
+	defer stop()
+
+	if *server != "" {
+		if *sweep != "" || *traceOut != "" || f.Role != "" || f.Rejoin >= 0 {
+			cli.Fatal(fmt.Errorf("-sweep, -traceout, -role and -rejoin are local-only (the service runs whole experiments)"))
+		}
+		runRemote(ctx, f, *server, *jsonOut)
+		return
+	}
 
 	cfg, err := f.Config()
 	if err != nil {
 		cli.Fatal(err)
 	}
-	ctx, stop := cli.Context()
-	defer stop()
 
 	if f.Transport != "sim" {
 		if *sweep != "" || *traceOut != "" {
@@ -69,7 +84,7 @@ func main() {
 		if res == nil {
 			return // worker role: the coordinator process owns the Result
 		}
-		printLive(f, res, *jsonOut)
+		printResult(api.FromLive(res), speedupBase(f), *jsonOut)
 		return
 	}
 
@@ -98,82 +113,81 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "trace written to %s (open in chrome://tracing)\n", *traceOut)
 	}
+	printResult(api.FromCore(res), speedupBase(f), *jsonOut)
+}
 
-	if *jsonOut {
+// runRemote submits the flags' spec to a control-plane service, streams its
+// metrics to stderr while it runs, and prints the final result exactly as a
+// local run would — for sim jobs the -json bytes are identical to a local
+// export, which is the round-trip contract docs/CONTROLPLANE.md documents.
+func runRemote(ctx context.Context, f *cli.Flags, base string, jsonOut bool) {
+	spec, err := f.Spec()
+	if err != nil {
+		cli.Fatal(err)
+	}
+	client := &api.Client{Base: base}
+	st, err := client.Submit(ctx, spec)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "submitted %s (%s)\n", st.ID, st.State)
+	if err := client.StreamMetrics(ctx, st.ID, func(p api.MetricPoint) {
+		switch {
+		case p.Worker < 0:
+			fmt.Fprintf(os.Stderr, "iter %4d  epoch %.2f  loss %.4f  test-err %.4f\n",
+				p.Iter, p.Epoch, p.TrainLoss, p.TestErr)
+		case p.Worker == 0:
+			// One rank stands in for all of them on the live path; the full
+			// per-worker stream stays available on the metrics endpoint.
+			fmt.Fprintf(os.Stderr, "w0 iter %4d  loss %.4f\n", p.Iter, p.TrainLoss)
+		}
+	}); err != nil {
+		cli.Fatal(err)
+	}
+	st, err = client.Wait(ctx, st.ID, 0)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	if st.State != api.StateDone {
+		cli.Fatal(fmt.Errorf("experiment %s %s: %s", st.ID, st.State, st.Error))
+	}
+	if jsonOut {
+		raw, err := client.ResultJSON(ctx, st.ID)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		os.Stdout.Write(raw)
+		return
+	}
+	printResult(st.Result, speedupBase(f), false)
+}
+
+// printResult renders the unified result: raw RunResult JSON in -json mode,
+// the shared report table (plus the convergence figure when the run traced
+// one) otherwise.
+func printResult(res *api.RunResult, speedupBase float64, jsonOut bool) {
+	if jsonOut {
 		if err := res.WriteJSON(os.Stdout); err != nil {
 			cli.Fatal(err)
 		}
 		return
 	}
-
-	t := report.Table{Title: fmt.Sprintf("%s on %s, %d workers @ %gGbps", f.Algo, f.Model, f.Workers, f.Gbps),
-		Header: []string{"metric", "value"}}
-	t.AddRow("virtual time", report.Fmt(res.VirtualSec, 3)+" s")
-	t.AddRow("throughput", report.Fmt(res.Throughput, 1)+" samples/s")
-	t.AddRow("speedup vs 1 GPU", report.Fmt(res.Throughput/cli.SpeedupBase(cfg.Workload), 2)+"x")
-	t.AddRow("total traffic", report.FmtBytes(float64(res.Net.TotalBytes)))
-	t.AddRow("bytes/iter/worker", report.FmtBytes(res.BytesPerIterPerWorker))
-	b := res.Metrics.MeanBreakdown()
-	for _, ph := range []metrics.Phase{metrics.Compute, metrics.LocalAgg, metrics.GlobalAgg, metrics.Network} {
-		t.AddRow("time: "+ph.String(), fmt.Sprintf("%s s (%.0f%%)", report.Fmt(b[ph], 3), 100*b.Frac(ph)))
-	}
-	if fs := res.Metrics.Faults; fs.Any() || res.StalledWorkers > 0 {
-		t.AddRow("faults", fmt.Sprintf("%d crashes, %d restarts, %d timeouts", fs.Crashes, fs.Restarts, fs.Timeouts))
-		t.AddRow("iterations lost/recovered", fmt.Sprintf("%d / %d", fs.LostIters, fs.RecoveredIters))
-		if res.Net.DroppedMsgs > 0 {
-			t.AddRow("messages dropped", fmt.Sprintf("%d (%s)", res.Net.DroppedMsgs, report.FmtBytes(float64(res.Net.DroppedBytes))))
-		}
-		if res.StalledWorkers > 0 {
-			t.AddRow("stalled workers", strconv.Itoa(res.StalledWorkers)+" (run never finished; throughput reported as 0)")
-		}
-	}
-	if f.Real {
-		t.AddRow("final test accuracy", report.Fmt(res.FinalTestAcc, 4))
-		t.AddRow("final train loss", report.Fmt(res.FinalTrainLoss, 4))
-	}
-	fmt.Print(t.String())
-
-	if f.Real && len(res.Metrics.Trace) > 0 {
-		fig := report.Figure{Title: "convergence (test error vs iteration)"}
-		s := fig.NewSeries("test-err")
-		for _, tp := range res.Metrics.Trace {
-			s.Add(float64(tp.Iter), tp.TestErr)
-		}
+	fmt.Print(report.ResultTable(res, speedupBase).String())
+	if fig := report.ConvergenceFigure(res); fig != nil {
 		fmt.Println()
 		fmt.Print(fig.String())
 	}
 }
 
-// printLive reports a live run: the Summary in JSON mode, a wall-clock
-// metrics table otherwise.
-func printLive(f *cli.Flags, res *live.Result, jsonOut bool) {
-	if jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(res.Summary()); err != nil {
-			cli.Fatal(err)
-		}
-		return
+// speedupBase computes the single-GPU samples/s baseline from the flags'
+// cost-model profile (0 hides the speedup row if the profile is unknown —
+// the run itself would have failed first).
+func speedupBase(f *cli.Flags) float64 {
+	profile, err := costmodel.ProfileByName(f.Model)
+	if err != nil {
+		return 0
 	}
-	t := report.Table{Title: fmt.Sprintf("%s live (%s), %d workers", f.Algo, res.Transport, f.Workers),
-		Header: []string{"metric", "value"}}
-	t.AddRow("wall time", report.Fmt(res.WallSec, 3)+" s")
-	t.AddRow("throughput", report.Fmt(res.Throughput, 1)+" samples/s (wall)")
-	t.AddRow("frames sent", strconv.FormatInt(res.Net.FramesSent, 10))
-	t.AddRow("bytes sent", report.FmtBytes(float64(res.Net.BytesSent)))
-	if res.Net.Kills > 0 || res.Net.Redials > 0 {
-		t.AddRow("connection kills/redials", fmt.Sprintf("%d / %d", res.Net.Kills, res.Net.Redials))
-	}
-	if res.Net.Partitioned > 0 {
-		t.AddRow("partition-stalled sends", strconv.FormatInt(res.Net.Partitioned, 10))
-	}
-	if res.Deaths > 0 || res.Rejoins > 0 {
-		t.AddRow("deaths/rejoins/restores", fmt.Sprintf("%d / %d / %d",
-			res.Deaths, res.Rejoins, res.Restores))
-	}
-	t.AddRow("final test accuracy", report.Fmt(res.FinalTestAcc, 4))
-	t.AddRow("final train loss", report.Fmt(res.FinalTrainLoss, 4))
-	fmt.Print(t.String())
+	return cli.SpeedupBase(costmodel.NewWorkload(profile, costmodel.TitanV(), 128))
 }
 
 // runSweep re-runs the configuration at each worker count and prints the

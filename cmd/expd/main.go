@@ -1,0 +1,71 @@
+// Command expd is the experiment control-plane daemon: a long-lived HTTP
+// service that accepts api.ExperimentSpec submissions, runs them across the
+// simulator and live backends with bounded concurrency, streams per-iteration
+// metrics over SSE, and persists every result under -statedir so the record
+// survives restarts.
+//
+// Usage:
+//
+//	expd -listen :7070 -statedir /var/lib/expd -concurrency 4
+//
+// Submit with the CLI (disttrain -server http://host:7070 ...) or plain curl:
+//
+//	curl -d '{"algo":"bsp","workers":4}' http://host:7070/v1/experiments
+//
+// See docs/CONTROLPLANE.md for the API reference.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"disttrain/internal/ctlplane"
+)
+
+func main() {
+	listen := flag.String("listen", ":7070", "HTTP listen address")
+	stateDir := flag.String("statedir", "", "directory for persisted experiment artifacts (empty = in-memory only)")
+	concurrency := flag.Int("concurrency", 4, "experiments run simultaneously")
+	queueDepth := flag.Int("queue", 256, "accepted-but-not-started experiments held before submissions are rejected")
+	flag.Parse()
+
+	svc, err := ctlplane.NewService(ctlplane.ServiceOptions{
+		StateDir:    *stateDir,
+		Concurrency: *concurrency,
+		QueueDepth:  *queueDepth,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "expd:", err)
+		os.Exit(1)
+	}
+	httpSrv := ctlplane.NewHTTPServer(*listen, ctlplane.NewMux(svc))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// The service comes up before the listener binds, so the API never
+	// accepts a submission the worker pool isn't ready to take.
+	var group ctlplane.Group
+	group.Add("service", svc).Add("http", httpSrv)
+	if err := group.Start(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "expd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("expd: serving on %s (state %s, concurrency %d)\n",
+		httpSrv.BoundAddr, orDash(*stateDir), *concurrency)
+
+	<-ctx.Done()
+	fmt.Println("expd: shutting down (in-flight experiments drain; queued ones resume on restart)")
+	group.Wait()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "in-memory"
+	}
+	return s
+}

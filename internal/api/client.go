@@ -1,0 +1,202 @@
+package api
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client speaks the control plane's HTTP API (cmd/expd). The zero value is
+// unusable; set Base to the service URL (e.g. "http://127.0.0.1:7070").
+type Client struct {
+	// Base is the service URL without a trailing slash.
+	Base string
+	// HTTPClient overrides the transport; nil uses http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimSuffix(c.Base, "/") + path
+}
+
+// apiError decodes the service's {"error": ...} body into a Go error.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("api: %s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("api: %s: %s", resp.Status, bytes.TrimSpace(body))
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a spec and returns the accepted experiment's status record.
+func (c *Client) Submit(ctx context.Context, spec ExperimentSpec) (*ExperimentStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/experiments"), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, apiError(resp)
+	}
+	st := new(ExperimentStatus)
+	return st, json.NewDecoder(resp.Body).Decode(st)
+}
+
+// Get fetches one experiment's status.
+func (c *Client) Get(ctx context.Context, id string) (*ExperimentStatus, error) {
+	st := new(ExperimentStatus)
+	return st, c.getJSON(ctx, "/v1/experiments/"+id, st)
+}
+
+// List fetches every experiment, optionally filtered by lifecycle state.
+func (c *Client) List(ctx context.Context, state string) ([]*ExperimentStatus, error) {
+	path := "/v1/experiments"
+	if state != "" {
+		path += "?state=" + state
+	}
+	var out []*ExperimentStatus
+	return out, c.getJSON(ctx, path, &out)
+}
+
+// ResultJSON fetches the finished experiment's RunResult as the service's
+// exact bytes — the byte-identity contract with a direct RunResult.WriteJSON
+// export holds on this form.
+func (c *Client) ResultJSON(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/experiments/"+id+"/result"), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Result fetches and decodes the finished experiment's RunResult.
+func (c *Client) Result(ctx context.Context, id string) (*RunResult, error) {
+	data, err := c.ResultJSON(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	r := new(RunResult)
+	return r, json.Unmarshal(data, r)
+}
+
+// StreamMetrics subscribes to the experiment's SSE metric stream, invoking
+// fn for every point (the full backlog replays first, then live samples).
+// It returns nil once the service signals the stream complete, or the
+// context/transport error that ended it early.
+func (c *Client) StreamMetrics(ctx context.Context, id string, fn func(MetricPoint)) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/experiments/"+id+"/metrics"), nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	event, data := "", ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			// Blank line dispatches the buffered event.
+			if event == "done" {
+				return nil
+			}
+			if event == "metric" && data != "" {
+				var p MetricPoint
+				if err := json.Unmarshal([]byte(data), &p); err != nil {
+					return fmt.Errorf("api: bad metric event: %w", err)
+				}
+				fn(p)
+			}
+			event, data = "", ""
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("api: metric stream ended without done event")
+}
+
+// Wait polls until the experiment reaches a terminal state and returns its
+// final status (which includes the Result for successful runs).
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*ExperimentStatus, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Get(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if TerminalState(st.State) {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+}

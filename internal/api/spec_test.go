@@ -1,0 +1,79 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestNormalizeDefaults verifies the defaulting contract: a minimal spec and
+// its fully spelled-out equivalent derive the same configuration.
+func TestNormalizeDefaults(t *testing.T) {
+	s := ExperimentSpec{Algo: "bsp"}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Version != SpecVersion || s.Workers != 8 || s.Model != "resnet50" ||
+		s.Iters != 30 || s.Transport != TransportSim {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+	if s.Staleness == nil || *s.Staleness != 3 {
+		t.Fatalf("staleness default: %v", s.Staleness)
+	}
+	// Idempotent: normalizing again must not change anything.
+	before := s
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if *s.Staleness != *before.Staleness {
+		t.Fatal("Normalize is not idempotent on Staleness")
+	}
+}
+
+// TestNormalizeRejections covers spec-level syntax errors: missing algo,
+// future version, unknown transport.
+func TestNormalizeRejections(t *testing.T) {
+	for name, s := range map[string]ExperimentSpec{
+		"missing algo":      {},
+		"future version":    {Version: "v99", Algo: "bsp"},
+		"unknown transport": {Algo: "bsp", Transport: "carrier-pigeon"},
+	} {
+		s := s
+		if err := s.Normalize(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestValidatedRejectsBadAlgo verifies Validated runs the transport's full
+// validation, not just spec syntax.
+func TestValidatedRejectsBadAlgo(t *testing.T) {
+	s := ExperimentSpec{Algo: "not-an-algo", Workers: 2}
+	if _, err := s.Validated(); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	// Live transports require real gradient math.
+	s = ExperimentSpec{Algo: "bsp", Workers: 2, Transport: TransportChan}
+	if _, err := s.Validated(); err == nil {
+		t.Fatal("live transport without Real accepted")
+	}
+}
+
+// TestRunDeterministic verifies the exported JSON of two identical sim runs
+// is byte-identical — the contract every control-plane comparison rests on.
+func TestRunDeterministic(t *testing.T) {
+	spec := ExperimentSpec{Algo: "asp", Workers: 4, Iters: 10, Seed: 7}
+	var bufs [2]bytes.Buffer
+	for i := range bufs {
+		res, err := Run(context.Background(), spec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.WriteJSON(&bufs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+		t.Fatalf("repeated runs diverged:\n%s\n%s", bufs[0].Bytes(), bufs[1].Bytes())
+	}
+}

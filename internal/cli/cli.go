@@ -1,8 +1,14 @@
 // Package cli holds the flag and setup boilerplate shared by cmd/disttrain
-// and the runnable examples: experiment-flag registration, config assembly,
-// cluster selection, fault-schedule loading, signal-aware contexts, and
-// run-or-die helpers. Keeping it in one place means every entry point
-// exposes the same knobs with the same semantics.
+// and the runnable examples: experiment-flag registration, spec/config
+// assembly, fault-schedule loading, signal-aware contexts, and run-or-die
+// helpers. Keeping it in one place means every entry point exposes the same
+// knobs with the same semantics.
+//
+// Flags no longer assemble a core.Config directly: Spec builds the
+// canonical api.ExperimentSpec first (the same document the HTTP control
+// plane accepts), and Config derives the runtime configuration from it —
+// so a flag-driven local run and a spec submitted to cmd/expd go through
+// one derivation path.
 package cli
 
 import (
@@ -13,25 +19,21 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
-	"runtime"
 	"syscall"
-	"time"
 
+	"disttrain/internal/api"
 	"disttrain/internal/cluster"
 	"disttrain/internal/core"
 	"disttrain/internal/costmodel"
 	"disttrain/internal/data"
 	"disttrain/internal/fault"
-	"disttrain/internal/grad"
 	"disttrain/internal/live"
-	"disttrain/internal/nn"
-	"disttrain/internal/opt"
 	"disttrain/internal/rng"
 )
 
 // Flags is the bundle of experiment flags shared by the CLI tools. Register
-// binds them onto a FlagSet; Config assembles a validated-ready core.Config
-// after parsing.
+// binds them onto a FlagSet; Spec assembles the canonical ExperimentSpec
+// after parsing, and Config derives a validated-ready core.Config from it.
 type Flags struct {
 	Algo      string
 	Workers   int
@@ -48,11 +50,13 @@ type Flags struct {
 	GossipP   float64
 	LR        float64
 
-	Real    bool
-	Dataset string
-	Net     string
-	Batch   int
-	Pool    int
+	Real     bool
+	Dataset  string
+	Net      string
+	Batch    int
+	Pool     int
+	AugShift int
+	AugFlip  float64
 
 	FaultSpec string
 	FaultFile string
@@ -94,6 +98,8 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.Net, "net", "minicnn", "real mode model: mlp|minicnn|miniresnet|minivgg")
 	fs.IntVar(&f.Batch, "batch", 8, "real mode per-worker batch size")
 	fs.IntVar(&f.Pool, "pool", 0, "compute pool goroutines for real gradient math (0 = one per CPU, <0 = serial inline); results are identical for every value")
+	fs.IntVar(&f.AugShift, "augshift", 0, "real mode augmentation: max per-axis pixel shift (0 = off)")
+	fs.Float64Var(&f.AugFlip, "augflip", 0, "real mode augmentation: horizontal-flip probability (0 = off)")
 
 	fs.StringVar(&f.FaultSpec, "faults", "", "fault schedule spec, e.g. 'crash@iter20:w3:restart=5;drop@10:p=0.05:for=60'")
 	fs.StringVar(&f.FaultFile, "faultsjson", "", "JSON file with a fault schedule ({\"events\": [...]})")
@@ -111,66 +117,65 @@ func Register(fs *flag.FlagSet) *Flags {
 	return f
 }
 
-// Config assembles a core.Config from the parsed flags. The config is not
-// yet validated — core.Run validates it — but schedule files are read and
-// parsed here so syntax errors surface before any simulation starts.
-func (f *Flags) Config() (core.Config, error) {
-	profile, err := costmodel.ProfileByName(f.Model)
-	if err != nil {
-		return core.Config{}, err
-	}
-	cfg := core.Config{
-		Algo:       core.Algo(f.Algo),
-		Cluster:    Cluster(f.Gbps, f.Workers),
+// Spec assembles the canonical api.ExperimentSpec from the parsed flags —
+// the same document a -server run submits to cmd/expd. Schedule files are
+// read here (the spec carries plain data, not file paths), so syntax errors
+// surface before any run or submission starts.
+func (f *Flags) Spec() (api.ExperimentSpec, error) {
+	staleness := f.Staleness
+	spec := api.ExperimentSpec{
+		Version:    api.SpecVersion,
+		Algo:       f.Algo,
 		Workers:    f.Workers,
-		Workload:   costmodel.NewWorkload(profile, costmodel.TitanV(), 128),
+		Model:      f.Model,
+		Gbps:       f.Gbps,
 		Iters:      f.Iters,
 		Seed:       f.Seed,
-		Momentum:   0.9,
-		LR:         opt.Schedule{Base: f.LR},
-		Staleness:  f.Staleness,
+		LR:         f.LR,
+		Staleness:  &staleness,
 		Tau:        f.Tau,
 		GossipP:    f.GossipP,
-		Sharding:   core.Sharding(f.Shard),
+		Sharding:   f.Shard,
 		WaitFreeBP: f.WFBP,
+		DGC:        f.DGC,
 		LocalAgg:   f.LocalAgg,
-
-		Elastic:           f.Elastic,
-		BarrierTimeoutSec: f.Timeout,
-
-		PoolSize: PoolSize(f.Pool),
+		FaultSpec:  f.FaultSpec,
+		Elastic:    f.Elastic,
+		TimeoutSec: f.Timeout,
+		Transport:  f.Transport,
+		Pool:       f.Pool,
+		CkptDir:    f.CkptDir,
+		CkptEvery:  f.CkptEvery,
+		SlowUnitMS: f.SlowUnitMS,
 	}
-	cfg.Faults, err = LoadFaults(f.FaultSpec, f.FaultFile)
+	if f.FaultFile != "" {
+		sched, err := LoadFaults("", f.FaultFile)
+		if err != nil {
+			return api.ExperimentSpec{}, err
+		}
+		spec.Faults = sched
+	}
+	if f.Real {
+		spec.Real = &api.RealSpec{
+			Dataset:     f.Dataset,
+			Net:         f.Net,
+			Batch:       f.Batch,
+			AugShift:    f.AugShift,
+			AugFlipProb: f.AugFlip,
+		}
+	}
+	return spec, nil
+}
+
+// Config derives a core.Config from the parsed flags by way of the
+// canonical spec, so local flag-driven runs and HTTP submissions share one
+// derivation path. The config is not yet validated — core.Run validates it.
+func (f *Flags) Config() (core.Config, error) {
+	spec, err := f.Spec()
 	if err != nil {
 		return core.Config{}, err
 	}
-	if f.DGC {
-		d := grad.DefaultDGC(0.9, f.Iters/5)
-		cfg.DGC = &d
-	}
-	if f.Real {
-		r := rng.New(f.Seed * 31)
-		ds, err := data.ByName(f.Dataset, r, 4000)
-		if err != nil {
-			return core.Config{}, err
-		}
-		trainDS, testDS := ds.Split(r.Split(1), 600)
-		factory, err := nn.FactoryByName(f.Net, ds.Classes)
-		if err != nil {
-			return core.Config{}, err
-		}
-		cfg.WeightDecay = 1e-4
-		cfg.LR = opt.Schedule{Base: f.LR, WarmupIters: f.Iters / 20}
-		cfg.Real = &core.RealConfig{
-			Factory:   factory,
-			Train:     trainDS,
-			Test:      testDS,
-			Batch:     f.Batch,
-			EvalEvery: max(1, f.Iters/10),
-			EvalMax:   500,
-		}
-	}
-	return cfg, nil
+	return spec.Config()
 }
 
 // LoadFaults builds a fault schedule from a compact spec string and/or a
@@ -202,28 +207,13 @@ func LoadFaults(spec, file string) (*fault.Schedule, error) {
 	return s, nil
 }
 
-// PoolSize resolves the -pool flag into core.Config.PoolSize: 0 asks for one
-// compute goroutine per available CPU, a negative value forces the serial
-// inline path, and positive values pass through. Training results are
-// bit-identical for every resolution; only wall time changes.
-func PoolSize(flag int) int {
-	switch {
-	case flag < 0:
-		return 0
-	case flag == 0:
-		return runtime.GOMAXPROCS(0)
-	}
-	return flag
-}
+// PoolSize resolves the -pool flag into core.Config.PoolSize. Kept as an
+// alias of api.PoolSize for the examples that call it directly.
+func PoolSize(flag int) int { return api.PoolSize(flag) }
 
 // Cluster returns the paper's 56 Gbps InfiniBand cluster shape for gbps >=
 // 56 and the 10 Gbps Ethernet shape otherwise.
-func Cluster(gbps float64, workers int) cluster.Config {
-	if gbps >= 56 {
-		return cluster.Paper56G(workers)
-	}
-	return cluster.Paper10G(workers)
-}
+func Cluster(gbps float64, workers int) cluster.Config { return api.Cluster(gbps, workers) }
 
 // Context returns a context canceled on SIGINT/SIGTERM, so an interrupted
 // run unwinds through core.Run's cancellation path instead of dying
@@ -235,14 +225,8 @@ func Context() (context.Context, context.CancelFunc) {
 // LiveOptions translates the checkpoint and slow-unit flags into live run
 // options.
 func (f *Flags) LiveOptions() []live.Option {
-	var opts []live.Option
-	if f.CkptDir != "" {
-		opts = append(opts, live.WithCheckpoints(f.CkptDir, f.CkptEvery))
-	}
-	if f.SlowUnitMS > 0 {
-		opts = append(opts, live.WithSlowUnit(time.Duration(f.SlowUnitMS*float64(time.Millisecond))))
-	}
-	return opts
+	spec := api.ExperimentSpec{CkptDir: f.CkptDir, CkptEvery: f.CkptEvery, SlowUnitMS: f.SlowUnitMS}
+	return spec.LiveOptions()
 }
 
 // RunLive dispatches a live (wall-clock) run according to the transport

@@ -169,6 +169,12 @@ type Config struct {
 	// (compute spans per worker, message spans per machine); write it out
 	// with Tracer.WriteJSON and open in chrome://tracing or Perfetto.
 	Tracer *trace.Tracer
+	// Progress, when non-nil, is called with every convergence sample the
+	// run records (real mode only; the samples also accumulate in
+	// Result.Metrics.Trace). Calls happen on the simulation goroutine in
+	// deterministic order — the callback must not block on the run itself.
+	// With RealConfig.EvalEvery = 1 this streams per-iteration metrics.
+	Progress func(metrics.TracePoint)
 	// Faults, when non-nil and non-empty, injects the scheduled faults
 	// (crashes, slowdowns, link degradation, drops, partitions) into the
 	// run. The whole schedule is seed-reproducible: identical Config +

@@ -594,13 +594,17 @@ func (x *exp) evalGlobal(iter int) {
 		loss /= float64(cnt)
 	}
 	epoch := float64(iter*x.cfg.Real.Batch*x.cfg.Workers) / float64(x.cfg.Real.Train.N())
-	x.col.AddTrace(metrics.TracePoint{
+	tp := metrics.TracePoint{
 		Iter:       iter,
 		Epoch:      epoch,
 		VirtualSec: x.eng.Now(),
 		TrainLoss:  loss,
 		TestErr:    1 - acc,
-	})
+	}
+	x.col.AddTrace(tp)
+	if x.cfg.Progress != nil {
+		x.cfg.Progress(tp)
+	}
 }
 
 // globalParams returns the parameters of the evaluated global model.

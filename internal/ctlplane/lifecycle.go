@@ -1,0 +1,97 @@
+// Package ctlplane is the experiment control plane: a long-lived service
+// that accepts api.ExperimentSpec submissions over HTTP/JSON, queues them,
+// runs them with bounded concurrency across the simulator and the live
+// runtime, streams per-iteration metrics to subscribers, and persists every
+// result as a JSON artifact that survives service restarts.
+//
+// The daemon (cmd/expd) is composed from lifecycle Components in the spirit
+// of flow-go's node builder: each long-lived part declares an explicit
+// Start/Ready/Done contract and a Group starts them in dependency order and
+// shuts them down in reverse.
+package ctlplane
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Component is one long-lived part of the daemon with an explicit
+// lifecycle. Start launches the component's work and returns promptly
+// (errors here abort daemon startup); Ready closes once the component is
+// fully operational (listeners bound, workers launched); Done closes after
+// the component has fully shut down in response to context cancellation.
+type Component interface {
+	Start(ctx context.Context) error
+	Ready() <-chan struct{}
+	Done() <-chan struct{}
+}
+
+// Lifecycle is an embeddable helper implementing the Ready/Done halves of
+// Component: the embedding type calls MarkReady when operational and
+// MarkDone after shutdown. Both are idempotent.
+type Lifecycle struct {
+	readyOnce, doneOnce sync.Once
+	ready, done         chan struct{}
+}
+
+// NewLifecycle returns an initialized Lifecycle (required — the zero value
+// has nil channels).
+func NewLifecycle() Lifecycle {
+	return Lifecycle{ready: make(chan struct{}), done: make(chan struct{})}
+}
+
+// MarkReady closes the Ready channel.
+func (l *Lifecycle) MarkReady() { l.readyOnce.Do(func() { close(l.ready) }) }
+
+// MarkDone closes the Done channel.
+func (l *Lifecycle) MarkDone() { l.doneOnce.Do(func() { close(l.done) }) }
+
+// Ready implements Component.
+func (l *Lifecycle) Ready() <-chan struct{} { return l.ready }
+
+// Done implements Component.
+func (l *Lifecycle) Done() <-chan struct{} { return l.done }
+
+// Group composes named Components into one startup/shutdown sequence:
+// Start launches them in order, waiting for each to become Ready before
+// starting the next (so e.g. the HTTP listener only binds after the
+// experiment service is accepting work), and Done resolves only after every
+// component has shut down.
+type Group struct {
+	names      []string
+	components []Component
+}
+
+// Add appends a named component; order of Add calls is startup order.
+func (g *Group) Add(name string, c Component) *Group {
+	g.names = append(g.names, name)
+	g.components = append(g.components, c)
+	return g
+}
+
+// Start brings every component up in order. If a component fails to start
+// or the context is cancelled mid-startup, the error is returned and
+// already-started components wind down via the shared context.
+func (g *Group) Start(ctx context.Context) error {
+	for i, c := range g.components {
+		if err := c.Start(ctx); err != nil {
+			return fmt.Errorf("ctlplane: start %s: %w", g.names[i], err)
+		}
+		select {
+		case <-c.Ready():
+		case <-ctx.Done():
+			return fmt.Errorf("ctlplane: cancelled waiting for %s: %w", g.names[i], ctx.Err())
+		}
+	}
+	return nil
+}
+
+// Wait blocks until every component reports Done (components shut down when
+// the context passed to Start is cancelled). Waiting runs in reverse start
+// order, mirroring dependency teardown.
+func (g *Group) Wait() {
+	for i := len(g.components) - 1; i >= 0; i-- {
+		<-g.components[i].Done()
+	}
+}

@@ -1,0 +1,95 @@
+package ctlplane
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"disttrain/internal/api"
+)
+
+// Store persists one JSON artifact per experiment under a state directory,
+// so the control plane's record of submissions and results survives service
+// restarts. Writes are atomic (temp file + rename), so a crash mid-write
+// never leaves a truncated artifact.
+type Store struct {
+	dir string
+}
+
+// NewStore opens (creating if needed) the state directory. An empty dir
+// returns a nil store, on which Save/Load are no-ops — the in-memory-only
+// mode tests and ephemeral runs use.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ctlplane: state dir: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+func (s *Store) path(id string) string {
+	return filepath.Join(s.dir, id+".json")
+}
+
+// Save writes the experiment's full status artifact atomically.
+func (s *Store) Save(st *api.ExperimentStatus) error {
+	if s == nil {
+		return nil
+	}
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, "."+st.ID+"-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), s.path(st.ID))
+}
+
+// Load reads every persisted experiment, sorted by ID (submission order,
+// since IDs are zero-padded sequence numbers).
+func (s *Store) Load() ([]*api.ExperimentStatus, error) {
+	if s == nil {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []*api.ExperimentStatus
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || strings.HasPrefix(name, ".") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.dir, name))
+		if err != nil {
+			return nil, err
+		}
+		st := new(api.ExperimentStatus)
+		if err := json.Unmarshal(data, st); err != nil {
+			return nil, fmt.Errorf("ctlplane: artifact %s: %w", name, err)
+		}
+		if st.ID == "" {
+			return nil, fmt.Errorf("ctlplane: artifact %s: missing id", name)
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}

@@ -24,6 +24,7 @@
 package live
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -38,6 +39,12 @@ import (
 // hung or dead peer surfaces as an error instead of a silent stall. Large
 // enough that CI-grade machines under -race never trip it in healthy runs.
 const recvTimeout = 60 * time.Second
+
+// ErrScheduledDeath is returned by RunWorker under WithExitOnDeath when the
+// worker reaches a scheduled crash: the process state is already torn down
+// and the caller should exit, leaving the restart to an external supervisor
+// (RunWorkerRejoin).
+var ErrScheduledDeath = errors.New("live: worker stopped at scheduled death (relaunch with RunWorkerRejoin)")
 
 // Validate checks that cfg can run on the live path. It normalizes the
 // config through core's Validate first, then rejects everything the live
@@ -94,12 +101,15 @@ func Validate(cfg *core.Config) error {
 }
 
 // Options tunes the live runtime beyond the shared core.Config: the
-// checkpoint cadence workers and the PS write their state with, and the
-// fault-projection slow unit. Build one with the With* functional options
-// accepted by every entry point.
+// checkpoint cadence workers and the PS write their state with, the
+// fault-projection slow unit, progress reporting, and the external-restart
+// policy. Build one with the With* functional options accepted by every
+// entry point.
 type Options struct {
-	ckpt     nn.Cadence
-	slowUnit time.Duration
+	ckpt        nn.Cadence
+	slowUnit    time.Duration
+	progress    func(rank, iter int, loss float64)
+	exitOnDeath bool
 }
 
 // Option mutates Options; pass any number to the Run* entry points.
@@ -116,6 +126,28 @@ func WithCheckpoints(dir string, every int) Option {
 // when projecting slow/degrade faults; 0 keeps xport.DefaultSlowUnit.
 func WithSlowUnit(unit time.Duration) Option {
 	return func(o *Options) { o.slowUnit = unit }
+}
+
+// WithProgress registers a per-iteration progress callback: fn is called
+// after every completed worker iteration with the worker's rank, the
+// iteration number, and the current training-loss EWMA. Workers run
+// concurrently, so fn must be safe for concurrent use; it runs on the
+// worker's goroutine and must not block. Only in-process entry points
+// (RunLoopback, RunChan) can observe every worker; in a multi-process run
+// each process reports its own ranks.
+func WithProgress(fn func(rank, iter int, loss float64)) Option {
+	return func(o *Options) { o.progress = fn }
+}
+
+// WithExitOnDeath makes a scheduled crash terminate the worker entry point
+// with ErrScheduledDeath instead of restarting in-process: the process
+// state is torn down abruptly (mesh and control connections closed
+// mid-protocol, exactly what a killed process leaves behind) and the error
+// surfaces to the caller, which is expected to exit. An external supervisor
+// then relaunches the rank with RunWorkerRejoin — the multi-process
+// crash/restart story, exercised end-to-end by the CI rejoin test.
+func WithExitOnDeath() Option {
+	return func(o *Options) { o.exitOnDeath = true }
 }
 
 func buildOptions(opts []Option) *Options {

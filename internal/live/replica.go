@@ -165,17 +165,24 @@ func (r *liveReplica) saveState(path string, step, draws int) error {
 		LossInit: r.lossInit,
 		Velocity: r.localO.Velocity(),
 	}
+	if r.augRNG != nil {
+		st.AugRNG = r.augRNG.State()
+		st.AugRNGSet = true
+	}
 	return nn.SaveState(path, r.model, st)
 }
 
 // restoreState loads a checkpoint written by saveState into the replica:
-// parameters and momentum in place, loss EWMA, and the sampler
-// fast-forwarded by the checkpointed draw count. NewSampler shuffles
-// deterministically from the shard stream and Next reshuffles on epoch
-// boundaries only as a function of the draw count, so replaying Draws calls
-// on a freshly built replica reproduces the dead worker's exact stream
-// position. Returns the checkpointed step so the caller knows where to
-// resume.
+// parameters and momentum in place, loss EWMA, the sampler fast-forwarded
+// by the checkpointed draw count, and the augmentation RNG restored to its
+// exact checkpointed state. NewSampler shuffles deterministically from the
+// shard stream and Next reshuffles on epoch boundaries only as a function
+// of the draw count, so replaying Draws calls on a freshly built replica
+// reproduces the dead worker's exact stream position; the augmentation
+// stream advances a data-dependent number of times per batch, so it is
+// restored from raw state rather than replayed (v1 checkpoints predate that
+// section and leave the fresh stream in place). Returns the checkpointed
+// step so the caller knows where to resume.
 func (r *liveReplica) restoreState(path string) (step, draws int, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -189,6 +196,9 @@ func (r *liveReplica) restoreState(path string) (step, draws int, err error) {
 	r.lossEWMA, r.lossInit = st.Loss, st.LossInit
 	for i := uint64(0); i < st.Draws; i++ {
 		r.sampler.Next()
+	}
+	if st.AugRNGSet && r.augRNG != nil {
+		r.augRNG.SetState(st.AugRNG)
 	}
 	return int(st.Step), int(st.Draws), nil
 }

@@ -205,6 +205,11 @@ func (l *life) run() error {
 			l.prev.add(l.mesh.Stats())
 			l.mesh.Close()
 			l.link.c.Close()
+			if l.o != nil && l.o.exitOnDeath {
+				// External-restart mode: the supervisor owns the relaunch
+				// (RunWorkerRejoin); this process is done.
+				return ErrScheduledDeath
+			}
 			next := l.w.ch.nextAlive(rank, d.it)
 			if next == 0 || next > cfg.Iters {
 				return nil

@@ -54,6 +54,10 @@ type worker struct {
 	draws     int
 	prog      atomic.Int64
 	ckpt      nn.Cadence
+
+	// onProgress, when non-nil, observes every completed iteration
+	// (Options.progress).
+	onProgress func(rank, iter int, loss float64)
 }
 
 func newWorker(cfg *core.Config, rank int, ep xport.Endpoint, o *Options) *worker {
@@ -72,8 +76,22 @@ func newWorker(cfg *core.Config, rank int, ep xport.Endpoint, o *Options) *worke
 	}
 	if o != nil {
 		w.ckpt = o.ckpt
+		w.onProgress = o.progress
 	}
 	return w
+}
+
+// note records the completion of iteration it: the worker's own counter,
+// the progress cell the heartbeat goroutine publishes to the coordinator,
+// and the optional Options.progress observer. Every algorithm loop calls it
+// exactly once per completed iteration.
+func (w *worker) note(it int) {
+	w.iters = it
+	w.prog.Store(int64(it))
+	if w.onProgress != nil {
+		loss, _ := w.rep.loss()
+		w.onProgress(w.rank, it, loss)
+	}
 }
 
 // deathErr signals a scheduled crash: the worker reached an iteration its
@@ -216,8 +234,7 @@ func (w *worker) runBSP() error {
 			return err
 		}
 		w.rep.setParams(f.Vec)
-		w.iters = it
-		w.prog.Store(int64(it))
+		w.note(it)
 		if err := w.maybeCheckpoint(it); err != nil {
 			return err
 		}
@@ -238,7 +255,7 @@ func (w *worker) runASP() error {
 			return err
 		}
 		w.rep.setParams(f.Vec)
-		w.iters = it
+		w.note(it)
 	}
 	return nil
 }
@@ -308,7 +325,7 @@ func (w *worker) runSSP() error {
 				lastMin = it - s
 			}
 		}
-		w.iters = it
+		w.note(it)
 	}
 	return nil
 }
@@ -329,7 +346,7 @@ func (w *worker) runEASGD() error {
 			}
 			w.rep.setParams(f.Vec)
 		}
-		w.iters = it
+		w.note(it)
 	}
 	return nil
 }
@@ -368,8 +385,7 @@ func (w *worker) runARSGD() error {
 			agg[i] *= inv
 		}
 		w.rep.localStep(agg, cfg.LR.At(it-1))
-		w.iters = it
-		w.prog.Store(int64(it))
+		w.note(it)
 		if err := w.maybeCheckpoint(it); err != nil {
 			return err
 		}
@@ -410,7 +426,7 @@ func (w *worker) runGoSGD() error {
 				return err
 			}
 		}
-		w.iters = it
+		w.note(it)
 	}
 	return nil
 }
@@ -438,7 +454,7 @@ func (w *worker) runADPSGD() error {
 		for it := 1; it <= cfg.Iters; it++ {
 			g := w.rep.gradPass()
 			w.rep.localStep(g, cfg.LR.At(it-1))
-			w.iters = it
+			w.note(it)
 		}
 		return nil
 	}
@@ -452,7 +468,7 @@ func (w *worker) runADPSGD() error {
 		g := w.rep.gradPass()
 		w.rep.localStep(g, cfg.LR.At(it-1))
 		tokens <- it
-		w.iters = it
+		w.note(it)
 	}
 	tokens <- -1
 	return <-commErr

@@ -20,12 +20,19 @@ import (
 //	draws    uint64  mini-batches drawn from the sampler so far
 //	loss     float64 training-loss EWMA
 //	lossInit uint8   1 if the EWMA has been seeded
+//	augSet   uint8   1 if an augmentation-RNG state follows   (v2+)
+//	aug      [4]uint64 raw xoshiro words of the aug stream    (v2+, if augSet)
 //	nVel     uint32  optimizer velocity length (0 = none saved)
 //	vel      []float32
 //	model    Save() stream
+//
+// Version history: v1 had no augmentation-RNG section; v2 added it so a
+// restored worker replays the exact augmentation sequence the dead one
+// would have drawn. LoadState still reads v1 checkpoints (AugRNGSet stays
+// false); SaveState always writes v2.
 const (
 	stateMagic   = 0x44545354 // "DTST"
-	stateVersion = 1
+	stateVersion = 2
 )
 
 // TrainState is the extra training state a live worker checkpoints beyond
@@ -41,6 +48,14 @@ type TrainState struct {
 	// Loss and LossInit carry the training-loss EWMA across the restart.
 	Loss     float64
 	LossInit bool
+	// AugRNG is the data-augmentation stream's raw RNG state (rng.State),
+	// valid when AugRNGSet is true. Unlike the sampler — which replays by
+	// fast-forwarding Draws — the augmentation stream advances a
+	// data-dependent number of times per batch, so only the exact state
+	// restores it. Checkpoints from runs without augmentation (and all v1
+	// checkpoints) leave AugRNGSet false.
+	AugRNG    [4]uint64
+	AugRNGSet bool
 	// Velocity is the optimizer's momentum buffer (nil to skip).
 	Velocity []float32
 }
@@ -91,6 +106,18 @@ func writeState(w io.Writer, m *Model, st *TrainState) error {
 	if err := binary.Write(bw, binary.LittleEndian, li); err != nil {
 		return err
 	}
+	var as uint8
+	if st.AugRNGSet {
+		as = 1
+	}
+	if err := binary.Write(bw, binary.LittleEndian, as); err != nil {
+		return err
+	}
+	if st.AugRNGSet {
+		if err := binary.Write(bw, binary.LittleEndian, st.AugRNG[:]); err != nil {
+			return err
+		}
+	}
 	if err := writeU32(uint32(len(st.Velocity))); err != nil {
 		return err
 	}
@@ -131,8 +158,8 @@ func LoadState(path string, m *Model) (*TrainState, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != stateVersion {
-		return nil, fmt.Errorf("nn: unsupported training-state version %d", version)
+	if version < 1 || version > stateVersion {
+		return nil, fmt.Errorf("nn: unsupported training-state version %d (this build reads 1..%d)", version, stateVersion)
 	}
 	st := &TrainState{}
 	if err := binary.Read(br, binary.LittleEndian, &st.Step); err != nil {
@@ -151,6 +178,18 @@ func LoadState(path string, m *Model) (*TrainState, error) {
 		return nil, err
 	}
 	st.LossInit = li == 1
+	if version >= 2 {
+		var as uint8
+		if err := binary.Read(br, binary.LittleEndian, &as); err != nil {
+			return nil, err
+		}
+		if as == 1 {
+			if err := binary.Read(br, binary.LittleEndian, st.AugRNG[:]); err != nil {
+				return nil, err
+			}
+			st.AugRNGSet = true
+		}
+	}
 	nVel, err := readU32()
 	if err != nil {
 		return nil, err

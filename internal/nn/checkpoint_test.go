@@ -1,0 +1,158 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"disttrain/internal/rng"
+)
+
+// TestTrainStateRoundTrip saves the full v2 training state — counters,
+// EWMA, augmentation-RNG state, velocity, model — and verifies every field
+// restores exactly.
+func TestTrainStateRoundTrip(t *testing.T) {
+	m := NewMLP(rng.New(3), 2, 8, 2)
+	vel := make([]float32, m.NumParams())
+	for i := range vel {
+		vel[i] = float32(i) * 0.25
+	}
+	aug := rng.New(99)
+	aug.Uint64() // mid-stream state, not a fresh seed
+	st := &TrainState{
+		Step:      12,
+		Draws:     17,
+		Loss:      0.625,
+		LossInit:  true,
+		AugRNG:    aug.State(),
+		AugRNGSet: true,
+		Velocity:  vel,
+	}
+	want := m.FlatParams(nil)
+	path := filepath.Join(t.TempDir(), "w.ckpt")
+	if err := SaveState(path, m, st); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := NewMLP(rng.New(77), 2, 8, 2)
+	got, err := LoadState(path, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != st.Step || got.Draws != st.Draws || got.Loss != st.Loss || got.LossInit != st.LossInit {
+		t.Fatalf("counters mismatch: got %+v want %+v", got, st)
+	}
+	if !got.AugRNGSet || got.AugRNG != st.AugRNG {
+		t.Fatalf("aug RNG state mismatch: got set=%v %v want %v", got.AugRNGSet, got.AugRNG, st.AugRNG)
+	}
+	for i := range vel {
+		if got.Velocity[i] != vel[i] {
+			t.Fatalf("velocity mismatch at %d", i)
+		}
+	}
+	for i, p := range m2.FlatParams(nil) {
+		if p != want[i] {
+			t.Fatalf("model params mismatch at %d", i)
+		}
+	}
+}
+
+// TestTrainStateNoAug verifies a state saved without an augmentation stream
+// round-trips with AugRNGSet false (the flag distinguishes "no aug" from
+// "aug at the zero state").
+func TestTrainStateNoAug(t *testing.T) {
+	m := NewMLP(rng.New(4), 2, 4, 2)
+	path := filepath.Join(t.TempDir(), "w.ckpt")
+	if err := SaveState(path, m, &TrainState{Step: 3, Draws: 3}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadState(path, NewMLP(rng.New(4), 2, 4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AugRNGSet {
+		t.Fatal("AugRNGSet true for a checkpoint saved without augmentation")
+	}
+}
+
+// TestLoadStateReadsV1 hand-encodes the legacy v1 layout (no
+// augmentation-RNG section) and verifies LoadState still reads it — the
+// compatibility contract the v2 bump documents.
+func TestLoadStateReadsV1(t *testing.T) {
+	m := NewMLP(rng.New(5), 2, 4, 2)
+	vel := make([]float32, 3)
+	vel[0], vel[1], vel[2] = 1, 2, 3
+	path := filepath.Join(t.TempDir(), "v1.ckpt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := bufio.NewWriter(f)
+	for _, v := range []uint32{stateMagic, 1} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(9)); err != nil { // step
+		t.Fatal(err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(11)); err != nil { // draws
+		t.Fatal(err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint8(1)); err != nil { // lossInit
+		t.Fatal(err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(vel))); err != nil {
+		t.Fatal(err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, vel); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := LoadState(path, NewMLP(rng.New(6), 2, 4, 2))
+	if err != nil {
+		t.Fatalf("v1 checkpoint rejected: %v", err)
+	}
+	if got.Step != 9 || got.Draws != 11 || got.Loss != 0.5 || !got.LossInit {
+		t.Fatalf("v1 fields mismatch: %+v", got)
+	}
+	if got.AugRNGSet {
+		t.Fatal("v1 checkpoint produced AugRNGSet true")
+	}
+	if len(got.Velocity) != 3 || got.Velocity[2] != 3 {
+		t.Fatalf("v1 velocity mismatch: %v", got.Velocity)
+	}
+}
+
+// TestLoadStateRejectsFutureVersion guards the version check.
+func TestLoadStateRejectsFutureVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v9.ckpt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []uint32{stateMagic, 9} {
+		if err := binary.Write(f, binary.LittleEndian, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+	if _, err := LoadState(path, NewMLP(rng.New(1), 2, 4, 2)); err == nil {
+		t.Fatal("future-version checkpoint accepted")
+	}
+}

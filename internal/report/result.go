@@ -1,0 +1,92 @@
+package report
+
+import (
+	"fmt"
+	"strconv"
+
+	"disttrain/internal/api"
+)
+
+// ResultTable renders the unified api.RunResult as the standard metrics
+// table — the one rendering path simulator and live runs share, whether the
+// result came from a local run or from the control plane's result endpoint.
+// speedupBase, when positive, is the single-GPU samples/s baseline used for
+// the speedup row (cost-model runs); 0 omits the row.
+func ResultTable(res *api.RunResult, speedupBase float64) *Table {
+	s := &res.Summary
+	t := &Table{
+		Title: fmt.Sprintf("%s on %s, %d workers (%s, %gGbps)",
+			s.Algo, s.Model, s.Workers, res.Transport, s.InterGbps),
+		Header: []string{"metric", "value"},
+	}
+	if res.Transport == api.TransportSim {
+		t.AddRow("virtual time", Fmt(s.VirtualSec, 3)+" s")
+		t.AddRow("throughput", Fmt(s.Throughput, 1)+" samples/s")
+	} else {
+		t.AddRow("wall time", Fmt(res.WallSec, 3)+" s")
+		t.AddRow("throughput", Fmt(s.Throughput, 1)+" samples/s (wall)")
+	}
+	if speedupBase > 0 {
+		t.AddRow("speedup vs 1 GPU", Fmt(s.Throughput/speedupBase, 2)+"x")
+	}
+	t.AddRow("total traffic", FmtBytes(float64(s.TotalBytes)))
+	if s.BytesPerIterPerWorker > 0 {
+		t.AddRow("bytes/iter/worker", FmtBytes(s.BytesPerIterPerWorker))
+	}
+	if total := s.ComputeSec + s.LocalAggSec + s.GlobalAggSec + s.NetworkSec; total > 0 {
+		for _, ph := range []struct {
+			name string
+			sec  float64
+		}{
+			{"compute", s.ComputeSec},
+			{"local-agg", s.LocalAggSec},
+			{"global-agg", s.GlobalAggSec},
+			{"network", s.NetworkSec},
+		} {
+			t.AddRow("time: "+ph.name, fmt.Sprintf("%s s (%.0f%%)", Fmt(ph.sec, 3), 100*ph.sec/total))
+		}
+	}
+	if fs := s.Faults; fs.Any() || s.StalledWorkers > 0 {
+		t.AddRow("faults", fmt.Sprintf("%d crashes, %d restarts, %d timeouts", fs.Crashes, fs.Restarts, fs.Timeouts))
+		t.AddRow("iterations lost/recovered", fmt.Sprintf("%d / %d", fs.LostIters, fs.RecoveredIters))
+		if s.DroppedMsgs > 0 {
+			t.AddRow("messages dropped", fmt.Sprintf("%d (%s)", s.DroppedMsgs, FmtBytes(float64(s.DroppedBytes))))
+		}
+		if s.StalledWorkers > 0 {
+			t.AddRow("stalled workers", strconv.Itoa(s.StalledWorkers)+" (run never finished; throughput reported as 0)")
+		}
+	}
+	if n := res.Net; n != nil {
+		t.AddRow("frames sent", strconv.FormatInt(n.FramesSent, 10))
+		t.AddRow("bytes sent", FmtBytes(float64(n.BytesSent)))
+		if n.Kills > 0 || n.Redials > 0 {
+			t.AddRow("connection kills/redials", fmt.Sprintf("%d / %d", n.Kills, n.Redials))
+		}
+		if n.Partitioned > 0 {
+			t.AddRow("partition-stalled sends", strconv.FormatInt(n.Partitioned, 10))
+		}
+	}
+	if res.Deaths > 0 || res.Rejoins > 0 {
+		t.AddRow("deaths/rejoins/restores", fmt.Sprintf("%d / %d / %d", res.Deaths, res.Rejoins, res.Restores))
+	}
+	if s.FinalTestAcc != 0 || s.FinalTrainLoss != 0 || len(s.Trace) > 0 {
+		t.AddRow("final test accuracy", Fmt(s.FinalTestAcc, 4))
+		t.AddRow("final train loss", Fmt(s.FinalTrainLoss, 4))
+	}
+	return t
+}
+
+// ConvergenceFigure renders the result's convergence trace (test error vs
+// iteration), or nil when the run recorded no trace (cost-only and live
+// runs).
+func ConvergenceFigure(res *api.RunResult) *Figure {
+	if len(res.Summary.Trace) == 0 {
+		return nil
+	}
+	fig := &Figure{Title: "convergence (test error vs iteration)"}
+	s := fig.NewSeries("test-err")
+	for _, tp := range res.Summary.Trace {
+		s.Add(float64(tp.Iter), tp.TestErr)
+	}
+	return fig
+}

@@ -45,6 +45,21 @@ func New(seed uint64) *RNG {
 	return r
 }
 
+// State returns the generator's raw xoshiro256** state words, so a stream
+// can be checkpointed mid-sequence and resumed exactly with SetState.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState restores a state captured by State: the generator continues the
+// original stream from exactly where the capture happened. The all-zero
+// state (invalid for xoshiro) is replaced with New(0)'s state.
+func (r *RNG) SetState(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		*r = *New(0)
+		return
+	}
+	r.s = s
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.
