@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"disttrain/internal/cluster"
@@ -53,8 +54,12 @@ type record struct {
 	GoVersion  string `json:"go_version"`
 	NumCPU     int    `json:"num_cpu"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
-	Reps       int    `json:"reps"`
-	Cells      []cell `json:"cells"`
+	// DegradedHost flags artifacts recorded on a single-core host, where
+	// every pooled configuration collapses to serial execution and the
+	// pool-size comparison measures scheduling overhead, not parallelism.
+	DegradedHost bool   `json:"degraded_host,omitempty"`
+	Reps         int    `json:"reps"`
+	Cells        []cell `json:"cells"`
 }
 
 func main() {
@@ -90,11 +95,20 @@ func main() {
 	}
 
 	rec := record{
-		Date:       time.Now().Format("2006-01-02"),
-		GoVersion:  runtime.Version(),
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Reps:       *reps,
+		Date:         time.Now().Format("2006-01-02"),
+		GoVersion:    runtime.Version(),
+		NumCPU:       runtime.NumCPU(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		DegradedHost: runtime.NumCPU() == 1,
+		Reps:         *reps,
+	}
+	if rec.DegradedHost {
+		fmt.Fprintln(os.Stderr, strings.Repeat("=", 72))
+		fmt.Fprintln(os.Stderr, "WARNING: single-core host (runtime.NumCPU() == 1).")
+		fmt.Fprintln(os.Stderr, "Every pool size runs serially here, so pool-size comparisons measure")
+		fmt.Fprintln(os.Stderr, "scheduling overhead, not parallel speedup. The artifact is stamped")
+		fmt.Fprintln(os.Stderr, `"degraded_host": true; do not use it to compare pooled throughput.`)
+		fmt.Fprintln(os.Stderr, strings.Repeat("=", 72))
 	}
 	baseline := map[string]float64{}
 	for _, algo := range []core.Algo{core.BSP, core.ASP} {

@@ -35,6 +35,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -43,6 +45,7 @@ import (
 	"disttrain/internal/cli"
 	"disttrain/internal/core"
 	"disttrain/internal/costmodel"
+	"disttrain/internal/live"
 	"disttrain/internal/report"
 	"disttrain/internal/trace"
 )
@@ -50,19 +53,24 @@ import (
 func main() {
 	f := cli.Register(flag.CommandLine)
 	var (
-		jsonOut  = flag.Bool("json", false, "emit the unified RunResult JSON instead of tables")
-		sweep    = flag.String("sweep", "", "comma-separated worker counts; runs the config per count and prints a speedup figure (cost-only)")
-		traceOut = flag.String("traceout", "", "write a Chrome trace (chrome://tracing) of the run to this path")
-		server   = flag.String("server", "", "submit to a control-plane service at this URL (cmd/expd) instead of running locally")
+		jsonOut       = flag.Bool("json", false, "emit the unified RunResult JSON instead of tables")
+		sweep         = flag.String("sweep", "", "comma-separated worker counts; runs the config per count and prints a speedup figure (cost-only)")
+		tracePath     = flag.String("trace", "", "write a Chrome trace (chrome://tracing) of the run to this path; virtual-time spans for -transport=sim, wall-clock spans for tcp/chan")
+		metricsListen = flag.String("metricslisten", "", "serve Prometheus-text GET /metrics on this address for the duration of a live run (e.g. 127.0.0.1:9102)")
+		server        = flag.String("server", "", "submit to a control-plane service at this URL (cmd/expd) instead of running locally")
 	)
+	flag.StringVar(tracePath, "traceout", "", "deprecated alias for -trace")
 	flag.Parse()
 
 	ctx, stop := cli.Context()
 	defer stop()
 
 	if *server != "" {
-		if *sweep != "" || *traceOut != "" || f.Role != "" || f.Rejoin >= 0 {
-			cli.Fatal(fmt.Errorf("-sweep, -traceout, -role and -rejoin are local-only (the service runs whole experiments)"))
+		if err := traceServerError(*tracePath, *server); err != nil {
+			cli.Fatal(err)
+		}
+		if *sweep != "" || *metricsListen != "" || f.Role != "" || f.Rejoin >= 0 {
+			cli.Fatal(fmt.Errorf("-sweep, -metricslisten, -role and -rejoin are local-only (the service runs whole experiments; cmd/expd serves its own /metrics)"))
 		}
 		runRemote(ctx, f, *server, *jsonOut)
 		return
@@ -74,46 +82,100 @@ func main() {
 	}
 
 	if f.Transport != "sim" {
-		if *sweep != "" || *traceOut != "" {
-			cli.Fatal(fmt.Errorf("-sweep and -traceout are simulator-only"))
+		if *sweep != "" {
+			cli.Fatal(fmt.Errorf("-sweep is simulator-only"))
 		}
-		res, err := f.RunLive(cfg)
+		var extra []live.Option
+		var tracer *trace.Tracer
+		if *tracePath != "" {
+			tracer = trace.New()
+			extra = append(extra, live.WithTracer(tracer))
+		}
+		if *metricsListen != "" {
+			m := live.NewMetrics()
+			serveMetrics(*metricsListen, m)
+			extra = append(extra, live.WithMetrics(m))
+		}
+		res, err := f.RunLive(cfg, extra...)
 		if err != nil {
 			cli.Fatal(err)
 		}
+		// Worker roles return a nil Result (the coordinator owns it) but
+		// still traced their own ranks, so the trace is written regardless.
+		if tracer != nil {
+			writeTrace(tracer, *tracePath)
+		}
 		if res == nil {
-			return // worker role: the coordinator process owns the Result
+			return
 		}
 		printResult(api.FromLive(res), speedupBase(f), *jsonOut)
 		return
 	}
 
+	if *metricsListen != "" {
+		cli.Fatal(fmt.Errorf("-metricslisten is live-only (sim runs have no transport to scrape; use -transport tcp or chan)"))
+	}
 	if *sweep != "" {
+		if *tracePath != "" {
+			cli.Fatal(fmt.Errorf("-trace captures a single run; it cannot combine with -sweep"))
+		}
 		runSweep(ctx, cfg, *sweep, f.Gbps)
 		return
 	}
 
 	var tracer *trace.Tracer
-	if *traceOut != "" {
+	if *tracePath != "" {
 		tracer = trace.New()
 		cfg.Tracer = tracer
 	}
 
 	res := cli.MustRun(ctx, cfg)
 	if tracer != nil {
-		w, err := os.Create(*traceOut)
-		if err != nil {
-			cli.Fatal(err)
-		}
-		if err := tracer.WriteJSON(w); err != nil {
-			cli.Fatal(err)
-		}
-		if err := w.Close(); err != nil {
-			cli.Fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "trace written to %s (open in chrome://tracing)\n", *traceOut)
+		writeTrace(tracer, *tracePath)
 	}
 	printResult(api.FromCore(res), speedupBase(f), *jsonOut)
+}
+
+// traceServerError rejects the one -trace combination that cannot work:
+// submission to a control-plane service, which runs the experiment in its
+// own process and has nowhere to write the caller's local trace file.
+// Returns nil when either flag is unset.
+func traceServerError(tracePath, server string) error {
+	if tracePath == "" || server == "" {
+		return nil
+	}
+	return fmt.Errorf("-trace is local-only: the service at %s runs the experiment in its own process and cannot write %s (run without -server to capture a trace)", server, tracePath)
+}
+
+// writeTrace writes the collected trace to path, dying on any I/O error —
+// a requested trace must never be silently dropped.
+func writeTrace(tr *trace.Tracer, path string) {
+	w, err := os.Create(path)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	if err := tr.WriteJSON(w); err != nil {
+		cli.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		cli.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "trace written to %s (open in chrome://tracing)\n", path)
+}
+
+// serveMetrics exposes the live collector on addr for the duration of the
+// run: `curl http://addr/metrics`. The listener dies with the process; a
+// bind failure is fatal so a requested scrape endpoint never silently
+// fails to exist.
+func serveMetrics(addr string, m *live.Metrics) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		cli.Fatal(fmt.Errorf("-metricslisten %s: %w", addr, err))
+	}
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", m)
+	fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", ln.Addr())
+	go http.Serve(ln, mux)
 }
 
 // runRemote submits the flags' spec to a control-plane service, streams its

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTraceServerError enforces the fail-fast contract for the one
+// unsupported -trace combination: -server must be rejected loudly, while
+// every supported combination passes.
+func TestTraceServerError(t *testing.T) {
+	err := traceServerError("out.json", "http://127.0.0.1:7070")
+	if err == nil {
+		t.Fatal("-trace with -server must error, not silently no-op")
+	}
+	for _, want := range []string{"-trace", "out.json", "http://127.0.0.1:7070"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+	if err := traceServerError("out.json", ""); err != nil {
+		t.Errorf("local -trace rejected: %v", err)
+	}
+	if err := traceServerError("", "http://127.0.0.1:7070"); err != nil {
+		t.Errorf("traceless -server rejected: %v", err)
+	}
+	if err := traceServerError("", ""); err != nil {
+		t.Errorf("no flags rejected: %v", err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"disttrain/internal/core"
 	"disttrain/internal/live"
 	"disttrain/internal/metrics"
+	"disttrain/internal/trace"
 )
 
 func numCPU() int { return runtime.GOMAXPROCS(0) }
@@ -165,6 +166,10 @@ type RunOptions struct {
 	// LiveOptions are appended to the options derived from the spec for
 	// live backends.
 	LiveOptions []live.Option
+	// Tracer, when non-nil, captures a Chrome trace of the run on either
+	// time source: virtual-time spans from the simulator, wall-clock spans
+	// from the live runtimes. The caller owns writing it out (WriteJSON).
+	Tracer *trace.Tracer
 }
 
 // LiveOptions translates the spec's checkpoint and slow-unit fields into
@@ -218,6 +223,9 @@ func Run(ctx context.Context, spec ExperimentSpec, o *RunOptions) (*RunResult, e
 		opts := spec.LiveOptions()
 		if o != nil {
 			opts = append(opts, o.LiveOptions...)
+			if o.Tracer != nil {
+				opts = append(opts, live.WithTracer(o.Tracer))
+			}
 		}
 		start := time.Now()
 		if onMetric != nil {
@@ -241,6 +249,9 @@ func Run(ctx context.Context, spec ExperimentSpec, o *RunOptions) (*RunResult, e
 		}
 		return FromLive(res), nil
 	default:
+		if o != nil && o.Tracer != nil {
+			cfg.Tracer = o.Tracer
+		}
 		if onMetric != nil {
 			cfg.Progress = func(tp metrics.TracePoint) {
 				onMetric(MetricPoint{

@@ -230,11 +230,12 @@ func (f *Flags) LiveOptions() []live.Option {
 }
 
 // RunLive dispatches a live (wall-clock) run according to the transport
-// and role flags. A nil Result with nil error means this process was a
+// and role flags, with any extra options (tracing, metrics) appended to the
+// flag-derived ones. A nil Result with nil error means this process was a
 // worker: it trained to completion, and the coordinator process owns the
 // run's Result.
-func (f *Flags) RunLive(cfg core.Config) (*live.Result, error) {
-	opts := f.LiveOptions()
+func (f *Flags) RunLive(cfg core.Config, extra ...live.Option) (*live.Result, error) {
+	opts := append(f.LiveOptions(), extra...)
 	switch f.Transport {
 	case "chan":
 		if f.Role != "" {

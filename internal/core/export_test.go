@@ -53,6 +53,32 @@ func TestWriteJSONRoundTrips(t *testing.T) {
 	}
 }
 
+// TestTraceExportByteIdentical re-runs the same simulation and requires the
+// exported Chrome trace to match byte for byte. Every worker's iteration-0
+// compute span starts at ts 0, so this exercises exactly the equal-timestamp
+// tie the old Ts-only sort.Slice left unordered.
+func TestTraceExportByteIdentical(t *testing.T) {
+	export := func() []byte {
+		tr := trace.New()
+		cfg := costConfig(BSP, 8, 6)
+		cfg.Tracer = tr
+		if _, err := Run(context.Background(), cfg); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	first := export()
+	for rep := 0; rep < 3; rep++ {
+		if got := export(); !bytes.Equal(first, got) {
+			t.Fatalf("trace export differs across identical runs (rep %d)", rep)
+		}
+	}
+}
+
 func TestTracerCapturesTimeline(t *testing.T) {
 	tr := trace.New()
 	cfg := costConfig(ASP, 4, 5)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"disttrain/internal/api"
+	"disttrain/internal/metrics"
 )
 
 // NewMux builds the control plane's HTTP API on a standard ServeMux:
@@ -20,6 +21,7 @@ import (
 //	GET  /v1/experiments/{id}/metrics SSE metric stream (replay + live)
 //	GET  /v1/experiments/{id}/result  the raw RunResult JSON
 //	GET  /healthz                     liveness probe
+//	GET  /metrics                     Prometheus-text operational metrics
 //
 // See docs/CONTROLPLANE.md for the full API reference.
 func NewMux(s *Service) *http.ServeMux {
@@ -83,7 +85,29 @@ func NewMux(s *Service) *http.ServeMux {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		serveServiceMetrics(w, s)
+	})
 	return mux
+}
+
+// serveServiceMetrics renders one Prometheus-text scrape of the service's
+// operational state (see docs/OBSERVABILITY.md for the metric reference).
+func serveServiceMetrics(w http.ResponseWriter, s *Service) {
+	sm := s.Metrics()
+	w.Header().Set("Content-Type", metrics.PromContentType)
+	e := metrics.NewPromEncoder(w)
+	e.Family("disttrain_ctlplane_queue_depth", "Experiments accepted but not yet started.", "gauge")
+	e.Sample("disttrain_ctlplane_queue_depth", nil, float64(sm.QueueDepth))
+	e.Family("disttrain_ctlplane_worker_concurrency", "Size of the experiment worker pool.", "gauge")
+	e.Sample("disttrain_ctlplane_worker_concurrency", nil, float64(sm.Concurrency))
+	e.Family("disttrain_ctlplane_experiments", "Experiments known to the service, by lifecycle state.", "gauge")
+	for _, st := range []string{api.StateQueued, api.StateRunning, api.StateDone, api.StateFailed} {
+		e.Sample("disttrain_ctlplane_experiments",
+			[]metrics.PromLabel{{Name: "state", Value: st}}, float64(sm.States[st]))
+	}
+	e.Family("disttrain_ctlplane_experiments_submitted_total", "Experiments accepted over this service incarnation's life (reloaded ones included).", "counter")
+	e.Sample("disttrain_ctlplane_experiments_submitted_total", nil, float64(sm.Submitted))
 }
 
 // errQueueFull is Service.Submit's queue-full failure; the HTTP layer maps

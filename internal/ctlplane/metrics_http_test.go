@@ -1,0 +1,110 @@
+package ctlplane
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"disttrain/internal/api"
+)
+
+// promLine is the exposition-format lint applied to every /metrics line:
+// name{labels} value.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*")*\})? [-+]?([0-9.eE+-]+|Inf|NaN)$`)
+
+// scrapeMetrics GETs /metrics and returns each sample parsed into
+// name{labels} -> value, linting every line on the way.
+func scrapeMetrics(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := make(map[string]float64)
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("line fails exposition-format lint: %q", line)
+		}
+		key, val, _ := strings.Cut(line, " ")
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		samples[key] = v
+	}
+	return samples
+}
+
+// TestMetricsEndpoint scrapes /metrics before and after running an
+// experiment: the format must lint, the gauges must reflect the service
+// state, and counters must be monotonic across the two scrapes.
+func TestMetricsEndpoint(t *testing.T) {
+	client, _ := startService(t, ServiceOptions{Concurrency: 2})
+
+	before := scrapeMetrics(t, client.Base)
+	for _, want := range []string{
+		"disttrain_ctlplane_queue_depth",
+		"disttrain_ctlplane_worker_concurrency",
+		`disttrain_ctlplane_experiments{state="queued"}`,
+		`disttrain_ctlplane_experiments{state="running"}`,
+		`disttrain_ctlplane_experiments{state="done"}`,
+		`disttrain_ctlplane_experiments{state="failed"}`,
+		"disttrain_ctlplane_experiments_submitted_total",
+	} {
+		if _, ok := before[want]; !ok {
+			t.Errorf("scrape missing %s", want)
+		}
+	}
+	if v := before["disttrain_ctlplane_worker_concurrency"]; v != 2 {
+		t.Errorf("concurrency = %v, want 2", v)
+	}
+	if v := before["disttrain_ctlplane_experiments_submitted_total"]; v != 0 {
+		t.Errorf("submitted_total = %v before any submission", v)
+	}
+
+	ctx := context.Background()
+	st, err := client.Submit(ctx, simSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err = client.Wait(ctx, st.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != api.StateDone {
+		t.Fatalf("experiment state %s: %s", st.State, st.Error)
+	}
+
+	after := scrapeMetrics(t, client.Base)
+	for key, v := range before {
+		if !strings.Contains(key, "_total") {
+			continue
+		}
+		if after[key] < v {
+			t.Errorf("counter %s went backwards: %v -> %v", key, v, after[key])
+		}
+	}
+	if v := after["disttrain_ctlplane_experiments_submitted_total"]; v != 1 {
+		t.Errorf("submitted_total = %v after one submission", v)
+	}
+	if v := after[`disttrain_ctlplane_experiments{state="done"}`]; v != 1 {
+		t.Errorf("done gauge = %v after one completed experiment", v)
+	}
+}

@@ -242,6 +242,45 @@ func (s *Service) List(state string) []*api.ExperimentStatus {
 	return out
 }
 
+// ServiceMetrics is one point-in-time snapshot of the service's operational
+// state, rendered by the HTTP layer's /metrics endpoint.
+type ServiceMetrics struct {
+	// QueueDepth is how many accepted experiments are waiting for a worker.
+	QueueDepth int
+	// Concurrency is the size of the experiment worker pool.
+	Concurrency int
+	// Submitted counts every experiment this incarnation knows about,
+	// including ones reloaded from the state directory.
+	Submitted int
+	// States maps each lifecycle state to its current experiment count;
+	// all four states are always present.
+	States map[string]int
+}
+
+// Metrics snapshots the service's operational state for a scrape.
+func (s *Service) Metrics() ServiceMetrics {
+	s.mu.Lock()
+	exps := make([]*experiment, 0, len(s.exps))
+	for _, e := range s.exps {
+		exps = append(exps, e)
+	}
+	submitted := len(s.order)
+	s.mu.Unlock()
+	m := ServiceMetrics{
+		QueueDepth:  len(s.queue),
+		Concurrency: s.conc,
+		Submitted:   submitted,
+		States: map[string]int{
+			api.StateQueued: 0, api.StateRunning: 0,
+			api.StateDone: 0, api.StateFailed: 0,
+		},
+	}
+	for _, e := range exps {
+		m.States[e.snapshot().State]++
+	}
+	return m
+}
+
 // Hub returns the experiment's metric hub for streaming, or nil if the
 // experiment is unknown.
 func (s *Service) Hub(id string) *metricHub {

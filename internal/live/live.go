@@ -32,6 +32,7 @@ import (
 	"disttrain/internal/core"
 	"disttrain/internal/fault"
 	"disttrain/internal/nn"
+	"disttrain/internal/trace"
 	"disttrain/internal/xport"
 )
 
@@ -110,6 +111,8 @@ type Options struct {
 	slowUnit    time.Duration
 	progress    func(rank, iter int, loss float64)
 	exitOnDeath bool
+	tracer      *trace.Tracer
+	metrics     *Metrics
 }
 
 // Option mutates Options; pass any number to the Run* entry points.
@@ -148,6 +151,25 @@ func WithProgress(fn func(rank, iter int, loss float64)) Option {
 // crash/restart story, exercised end-to-end by the CI rejoin test.
 func WithExitOnDeath() Option {
 	return func(o *Options) { o.exitOnDeath = true }
+}
+
+// WithTracer records wall-clock spans for every in-process participant into
+// tr: compute and communication phases per worker rank (pid 0, tid = rank),
+// checkpoint saves/restores, the start barrier, and the coordinator's
+// rendezvous/heartbeat/rejoin activity (pid 1). The tracer's WriteJSON emits
+// the same Chrome trace format the simulator produces, so one viewer serves
+// both time sources. Only in-process entry points (RunLoopback, RunChan)
+// capture every participant; a multi-process run traces its own ranks.
+func WithTracer(tr *trace.Tracer) Option {
+	return func(o *Options) { o.tracer = tr }
+}
+
+// WithMetrics registers every in-process participant with m, the
+// Prometheus-text collector served on GET /metrics: workers contribute mesh
+// transport counters and iteration progress, the coordinator contributes the
+// PS endpoint counters and death/rejoin/done accounting.
+func WithMetrics(m *Metrics) Option {
+	return func(o *Options) { o.metrics = m }
 }
 
 func buildOptions(opts []Option) *Options {

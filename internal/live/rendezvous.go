@@ -6,9 +6,11 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"disttrain/internal/core"
+	"disttrain/internal/trace"
 	"disttrain/internal/xport"
 )
 
@@ -122,6 +124,10 @@ func coordinate(cfg *core.Config, ln net.Listener, o *Options) (*Result, error) 
 	fp := fingerprint(cfg)
 	ch := newChaos(cfg)
 
+	// The rendezvous span covers admission through the START broadcast: the
+	// coordinator's setup cost before any training happens.
+	spRdv := o.tracer.StartSpan("rendezvous", "coord", coordPid, 0)
+
 	conns := make([]net.Conn, 0, W)
 	defer func() {
 		for _, c := range conns {
@@ -180,6 +186,7 @@ func coordinate(cfg *core.Config, ln net.Listener, o *Options) (*Result, error) 
 		defer srvNet.Close()
 		addrs[W] = srvNet.Addr()
 		srvNet.SetPeers(addrs)
+		o.metrics.registerStats(W, srvNet.Stats)
 	}
 
 	peerList := strings.Join(addrs, ",")
@@ -202,6 +209,7 @@ func coordinate(cfg *core.Config, ln net.Listener, o *Options) (*Result, error) 
 			return nil, fmt.Errorf("live: start to worker %d: %w", rank, err)
 		}
 	}
+	spRdv.End()
 
 	var finalGlobal []float32
 	srvDone := make(chan error, 1)
@@ -217,8 +225,13 @@ func coordinate(cfg *core.Config, ln net.Listener, o *Options) (*Result, error) 
 	}
 
 	if ch != nil {
-		return coordinateChaos(cfg, ln, ch, conns, fp, peerList, start, srvDone, &finalGlobal, srvNet)
+		return coordinateChaos(cfg, ln, ch, conns, fp, peerList, start, srvDone, &finalGlobal, srvNet, o)
 	}
+
+	var doneCount atomic.Int64
+	o.metrics.registerCoord(func() coordSnapshot {
+		return coordSnapshot{done: doneCount.Load()}
+	})
 
 	// Collect DONEs. Reading the connections in rank order still waits for
 	// all of them; arrival order does not matter here.
@@ -228,6 +241,7 @@ func coordinate(cfg *core.Config, ln net.Listener, o *Options) (*Result, error) 
 		if err != nil {
 			return nil, fmt.Errorf("live: done from worker %d: %w", rank, err)
 		}
+		doneCount.Add(1)
 		var st doneStats
 		if len(f.Data) > 0 {
 			if err := json.Unmarshal(f.Data, &st); err != nil {
@@ -268,6 +282,7 @@ type runState struct {
 	fp       string
 	peerList string
 	start    time.Time
+	tr       *trace.Tracer // nil when tracing is off; all calls nil-safe
 
 	mu      sync.Mutex
 	conns   []net.Conn // current control conn per rank; nil while dead
@@ -302,6 +317,7 @@ func (st *runState) monitor(rank int, c net.Conn) {
 		}
 		switch f.Kind {
 		case kindHeartbeat:
+			st.tr.Mark("heartbeat", "coord", coordPid, rank)
 			st.mu.Lock()
 			if st.conns[rank] == c {
 				st.beat[rank] = time.Now()
@@ -353,6 +369,7 @@ func (st *runState) onDisconnect(rank int, c net.Conn) {
 		return
 	}
 	st.deaths++
+	st.tr.Mark("death", "coord", coordPid, rank)
 	if !st.ch.finishes(rank) {
 		// The schedule never revives this rank before the run ends:
 		// synthesize its report from the last heartbeat so the run can
@@ -400,6 +417,7 @@ func (st *runState) handleRejoin(c net.Conn) {
 		c.Close()
 		return
 	}
+	sp := st.tr.StartSpan("rejoin", "coord", coordPid, rank)
 	if old := st.conns[rank]; old != nil {
 		// The rejoin outran the old monitor's read error: count the death
 		// here and supersede the stale connection (its monitor stands down
@@ -414,9 +432,11 @@ func (st *runState) handleRejoin(c net.Conn) {
 	st.mu.Unlock()
 	if err := writeCtl(c, &xport.Frame{Kind: kindRejoinOK, Aux: elapsed,
 		Data: []byte(st.peerList)}); err != nil {
+		sp.End()
 		st.onDisconnect(rank, c)
 		return
 	}
+	sp.End()
 	go st.monitor(rank, c)
 }
 
@@ -461,15 +481,26 @@ func (st *runState) watchdog() {
 // acceptor re-admits restarted workers, and the watchdog bounds silence.
 func coordinateChaos(cfg *core.Config, ln net.Listener, ch *chaos, conns []net.Conn,
 	fp, peerList string, start time.Time, srvDone chan error, finalGlobal *[]float32,
-	srvNet *xport.TCPNet) (*Result, error) {
+	srvNet *xport.TCPNet, o *Options) (*Result, error) {
 	W := cfg.Workers
 	st := &runState{
-		cfg: cfg, ch: ch, fp: fp, peerList: peerList, start: start,
+		cfg: cfg, ch: ch, fp: fp, peerList: peerList, start: start, tr: o.tracer,
 		conns: conns, beat: make([]time.Time, W), iter: make([]int, W),
 		reports: make([]doneInfo, W), done: make([]bool, W),
 		doneCh: make(chan int, W), errCh: make(chan error, 1),
 		quit: make(chan struct{}),
 	}
+	o.metrics.registerCoord(func() coordSnapshot {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		var done int64
+		for _, d := range st.done {
+			if d {
+				done++
+			}
+		}
+		return coordSnapshot{deaths: st.deaths, rejoins: st.rejoins, done: done}
+	})
 	for r := 0; r < W; r++ {
 		go st.monitor(r, conns[r])
 	}

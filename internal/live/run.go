@@ -173,10 +173,13 @@ func (l *life) restart(next int) error {
 	l.mesh = mesh
 	l.w = newWorker(l.cfg, l.rank, mesh, l.o)
 	if l.o != nil && l.o.ckpt.Enabled() {
+		sp := l.w.span("restore", "ckpt")
 		if _, draws, err := l.w.rep.restoreState(l.o.ckpt.Path(l.rank)); err == nil {
 			l.w.draws = draws
 			l.prev.Restores++
+			l.o.metrics.addRestore()
 		}
+		sp.End()
 	}
 	l.w.startIter = next
 	return nil
@@ -299,10 +302,14 @@ func runWorkerConn(cfg *core.Config, conn net.Conn, meshListen string, o *Option
 		mesh.Close()
 		return fmt.Errorf("live: worker %d ready: %w", rank, err)
 	}
+	// The wait between READY and START is the run's admission barrier: its
+	// span length shows how long this rank idled for the slowest peer.
+	spBarrier := o.tracer.StartSpan("start-barrier", "barrier", workerPid, rank)
 	if _, err := readCtl(conn, kindStart); err != nil {
 		mesh.Close()
 		return fmt.Errorf("live: worker %d start: %w", rank, err)
 	}
+	spBarrier.End()
 	var plan *xport.FaultPlan
 	if p, perr := TranslateFaults(cfg.Faults, cfg.Seed+uint64(rank), cfg.Cluster,
 		cfg.Workers, o.slowUnit); perr == nil {
@@ -383,10 +390,13 @@ func RunWorkerRejoin(cfg core.Config, coordAddr string, rank int, opts ...Option
 	// Locate the resume point from the checkpoint: the first dead window
 	// after the checkpointed step is the death this relaunch recovers from.
 	step := 0
+	spRestore := l.w.span("restore", "ckpt")
 	if s, draws, rerr := l.w.rep.restoreState(o.ckpt.Path(rank)); rerr == nil {
 		step, l.w.draws = s, draws
 		l.prev.Restores++
+		o.metrics.addRestore()
 	}
+	spRestore.End()
 	die := 0
 	for it := step + 1; it <= cfg.Iters; it++ {
 		if !ch.aliveAt(rank, it) {

@@ -7,7 +7,19 @@ import (
 	"disttrain/internal/core"
 	"disttrain/internal/nn"
 	"disttrain/internal/rng"
+	"disttrain/internal/trace"
 	"disttrain/internal/xport"
+)
+
+// Trace track conventions for the live runtime: workers record on pid 0
+// with tid = rank, AD-PSGD communication threads on pid 0 with tid =
+// adpsgdCommTid+rank (their exchanges overlap the compute track), and the
+// coordinator on pid 1. The simulator uses pid = machine, so the two time
+// sources stay distinguishable in one viewer.
+const (
+	workerPid     = 0
+	coordPid      = 1
+	adpsgdCommTid = 1000
 )
 
 // meshSize is the number of xport ranks a run needs: one per worker, plus
@@ -58,6 +70,10 @@ type worker struct {
 	// onProgress, when non-nil, observes every completed iteration
 	// (Options.progress).
 	onProgress func(rank, iter int, loss float64)
+
+	// tr records wall-clock spans (nil when tracing is off; every
+	// trace call is nil-safe).
+	tr *trace.Tracer
 }
 
 func newWorker(cfg *core.Config, rank int, ep xport.Endpoint, o *Options) *worker {
@@ -77,8 +93,21 @@ func newWorker(cfg *core.Config, rank int, ep xport.Endpoint, o *Options) *worke
 	if o != nil {
 		w.ckpt = o.ckpt
 		w.onProgress = o.progress
+		w.tr = o.tracer
+		if o.metrics != nil {
+			o.metrics.registerProgress(rank, w.prog.Load)
+			if st, ok := ep.(statser); ok {
+				o.metrics.registerStats(rank, st.Stats)
+			}
+		}
 	}
 	return w
+}
+
+// span opens a wall-clock span on this worker's trace track; with tracing
+// off it returns a no-op span.
+func (w *worker) span(name, cat string) *trace.WallSpan {
+	return w.tr.StartSpan(name, cat, workerPid, w.rank)
 }
 
 // note records the completion of iteration it: the worker's own counter,
@@ -144,7 +173,17 @@ func (w *worker) maybeCheckpoint(it int) error {
 	if !w.ckpt.Due(it) {
 		return nil
 	}
+	sp := w.span("checkpoint", "ckpt")
+	defer sp.End()
 	return w.rep.saveState(w.ckpt.Path(w.rank), it, w.draws)
+}
+
+// gradSpan wraps one forward/backward pass in a compute span.
+func (w *worker) gradSpan() []float32 {
+	sp := w.span("compute", "compute")
+	g := w.rep.gradPass()
+	sp.End()
+	return g
 }
 
 // run executes the full training loop for the configured algorithm and
@@ -223,8 +262,9 @@ func (w *worker) runBSP() error {
 		if err := w.gate(it); err != nil {
 			return err
 		}
-		g := w.rep.gradPass()
+		g := w.gradSpan()
 		w.draws++
+		sp := w.span("ps-exchange", "comm")
 		if err := w.ep.Send(w.srv, &xport.Frame{Kind: kindGrad, From: int32(w.rank),
 			Clock: int32(it), Vec: g}); err != nil {
 			return err
@@ -233,6 +273,7 @@ func (w *worker) runBSP() error {
 		if err != nil {
 			return err
 		}
+		sp.End()
 		w.rep.setParams(f.Vec)
 		w.note(it)
 		if err := w.maybeCheckpoint(it); err != nil {
@@ -245,7 +286,8 @@ func (w *worker) runBSP() error {
 func (w *worker) runASP() error {
 	cfg := w.cfg
 	for it := 1; it <= cfg.Iters; it++ {
-		g := w.rep.gradPass()
+		g := w.gradSpan()
+		sp := w.span("ps-exchange", "comm")
 		if err := w.ep.Send(w.srv, &xport.Frame{Kind: kindGrad, From: int32(w.rank),
 			Clock: int32(it), Vec: g}); err != nil {
 			return err
@@ -254,6 +296,7 @@ func (w *worker) runASP() error {
 		if err != nil {
 			return err
 		}
+		sp.End()
 		w.rep.setParams(f.Vec)
 		w.note(it)
 	}
@@ -266,7 +309,7 @@ func (w *worker) runSSP() error {
 	lastMin := 0
 	sinceRefresh := 0
 	for it := 1; it <= cfg.Iters; it++ {
-		g := w.rep.gradPass()
+		g := w.gradSpan()
 		// Petuum-style SSP: apply locally, ship the resulting *update*.
 		before := w.rep.params()
 		w.rep.localStep(g, cfg.LR.At(it-1))
@@ -298,6 +341,7 @@ func (w *worker) runSSP() error {
 		if sinceRefresh > s || it-lastMin > s {
 			// Staleness bound exceeded: pull the global parameters and block
 			// until the PS's clock service releases us.
+			sp := w.span("ssp-sync", "comm")
 			if err := w.ep.Send(w.srv, &xport.Frame{Kind: kindPull, From: int32(w.rank),
 				Clock: int32(it)}); err != nil {
 				return err
@@ -319,6 +363,7 @@ func (w *worker) runSSP() error {
 				w.rep.setParams(f.Vec)
 				break
 			}
+			sp.End()
 			sinceRefresh = 0
 			if lastMin < it-s {
 				// The PS only releases when the bound holds.
@@ -333,9 +378,10 @@ func (w *worker) runSSP() error {
 func (w *worker) runEASGD() error {
 	cfg := w.cfg
 	for it := 1; it <= cfg.Iters; it++ {
-		g := w.rep.gradPass()
+		g := w.gradSpan()
 		w.rep.localStep(g, cfg.LR.At(it-1))
 		if it%cfg.Tau == 0 {
+			sp := w.span("easgd-sync", "comm")
 			if err := w.ep.Send(w.srv, &xport.Frame{Kind: kindEASGDPush, From: int32(w.rank),
 				Clock: int32(it), Vec: w.rep.params()}); err != nil {
 				return err
@@ -344,6 +390,7 @@ func (w *worker) runEASGD() error {
 			if err != nil {
 				return err
 			}
+			sp.End()
 			w.rep.setParams(f.Vec)
 		}
 		w.note(it)
@@ -369,9 +416,10 @@ func (w *worker) runARSGD() error {
 			nodes, self = w.ch.aliveNodes(it, w.rank)
 		}
 		inv := 1 / float32(len(nodes))
-		g := w.rep.gradPass()
+		g := w.gradSpan()
 		w.draws++
 		agg := append([]float32(nil), g...)
+		sp := w.span("allreduce", "comm")
 		var err error
 		if cfg.TreeAllReduce {
 			err = treeAllReduce(w.mb, nodes, self, int32(it), agg)
@@ -381,6 +429,7 @@ func (w *worker) runARSGD() error {
 		if err != nil {
 			return err
 		}
+		sp.End()
 		for i := range agg {
 			agg[i] *= inv
 		}
@@ -398,7 +447,7 @@ func (w *worker) runGoSGD() error {
 	W := cfg.Workers
 	r := w.algo
 	for it := 1; it <= cfg.Iters; it++ {
-		g := w.rep.gradPass()
+		g := w.gradSpan()
 		w.rep.localStep(g, cfg.LR.At(it-1))
 		for {
 			f, ok, err := w.mb.poll()
@@ -421,10 +470,12 @@ func (w *worker) runGoSGD() error {
 			half := w.weight / 2
 			w.weight = half
 			// Asymmetric push: fire and forget.
+			sp := w.span("gossip-push", "comm")
 			if err := w.ep.Send(t, &xport.Frame{Kind: kindGossip, From: int32(w.rank),
 				Clock: int32(it), Aux: half, Vec: w.rep.params()}); err != nil {
 				return err
 			}
+			sp.End()
 		}
 		w.note(it)
 	}
@@ -452,7 +503,7 @@ func (w *worker) runADPSGD() error {
 		// its mutex.
 		go w.adpsgdServe()
 		for it := 1; it <= cfg.Iters; it++ {
-			g := w.rep.gradPass()
+			g := w.gradSpan()
 			w.rep.localStep(g, cfg.LR.At(it-1))
 			w.note(it)
 		}
@@ -465,7 +516,7 @@ func (w *worker) runADPSGD() error {
 		commErr <- w.adpsgdActive(tokens, passive)
 	}()
 	for it := 1; it <= cfg.Iters; it++ {
-		g := w.rep.gradPass()
+		g := w.gradSpan()
 		w.rep.localStep(g, cfg.LR.At(it-1))
 		tokens <- it
 		w.note(it)
@@ -483,6 +534,9 @@ func (w *worker) adpsgdActive(tokens <-chan int, passive []int) error {
 			return nil
 		}
 		peer := passive[r.Intn(len(passive))]
+		// The communication thread overlaps the compute track, so its
+		// exchanges record on a separate tid.
+		sp := w.tr.StartSpan("adpsgd-exchange", "comm", workerPid, adpsgdCommTid+w.rank)
 		if err := w.ep.Send(peer, &xport.Frame{Kind: kindExchangeReq, From: int32(w.rank),
 			Clock: int32(it), Vec: w.rep.params()}); err != nil {
 			return err
@@ -491,6 +545,7 @@ func (w *worker) adpsgdActive(tokens <-chan int, passive []int) error {
 		if err != nil {
 			return err
 		}
+		sp.End()
 		w.rep.average(f.Vec)
 	}
 	return nil

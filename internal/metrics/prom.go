@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type a Prometheus text-format (0.0.4)
+// response carries.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromLabel is one name="value" pair on a sample.
+type PromLabel struct {
+	Name, Value string
+}
+
+// PromEncoder writes the Prometheus text exposition format (version 0.0.4)
+// without any client-library dependency: callers declare a metric family
+// (HELP + TYPE header) and then emit its samples. Errors are sticky — the
+// first write failure is retained and subsequent calls become no-ops — so
+// call sites can encode a whole page and check Err once.
+//
+//	e := metrics.NewPromEncoder(w)
+//	e.Family("disttrain_xport_frames_sent_total", "Frames sent.", "counter")
+//	e.Sample("disttrain_xport_frames_sent_total",
+//	    []metrics.PromLabel{{Name: "rank", Value: "0"}}, 42)
+//	return e.Err()
+type PromEncoder struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromEncoder returns an encoder writing to w.
+func NewPromEncoder(w io.Writer) *PromEncoder { return &PromEncoder{w: w} }
+
+// Family emits the # HELP and # TYPE header lines for one metric family.
+// typ is "counter" or "gauge" (Prometheus also defines histogram/summary,
+// which this encoder does not need). Newlines in help are flattened.
+func (e *PromEncoder) Family(name, help, typ string) {
+	if e.err != nil {
+		return
+	}
+	help = strings.ReplaceAll(strings.ReplaceAll(help, "\\", `\\`), "\n", `\n`)
+	_, e.err = fmt.Fprintf(e.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Sample emits one sample line: name{labels} value. Pass nil labels for an
+// unlabeled sample. Label values are escaped per the exposition format.
+func (e *PromEncoder) Sample(name string, labels []PromLabel, v float64) {
+	if e.err != nil {
+		return
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	if len(labels) > 0 {
+		sb.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(l.Name)
+			sb.WriteString(`="`)
+			sb.WriteString(escapePromLabel(l.Value))
+			sb.WriteByte('"')
+		}
+		sb.WriteByte('}')
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	sb.WriteByte('\n')
+	_, e.err = io.WriteString(e.w, sb.String())
+}
+
+// Err returns the first write error, or nil.
+func (e *PromEncoder) Err() error { return e.err }
+
+// escapePromLabel escapes a label value per the text format: backslash,
+// double quote, and newline.
+func escapePromLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var sb strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"errors"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// promLine matches one exposition-format sample line:
+// name{labels} value — the lint the observability tests apply to every
+// /metrics response.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*")*\})? [-+]?([0-9.eE+-]+|Inf|NaN)$`)
+
+func TestPromEncoderFormat(t *testing.T) {
+	var sb strings.Builder
+	e := NewPromEncoder(&sb)
+	e.Family("up_total", "Things that went\nup.", "counter")
+	e.Sample("up_total", nil, 3)
+	e.Sample("up_total", []PromLabel{{Name: "rank", Value: "0"}, {Name: "role", Value: "worker"}}, 42)
+	e.Family("depth", "Queue depth.", "gauge")
+	e.Sample("depth", []PromLabel{{Name: "q", Value: `a"b\c`}}, 0.5)
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := []string{
+		"# HELP up_total Things that went\\nup.",
+		"# TYPE up_total counter",
+		"up_total 3",
+		`up_total{rank="0",role="worker"} 42`,
+		"# TYPE depth gauge",
+		`depth{q="a\"b\\c"} 0.5`,
+	}
+	for _, w := range want {
+		if !strings.Contains(out, w) {
+			t.Fatalf("output missing %q:\n%s", w, out)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("line fails exposition-format lint: %q", line)
+		}
+	}
+}
+
+type failWriter struct{ err error }
+
+func (f failWriter) Write(p []byte) (int, error) { return 0, f.err }
+
+func TestPromEncoderStickyError(t *testing.T) {
+	sentinel := errors.New("disk full")
+	e := NewPromEncoder(failWriter{err: sentinel})
+	e.Family("a", "b", "gauge")
+	e.Sample("a", nil, 1)
+	if !errors.Is(e.Err(), sentinel) {
+		t.Fatalf("err = %v", e.Err())
+	}
+}

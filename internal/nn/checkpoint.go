@@ -64,6 +64,11 @@ type TrainState struct {
 // path atomically: the bytes land in a temporary file first and are renamed
 // into place, so a crash mid-write never leaves a truncated checkpoint.
 func SaveState(path string, m *Model, st *TrainState) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {

@@ -3,6 +3,12 @@
 // so a simulated training schedule — compute spans per worker, message
 // spans per NIC — can be inspected visually. One glance at an ASP trace
 // shows the PS ingress serialization the paper's Figure 3 quantifies.
+//
+// Two time sources feed one exporter: the DES records virtual-time spans
+// via Span (startSec/endSec are simulator seconds), while the live runtime
+// records wall-clock spans via StartSpan/End (real time, anchored to the
+// tracer's epoch). Both end up as the same Event shape, so one WriteJSON
+// serves both runtimes.
 package trace
 
 import (
@@ -10,10 +16,11 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Event is one complete ("X" phase) trace event. Times are microseconds of
-// virtual time.
+// virtual time (Span) or wall time since the tracer's epoch (StartSpan).
 type Event struct {
 	Name string  `json:"name"`
 	Cat  string  `json:"cat"`
@@ -24,12 +31,13 @@ type Event struct {
 	Tid  int     `json:"tid"`
 }
 
-// Tracer accumulates events. Methods are safe for use from the (single
-// threaded) simulation; the mutex guards against accidental cross-engine
-// sharing.
+// Tracer accumulates events. Methods are safe for concurrent use: the
+// single-threaded simulation and the many-goroutine live runtime share
+// this type.
 type Tracer struct {
 	mu     sync.Mutex
 	events []Event
+	epoch  time.Time // wall-clock zero for StartSpan spans; set on first use
 }
 
 // New creates an empty tracer.
@@ -50,6 +58,72 @@ func (t *Tracer) Span(name, cat string, startSec, endSec float64, pid, tid int) 
 	t.mu.Unlock()
 }
 
+// WallSpan is an in-progress wall-clock span opened by StartSpan and
+// recorded when End is called. A nil WallSpan (from a nil tracer) is a
+// no-op, so call sites never need to guard on tracing being enabled.
+type WallSpan struct {
+	t         *Tracer
+	name, cat string
+	pid, tid  int
+	start     time.Time
+}
+
+// StartSpan opens a wall-clock span on the (pid, tid) track. The tracer's
+// epoch — the wall instant that maps to ts 0 — is anchored by the first
+// StartSpan/Mark call, so exported timestamps are relative to the start of
+// the run rather than absolute time.
+func (t *Tracer) StartSpan(name, cat string, pid, tid int) *WallSpan {
+	if t == nil {
+		return nil
+	}
+	now := time.Now()
+	t.mu.Lock()
+	if t.epoch.IsZero() {
+		t.epoch = now
+	}
+	t.mu.Unlock()
+	return &WallSpan{t: t, name: name, cat: cat, pid: pid, tid: tid, start: now}
+}
+
+// End records the span as a complete event from its start to now.
+func (s *WallSpan) End() {
+	if s == nil || s.t == nil {
+		return
+	}
+	end := time.Now()
+	t := s.t
+	t.mu.Lock()
+	if t.epoch.IsZero() {
+		t.epoch = s.start
+	}
+	t.events = append(t.events, Event{
+		Name: s.name, Cat: s.cat, Ph: "X",
+		Ts:  s.start.Sub(t.epoch).Seconds() * 1e6,
+		Dur: end.Sub(s.start).Seconds() * 1e6,
+		Pid: s.pid, Tid: s.tid,
+	})
+	t.mu.Unlock()
+}
+
+// Mark records an instantaneous wall-clock event (a zero-duration span) at
+// the current time — heartbeats, rejoin admissions, and other point events.
+func (t *Tracer) Mark(name, cat string, pid, tid int) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	if t.epoch.IsZero() {
+		t.epoch = now
+	}
+	t.events = append(t.events, Event{
+		Name: name, Cat: cat, Ph: "X",
+		Ts:  now.Sub(t.epoch).Seconds() * 1e6,
+		Pid: pid, Tid: tid,
+	})
+	t.mu.Unlock()
+}
+
 // Len returns the number of recorded events.
 func (t *Tracer) Len() int {
 	t.mu.Lock()
@@ -57,12 +131,32 @@ func (t *Tracer) Len() int {
 	return len(t.events)
 }
 
-// WriteJSON emits the events as a Chrome trace array, sorted by timestamp.
+// WriteJSON emits the events as a Chrome trace array in a canonical order.
+// The sort is stable with a full (Ts, Pid, Tid, Name, Cat, Dur) key:
+// equal-timestamp events (every worker's iteration-0 spans start at ts 0,
+// and live goroutines append in scheduler order) would otherwise reorder
+// between runs, breaking the repo's byte-reproducibility contracts.
 func (t *Tracer) WriteJSON(w io.Writer) error {
 	t.mu.Lock()
 	evs := append([]Event(nil), t.events...)
 	t.mu.Unlock()
-	sort.Slice(evs, func(i, j int) bool { return evs[i].Ts < evs[j].Ts })
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		switch {
+		case a.Ts != b.Ts:
+			return a.Ts < b.Ts
+		case a.Pid != b.Pid:
+			return a.Pid < b.Pid
+		case a.Tid != b.Tid:
+			return a.Tid < b.Tid
+		case a.Name != b.Name:
+			return a.Name < b.Name
+		case a.Cat != b.Cat:
+			return a.Cat < b.Cat
+		default:
+			return a.Dur < b.Dur
+		}
+	})
 	enc := json.NewEncoder(w)
 	return enc.Encode(evs)
 }

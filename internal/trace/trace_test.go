@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestSpanRecordsMicroseconds(t *testing.T) {
@@ -55,6 +57,124 @@ func TestNegativeSpanIgnored(t *testing.T) {
 func TestNilTracerSafe(t *testing.T) {
 	var tr *Tracer
 	tr.Span("x", "y", 0, 1, 0, 0) // must not panic
+}
+
+// TestExportOrderInsertionIndependent is the regression test for the
+// unstable `sort.Slice` keyed only on Ts: many equal-timestamp spans (every
+// worker's iteration-0 spans start at ts 0) recorded in different insertion
+// orders — the live runtime appends from concurrently scheduled goroutines —
+// must still export byte-identically.
+func TestExportOrderInsertionIndependent(t *testing.T) {
+	span := func(i int) [2]int { return [2]int{i % 3, i % 7} } // pid, tid
+	const n = 50
+	forward, reverse := New(), New()
+	for i := 0; i < n; i++ {
+		pt := span(i)
+		forward.Span("iter0", "worker", 0, float64(i), pt[0], pt[1])
+	}
+	for i := n - 1; i >= 0; i-- {
+		pt := span(i)
+		reverse.Span("iter0", "worker", 0, float64(i), pt[0], pt[1])
+	}
+	var a, b bytes.Buffer
+	if err := forward.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reverse.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("export depends on insertion order:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestExportTiebreakOrdersTracks(t *testing.T) {
+	tr := New()
+	tr.Span("b", "c", 0, 1, 1, 0)
+	tr.Span("a", "c", 0, 1, 0, 2)
+	tr.Span("a", "c", 0, 1, 0, 1)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []Event
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatal(err)
+	}
+	if evs[0].Tid != 1 || evs[1].Tid != 2 || evs[2].Pid != 1 {
+		t.Fatalf("tiebreak order wrong: %+v", evs)
+	}
+}
+
+func TestWallSpanRecordsRelativeToEpoch(t *testing.T) {
+	tr := New()
+	sp := tr.StartSpan("compute", "worker", 0, 3)
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	sp2 := tr.StartSpan("comm", "worker", 0, 3)
+	sp2.End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []Event
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("%d events", len(evs))
+	}
+	// The first span anchors the epoch, so it starts at ts 0; the second
+	// starts after the first's ~2ms duration.
+	if evs[0].Ts != 0 || evs[0].Dur < 1e3 {
+		t.Fatalf("first span = %+v", evs[0])
+	}
+	if evs[1].Ts < evs[0].Dur || evs[1].Tid != 3 {
+		t.Fatalf("second span = %+v", evs[1])
+	}
+}
+
+func TestNilTracerWallSpanSafe(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartSpan("x", "y", 0, 0) // must not panic
+	sp.End()
+	tr.Mark("m", "y", 0, 0)
+}
+
+func TestMarkRecordsInstant(t *testing.T) {
+	tr := New()
+	tr.Mark("heartbeat", "coord", 1, 0)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []Event
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Dur != 0 || evs[0].Pid != 1 {
+		t.Fatalf("mark = %+v", evs)
+	}
+}
+
+func TestConcurrentWallSpans(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				sp := tr.StartSpan("compute", "worker", 0, g)
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 160 {
+		t.Fatalf("lost events: %d", tr.Len())
+	}
 }
 
 func TestEmptyTraceIsValidJSON(t *testing.T) {
