@@ -15,6 +15,15 @@
 // transport (internal/live) for BSP at 2 and 4 workers, recording wall-clock
 // images/sec for each — the real cost of moving the same frames over
 // sockets instead of virtual time.
+//
+// A third grid times the serial GEMM kernel at the three paper-model shapes
+// the Gemm benchmarks use and records GFLOPS per shape — the artifact behind
+// the micro-kernel table in docs/PERFORMANCE.md.
+//
+// A fourth grid reruns the live BSP loopback at 4 workers once per gradient
+// codec (dense / int8 / fp16), recording the encoded size of one gradient
+// upload frame, its reduction versus the dense frame, and the run's total
+// payload bytes on the wire.
 package main
 
 import (
@@ -31,10 +40,13 @@ import (
 	"disttrain/internal/core"
 	"disttrain/internal/costmodel"
 	"disttrain/internal/data"
+	"disttrain/internal/grad"
 	"disttrain/internal/live"
 	"disttrain/internal/nn"
 	"disttrain/internal/opt"
 	"disttrain/internal/rng"
+	"disttrain/internal/tensor"
+	"disttrain/internal/xport"
 )
 
 type cell struct {
@@ -47,6 +59,16 @@ type cell struct {
 	Speedup    float64 `json:"speedup_vs_pool0"`
 	Transport  string  `json:"transport,omitempty"`
 	ImagesSec  float64 `json:"images_per_sec,omitempty"`
+	// GEMM grid: kernel shape and measured serial throughput.
+	Shape  string  `json:"shape,omitempty"`
+	GFLOPS float64 `json:"gflops,omitempty"`
+	// Wire grid: gradient codec, the encoded size of one gradient upload
+	// frame, its size reduction versus the dense float32 frame, and the
+	// run's total payload bytes sent (all frame kinds, every rank).
+	Codec              string  `json:"codec,omitempty"`
+	GradFrameBytes     int     `json:"grad_frame_bytes,omitempty"`
+	GradFrameReduction float64 `json:"grad_frame_reduction_vs_dense,omitempty"`
+	WireBytesSent      int64   `json:"wire_bytes_sent,omitempty"`
 }
 
 type record struct {
@@ -187,6 +209,88 @@ func main() {
 			rec.Cells = append(rec.Cells, c)
 			fmt.Printf("bsp    %-4s w=%-2d  wall %.3fs  %.1f images/s\n", transport, w, best, c.ImagesSec)
 		}
+	}
+
+	// GEMM throughput grid: the serial MatMul kernel at the paper-model
+	// shapes BenchmarkGemm uses, best of -reps single calls per shape.
+	for _, sh := range []struct {
+		name    string
+		m, k, n int
+	}{
+		{"ResNet50Conv_256x2304x196", 256, 2304, 196},
+		{"VGG16Conv_128x1152x3136", 128, 1152, 3136},
+		{"DenseHead_256x4096x100", 256, 4096, 100},
+	} {
+		a := tensor.New(sh.m, sh.k)
+		b := tensor.New(sh.k, sh.n)
+		cT := tensor.New(sh.m, sh.n)
+		for i := range a.Data {
+			a.Data[i] = float32(i%61)*0.03 - 0.9
+		}
+		for i := range b.Data {
+			b.Data[i] = float32(i%53)*0.02 - 0.5
+		}
+		tensor.MatMul(a, b, cT) // warm caches and the dispatch path
+		best := 0.0
+		for rep := 0; rep < *reps; rep++ {
+			t0 := time.Now()
+			tensor.MatMul(a, b, cT)
+			if dt := time.Since(t0).Seconds(); best == 0 || dt < best {
+				best = dt
+			}
+		}
+		flops := 2 * float64(sh.m) * float64(sh.k) * float64(sh.n)
+		c := cell{Algo: "gemm", Shape: sh.name, WallSec: best, GFLOPS: flops / best / 1e9}
+		rec.Cells = append(rec.Cells, c)
+		fmt.Printf("gemm   %-26s %.2f GFLOPS\n", sh.name, c.GFLOPS)
+	}
+
+	// Wire grid: the live BSP loopback at 4 workers per gradient codec. The
+	// gradient-frame sizes are computed exactly from the model's parameter
+	// count (the frame codec is deterministic); wire_bytes_sent is the
+	// transport's measured total across all frame kinds and ranks, so its
+	// ratio understates the per-gradient-frame reduction.
+	vecLen := nn.NewMiniCNN(rng.New(1), data.ShapeClasses).NumParams()
+	denseFrame := (&xport.Frame{Vec: make([]float32, vecLen)}).EncodedLen()
+	frameBytes := func(codec string) int {
+		var qv xport.QuantVec
+		switch codec {
+		case "dense":
+			return denseFrame
+		case "int8":
+			q := grad.Quantize8(make([]float32, vecLen))
+			qv = xport.QuantVec{Codec: xport.QuantInt8, Scale: q.Scale, I8: q.Q}
+		case "f16":
+			qv = xport.QuantVec{Codec: xport.QuantF16, H16: make([]uint16, vecLen)}
+		}
+		return (&xport.Frame{Data: qv.AppendEncode(nil)}).EncodedLen()
+	}
+	for _, codec := range []string{"dense", "int8", "f16"} {
+		cfg := mk(core.BSP, 0)
+		cfg.Workers = 4
+		cfg.Cluster = cluster.Paper56G(4)
+		cfg.Quantize8 = codec == "int8"
+		cfg.QuantizeF16 = codec == "f16"
+		best := 0.0
+		var sent int64
+		for rep := 0; rep < *reps; rep++ {
+			res, err := live.RunLoopback(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchrecord: bsp tcp codec=%s: %v\n", codec, err)
+				os.Exit(1)
+			}
+			if best == 0 || res.WallSec < best {
+				best = res.WallSec
+				sent = res.Net.BytesSent
+			}
+		}
+		c := cell{Algo: "bsp", Transport: "tcp", Workers: 4, Iters: *iters,
+			WallSec: best, Codec: codec, GradFrameBytes: frameBytes(codec),
+			WireBytesSent: sent}
+		c.GradFrameReduction = float64(denseFrame) / float64(c.GradFrameBytes)
+		rec.Cells = append(rec.Cells, c)
+		fmt.Printf("bsp    tcp  codec=%-5s grad frame %6d B (%.2fx vs dense)  total sent %d B\n",
+			codec, c.GradFrameBytes, c.GradFrameReduction, sent)
 	}
 
 	path := *out

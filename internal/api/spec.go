@@ -120,6 +120,9 @@ type ExperimentSpec struct {
 	DGC bool `json:"dgc,omitempty"`
 	// Quantize8 enables 8-bit gradient quantization.
 	Quantize8 bool `json:"quantize8,omitempty"`
+	// QuantizeF16 enables fp16 gradient quantization (exclusive with
+	// Quantize8; both layer on DGC).
+	QuantizeF16 bool `json:"quantize_f16,omitempty"`
 	// LocalAgg enables BSP intra-machine aggregation.
 	LocalAgg bool `json:"local_agg,omitempty"`
 	// TreeAllReduce switches AR-SGD to the binomial-tree collective.
@@ -281,23 +284,24 @@ func (s *ExperimentSpec) Config() (core.Config, error) {
 		return core.Config{}, err
 	}
 	cfg := core.Config{
-		Algo:       core.Algo(s.Algo),
-		Cluster:    Cluster(s.Gbps, s.Workers),
-		Workers:    s.Workers,
-		Workload:   costmodel.NewWorkload(profile, costmodel.TitanV(), 128),
-		Iters:      s.Iters,
-		Seed:       s.Seed,
-		Momentum:   0.9,
-		LR:         opt.Schedule{Base: s.LR},
-		Staleness:  *s.Staleness,
-		Tau:        s.Tau,
-		MovingRate: s.MovingRate,
-		GossipP:    s.GossipP,
-		Sharding:   core.Sharding(s.Sharding),
-		Shards:     s.Shards,
-		WaitFreeBP: s.WaitFreeBP,
-		LocalAgg:   s.LocalAgg,
-		Quantize8:  s.Quantize8,
+		Algo:        core.Algo(s.Algo),
+		Cluster:     Cluster(s.Gbps, s.Workers),
+		Workers:     s.Workers,
+		Workload:    costmodel.NewWorkload(profile, costmodel.TitanV(), 128),
+		Iters:       s.Iters,
+		Seed:        s.Seed,
+		Momentum:    0.9,
+		LR:          opt.Schedule{Base: s.LR},
+		Staleness:   *s.Staleness,
+		Tau:         s.Tau,
+		MovingRate:  s.MovingRate,
+		GossipP:     s.GossipP,
+		Sharding:    core.Sharding(s.Sharding),
+		Shards:      s.Shards,
+		WaitFreeBP:  s.WaitFreeBP,
+		LocalAgg:    s.LocalAgg,
+		Quantize8:   s.Quantize8,
+		QuantizeF16: s.QuantizeF16,
 
 		TreeAllReduce:    s.TreeAllReduce,
 		StalenessDamping: s.StalenessDamping,

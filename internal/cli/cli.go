@@ -44,6 +44,8 @@ type Flags struct {
 	Shard     string
 	WFBP      bool
 	DGC       bool
+	Quant8    bool
+	QuantF16  bool
 	LocalAgg  bool
 	Staleness int
 	Tau       int
@@ -87,6 +89,8 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.Shard, "shard", "none", "PS sharding: none|layerwise|balanced")
 	fs.BoolVar(&f.WFBP, "wfbp", false, "enable wait-free backpropagation")
 	fs.BoolVar(&f.DGC, "dgc", false, "enable deep gradient compression")
+	fs.BoolVar(&f.Quant8, "quant8", false, "8-bit gradient quantization (layers on -dgc)")
+	fs.BoolVar(&f.QuantF16, "quantf16", false, "fp16 gradient quantization (layers on -dgc)")
 	fs.BoolVar(&f.LocalAgg, "localagg", false, "enable BSP local aggregation")
 	fs.IntVar(&f.Staleness, "staleness", 3, "SSP staleness threshold s")
 	fs.IntVar(&f.Tau, "tau", 8, "EASGD communication period")
@@ -124,29 +128,31 @@ func Register(fs *flag.FlagSet) *Flags {
 func (f *Flags) Spec() (api.ExperimentSpec, error) {
 	staleness := f.Staleness
 	spec := api.ExperimentSpec{
-		Version:    api.SpecVersion,
-		Algo:       f.Algo,
-		Workers:    f.Workers,
-		Model:      f.Model,
-		Gbps:       f.Gbps,
-		Iters:      f.Iters,
-		Seed:       f.Seed,
-		LR:         f.LR,
-		Staleness:  &staleness,
-		Tau:        f.Tau,
-		GossipP:    f.GossipP,
-		Sharding:   f.Shard,
-		WaitFreeBP: f.WFBP,
-		DGC:        f.DGC,
-		LocalAgg:   f.LocalAgg,
-		FaultSpec:  f.FaultSpec,
-		Elastic:    f.Elastic,
-		TimeoutSec: f.Timeout,
-		Transport:  f.Transport,
-		Pool:       f.Pool,
-		CkptDir:    f.CkptDir,
-		CkptEvery:  f.CkptEvery,
-		SlowUnitMS: f.SlowUnitMS,
+		Version:     api.SpecVersion,
+		Algo:        f.Algo,
+		Workers:     f.Workers,
+		Model:       f.Model,
+		Gbps:        f.Gbps,
+		Iters:       f.Iters,
+		Seed:        f.Seed,
+		LR:          f.LR,
+		Staleness:   &staleness,
+		Tau:         f.Tau,
+		GossipP:     f.GossipP,
+		Sharding:    f.Shard,
+		WaitFreeBP:  f.WFBP,
+		DGC:         f.DGC,
+		Quantize8:   f.Quant8,
+		QuantizeF16: f.QuantF16,
+		LocalAgg:    f.LocalAgg,
+		FaultSpec:   f.FaultSpec,
+		Elastic:     f.Elastic,
+		TimeoutSec:  f.Timeout,
+		Transport:   f.Transport,
+		Pool:        f.Pool,
+		CkptDir:     f.CkptDir,
+		CkptEvery:   f.CkptEvery,
+		SlowUnitMS:  f.SlowUnitMS,
 	}
 	if f.FaultFile != "" {
 		sched, err := LoadFaults("", f.FaultFile)

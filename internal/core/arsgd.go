@@ -5,6 +5,7 @@ import (
 
 	"disttrain/internal/comm"
 	"disttrain/internal/des"
+	"disttrain/internal/grad"
 	"disttrain/internal/metrics"
 	"disttrain/internal/simnet"
 )
@@ -65,8 +66,25 @@ func runARSGD(x *exp) {
 				join := func() {
 					if g := gf.get(); g != nil {
 						agg = append([]float32(nil), g...)
+						// Quantized AllReduce: each worker's own contribution
+						// is quantized once before entering the collective —
+						// the live ring/tree ships first-hop chunks in codec
+						// form and reconstructs with the same formula, so sim
+						// and live observe identical inputs. Partial sums
+						// stay dense on both paths.
+						if cfg.Quantize8 {
+							grad.QuantizeRoundTrip(agg)
+						} else if cfg.QuantizeF16 {
+							grad.QuantizeF16RoundTrip(agg)
+						}
 					}
 				}
+				// The sim cost model keeps dense per-hop Bytes even when the
+				// input is quantized: only the first reduce-scatter hop (and
+				// tree leaf pushes) carries codec payloads on the live path —
+				// partial sums travel dense — so halving every hop would
+				// overstate the savings. Real wire savings are measured on
+				// the live PS path.
 				reduce := func(vec []float32, vlen int) des.Time {
 					_, wire := collective(p, comm.CollectiveOpts{
 						Op: op, Net: x.net, Nodes: nodes, Self: self,

@@ -145,17 +145,53 @@ func TestQuantize8Validation(t *testing.T) {
 	if _, err := Run(context.Background(), cfg); err == nil {
 		t.Fatal("quantization on parameter-sending algorithm accepted")
 	}
+	cfgF := costConfig(EASGD, 4, 5)
+	cfgF.QuantizeF16 = true
+	if _, err := Run(context.Background(), cfgF); err == nil {
+		t.Fatal("f16 quantization on parameter-sending algorithm accepted")
+	}
+	both := costConfig(ASP, 4, 5)
+	both.Quantize8 = true
+	both.QuantizeF16 = true
+	if _, err := Run(context.Background(), both); err == nil {
+		t.Fatal("two quantization codecs at once accepted")
+	}
+	// Quantization layers on DGC: the sparse values are quantized after
+	// compression, so the combination is valid and must run.
 	cfg2 := costConfig(ASP, 4, 5)
 	cfg2.Quantize8 = true
 	d := grad.DefaultDGC(0.9, 0)
 	cfg2.DGC = &d
-	if _, err := Run(context.Background(), cfg2); err == nil {
-		t.Fatal("DGC + quantization accepted")
+	if _, err := Run(context.Background(), cfg2); err != nil {
+		t.Fatalf("DGC + quantization rejected: %v", err)
 	}
 	cfg3 := costConfig(ASP, 4, 5)
 	cfg3.ADPSGDNoBipartite = true
 	if _, err := Run(context.Background(), cfg3); err == nil {
 		t.Fatal("NoBipartite on ASP accepted")
+	}
+}
+
+// TestQuantizeF16ReducesTraffic mirrors the int8 test for the fp16 codec:
+// dense gradient bytes halve and accuracy holds.
+func TestQuantizeF16ReducesTraffic(t *testing.T) {
+	base := realConfig(BSP, 4, 150, 31)
+	r1, err := Run(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := realConfig(BSP, 4, 150, 31)
+	q.QuantizeF16 = true
+	r2, err := Run(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(r2.GradientBytes()) / float64(r1.GradientBytes())
+	if ratio > 0.52 || ratio < 0.48 {
+		t.Fatalf("f16 gradient bytes ratio %.3f, want ~0.5", ratio)
+	}
+	if r2.FinalTestAcc < r1.FinalTestAcc-0.05 {
+		t.Fatalf("f16 quantization hurt accuracy: %.3f vs %.3f", r2.FinalTestAcc, r1.FinalTestAcc)
 	}
 }
 

@@ -152,8 +152,14 @@ type Config struct {
 	// DGC, when non-nil, enables deep gradient compression.
 	DGC *grad.DGCConfig
 	// Quantize8 enables 8-bit gradient quantization (an extension beyond
-	// the paper's three optimizations; mutually exclusive with DGC).
+	// the paper's three optimizations). Layered on DGC it quantizes the
+	// surviving sparse values; alone it quantizes the dense gradient.
 	Quantize8 bool
+	// QuantizeF16 enables half-precision (IEEE binary16) gradient
+	// compression: 2× smaller transfers with per-element rounding instead
+	// of Quantize8's shared scale. Mutually exclusive with Quantize8,
+	// layerable on DGC like it.
+	QuantizeF16 bool
 	// LocalAgg enables BSP's intra-machine gradient aggregation.
 	LocalAgg bool
 	// TreeAllReduce makes AR-SGD use a binomial-tree reduce+broadcast
@@ -293,12 +299,12 @@ func (c *Config) Validate() error {
 			return err
 		}
 	}
-	if c.Quantize8 {
+	if c.Quantize8 && c.QuantizeF16 {
+		return fmt.Errorf("core: Quantize8 and QuantizeF16 are mutually exclusive (pick one codec)")
+	}
+	if c.Quantize8 || c.QuantizeF16 {
 		if !c.Algo.SendsGradients() {
-			return fmt.Errorf("core: 8-bit quantization applies only to gradient-sending algorithms")
-		}
-		if c.DGC != nil {
-			return fmt.Errorf("core: DGC and 8-bit quantization are mutually exclusive")
+			return fmt.Errorf("core: gradient quantization applies only to gradient-sending algorithms")
 		}
 	}
 	if c.LocalAgg && c.Algo != BSP {

@@ -19,7 +19,7 @@ import (
 // cutoff (batch 16 × 256 inputs × 128 hidden ≈ 1M FLOPs per multiply) —
 // with GOMAXPROCS=1 the dispatcher stays serial, with 8 it goes parallel.
 func TestRunBitIdenticalAcrossGOMAXPROCS(t *testing.T) {
-	cfg := func() Config {
+	cfg := func(mutate func(*Config)) Config {
 		r := rng.New(2026)
 		ds := data.GenShapes16(r, 400)
 		train, test := ds.Split(r.Split(1), 80)
@@ -30,8 +30,7 @@ func TestRunBitIdenticalAcrossGOMAXPROCS(t *testing.T) {
 			Factory: func(rr *rng.RNG) *nn.Model {
 				return nn.NewModel("wide-mlp",
 					nn.NewFlatten("flat"),
-					nn.NewDense("fc0", 256, 128, rr),
-					nn.NewReLU("relu0"),
+					nn.NewDenseReLU("fc0", 256, 128, rr),
 					nn.NewDense("fc1", 128, data.ShapeClasses, rr),
 				)
 			},
@@ -39,26 +38,44 @@ func TestRunBitIdenticalAcrossGOMAXPROCS(t *testing.T) {
 			Test:  test,
 			Batch: 16,
 		}
+		if mutate != nil {
+			mutate(&c)
+		}
 		return c
 	}
 
-	summaryAt := func(procs int) []byte {
-		prev := runtime.GOMAXPROCS(procs)
-		defer runtime.GOMAXPROCS(prev)
-		res, err := Run(context.Background(), cfg())
-		if err != nil {
-			t.Fatal(err)
-		}
-		var buf bytes.Buffer
-		if err := res.WriteJSON(&buf); err != nil {
-			t.Fatal(err)
-		}
-		return buf.Bytes()
+	// The quantized variants also run the codec round-trip in every
+	// gradient exchange, so this doubles as the e2e determinism check for
+	// the int8 and fp16 paths.
+	variants := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"plain", nil},
+		{"quant8", func(c *Config) { c.Quantize8 = true }},
+		{"quantf16", func(c *Config) { c.QuantizeF16 = true }},
 	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			summaryAt := func(procs int) []byte {
+				prev := runtime.GOMAXPROCS(procs)
+				defer runtime.GOMAXPROCS(prev)
+				res, err := Run(context.Background(), cfg(v.mutate))
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := res.WriteJSON(&buf); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes()
+			}
 
-	serial := summaryAt(1)
-	parallel := summaryAt(8)
-	if !bytes.Equal(serial, parallel) {
-		t.Fatalf("summaries differ across GOMAXPROCS:\nserial:   %s\nparallel: %s", serial, parallel)
+			serial := summaryAt(1)
+			parallel := summaryAt(8)
+			if !bytes.Equal(serial, parallel) {
+				t.Fatalf("summaries differ across GOMAXPROCS:\nserial:   %s\nparallel: %s", serial, parallel)
+			}
+		})
 	}
 }

@@ -402,13 +402,28 @@ func (x *exp) sendGrads(p *des.Proc, w int, clock int, grads []float32, useDGC b
 		kind = kindSparseGrad
 	}
 
-	// 8-bit quantization (extension): lossy-compress the payload once and
-	// shrink every shard message to a quarter of the dense size.
-	quant := cfg.Quantize8 && useDGC
-	if quant && grads != nil {
-		qg := append([]float32(nil), grads...)
-		grad.QuantizeRoundTrip(qg)
-		grads = qg
+	// Gradient quantization (extension): apply the codec's round-trip loss
+	// once and shrink every shard message to its wire footprint. Layered on
+	// DGC the codec compresses the surviving sparse values (the quantization
+	// error is not fed back into DGC residuals — it models what the receiver
+	// reconstructs); alone it compresses the dense vector.
+	quant := (cfg.Quantize8 || cfg.QuantizeF16) && useDGC
+	roundTrip := grad.QuantizeRoundTrip
+	if cfg.QuantizeF16 {
+		roundTrip = grad.QuantizeF16RoundTrip
+	}
+	if quant {
+		if kind == kindSparseGrad {
+			if x.dgc != nil && len(sparse.Val) > 0 {
+				qv := append([]float32(nil), sparse.Val...)
+				roundTrip(qv)
+				sparse.Val = qv
+			}
+		} else if grads != nil {
+			qg := append([]float32(nil), grads...)
+			roundTrip(qg)
+			grads = qg
+		}
 	}
 
 	var avail []des.Time
@@ -427,7 +442,15 @@ func (x *exp) sendGrads(p *des.Proc, w int, clock int, grads []float32, useDGC b
 		}
 		msg := simnet.Msg{From: x.workerNode[w], To: x.psNode[s], Kind: kind, Clock: clock, Seg: s}
 		if kind == kindSparseGrad {
-			msg.Bytes = int64(float64(x.shardBytes(s)) * ratio * 2) // 8 B/entry vs 4 B dense
+			entry := 8.0 // 4 B index + 4 B float32 value, vs 4 B/element dense
+			if quant {
+				if cfg.Quantize8 {
+					entry = 5 // 4 B index + 1 B int8 value (scale amortized)
+				} else {
+					entry = 6 // 4 B index + 2 B half value
+				}
+			}
+			msg.Bytes = int64(float64(x.shardBytes(s)) * ratio * entry / 4)
 			if msg.Bytes < 8 {
 				msg.Bytes = 8
 			}
@@ -439,7 +462,11 @@ func (x *exp) sendGrads(p *des.Proc, w int, clock int, grads []float32, useDGC b
 		} else {
 			msg.Bytes = x.shardBytes(s)
 			if quant {
-				msg.Bytes = msg.Bytes/4 + 4
+				if cfg.Quantize8 {
+					msg.Bytes = msg.Bytes/4 + 4
+				} else {
+					msg.Bytes = msg.Bytes / 2
+				}
 			}
 			if grads != nil {
 				msg.Vec = append([]float32(nil), grads...) // full vector; shard reads its ranges

@@ -10,19 +10,20 @@ import (
 // Summary is a JSON-serializable digest of a Result, for piping experiment
 // outcomes into external plotting/analysis tooling.
 type Summary struct {
-	Algo       string  `json:"algo"`
-	Workers    int     `json:"workers"`
-	Machines   int     `json:"machines"`
-	Model      string  `json:"model"`
-	InterGbps  float64 `json:"inter_gbps"`
-	Iters      int     `json:"iters"`
-	Seed       uint64  `json:"seed"`
-	Sharding   string  `json:"sharding,omitempty"`
-	Shards     int     `json:"shards,omitempty"`
-	WaitFreeBP bool    `json:"wait_free_bp,omitempty"`
-	DGC        bool    `json:"dgc,omitempty"`
-	Quantize8  bool    `json:"quantize8,omitempty"`
-	LocalAgg   bool    `json:"local_agg,omitempty"`
+	Algo        string  `json:"algo"`
+	Workers     int     `json:"workers"`
+	Machines    int     `json:"machines"`
+	Model       string  `json:"model"`
+	InterGbps   float64 `json:"inter_gbps"`
+	Iters       int     `json:"iters"`
+	Seed        uint64  `json:"seed"`
+	Sharding    string  `json:"sharding,omitempty"`
+	Shards      int     `json:"shards,omitempty"`
+	WaitFreeBP  bool    `json:"wait_free_bp,omitempty"`
+	DGC         bool    `json:"dgc,omitempty"`
+	Quantize8   bool    `json:"quantize8,omitempty"`
+	QuantizeF16 bool    `json:"quantize_f16,omitempty"`
+	LocalAgg    bool    `json:"local_agg,omitempty"`
 
 	VirtualSec            float64 `json:"virtual_sec"`
 	Throughput            float64 `json:"throughput_samples_per_sec"`
@@ -53,19 +54,20 @@ type Summary struct {
 func (r *Result) Summary() Summary {
 	b := r.Metrics.MeanBreakdown()
 	return Summary{
-		Algo:       string(r.Config.Algo),
-		Workers:    r.Config.Workers,
-		Machines:   r.Config.Cluster.Machines,
-		Model:      r.Config.Workload.Profile.Name,
-		InterGbps:  r.Config.Cluster.InterBytesPerSec * 8 / 1e9,
-		Iters:      r.Config.Iters,
-		Seed:       r.Config.Seed,
-		Sharding:   string(r.Config.Sharding),
-		Shards:     r.Config.Shards,
-		WaitFreeBP: r.Config.WaitFreeBP,
-		DGC:        r.Config.DGC != nil,
-		Quantize8:  r.Config.Quantize8,
-		LocalAgg:   r.Config.LocalAgg,
+		Algo:        string(r.Config.Algo),
+		Workers:     r.Config.Workers,
+		Machines:    r.Config.Cluster.Machines,
+		Model:       r.Config.Workload.Profile.Name,
+		InterGbps:   r.Config.Cluster.InterBytesPerSec * 8 / 1e9,
+		Iters:       r.Config.Iters,
+		Seed:        r.Config.Seed,
+		Sharding:    string(r.Config.Sharding),
+		Shards:      r.Config.Shards,
+		WaitFreeBP:  r.Config.WaitFreeBP,
+		DGC:         r.Config.DGC != nil,
+		Quantize8:   r.Config.Quantize8,
+		QuantizeF16: r.Config.QuantizeF16,
+		LocalAgg:    r.Config.LocalAgg,
 
 		VirtualSec:            r.VirtualSec,
 		Throughput:            r.Throughput,

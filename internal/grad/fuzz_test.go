@@ -46,6 +46,59 @@ func FuzzQuantizeRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzF16RoundTrip checks the half-precision codec over arbitrary bit
+// patterns: conversion never panics, finite halves convert exactly (F16ToF32
+// is exact, so F32ToF16 must invert it), finite float32 inputs round with
+// bounded relative error, and NaN/Inf classes are preserved.
+func FuzzF16RoundTrip(f *testing.F) {
+	f.Add(uint16(0x3c00), uint32(0x3f800000)) // 1.0, 1.0
+	f.Add(uint16(0x0001), uint32(0x7f7fffff)) // min subnormal, max float32
+	f.Add(uint16(0x7c00), uint32(0x7fc00000)) // +Inf, NaN
+	f.Add(uint16(0xfbff), uint32(0x00000001)) // -65504, min subnormal f32
+	f.Fuzz(func(t *testing.T, h uint16, bits uint32) {
+		// Direction 1: every half value must survive f16→f32→f16 exactly
+		// (float32 covers the whole half range), except NaNs which need only
+		// stay NaN.
+		x := F16ToF32(h)
+		back := F32ToF16(x)
+		if math.IsNaN(float64(x)) {
+			if back&0x7c00 != 0x7c00 || back&0x3ff == 0 {
+				t.Fatalf("NaN half %#04x came back as %#04x", h, back)
+			}
+		} else if back != h {
+			t.Fatalf("half %#04x -> %v -> %#04x", h, x, back)
+		}
+
+		// Direction 2: arbitrary float32 down-conversion stays in class and
+		// within half-precision rounding error when finite.
+		v := math.Float32frombits(bits)
+		g := F16ToF32(F32ToF16(v))
+		switch {
+		case math.IsNaN(float64(v)):
+			if !math.IsNaN(float64(g)) {
+				t.Fatalf("NaN %#08x became %v", bits, g)
+			}
+		case math.IsInf(float64(v), 0):
+			if float64(g) != float64(v) {
+				t.Fatalf("Inf %v became %v", v, g)
+			}
+		default:
+			if math.IsNaN(float64(g)) {
+				t.Fatalf("finite %v became NaN", v)
+			}
+			av := math.Abs(float64(v))
+			if av > 65504 {
+				if !math.IsInf(float64(g), 0) && math.Abs(float64(g)) != 65504 {
+					// overflow must saturate to Inf (this codec's choice)
+					t.Fatalf("overflowing %v became %v", v, g)
+				}
+			} else if math.Abs(float64(g)-float64(v)) > av/2048+6e-8 {
+				t.Fatalf("%v rounds to %v: error beyond half ULP", v, g)
+			}
+		}
+	})
+}
+
 // FuzzDGCCompress checks that the compressor tolerates arbitrary finite
 // gradients without panicking and always emits sorted, in-range indices.
 func FuzzDGCCompress(f *testing.F) {

@@ -84,13 +84,85 @@ func TestQuantizeRoundTripInPlace(t *testing.T) {
 	}
 }
 
-func TestDequantizeLengthPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+func TestDequantizeLengthError(t *testing.T) {
+	// Quantized payloads arrive off the wire: a length mismatch must be a
+	// rejectable validation error, not a panic (the Decompress contract).
+	if err := Dequantize8(Quantized8{Scale: 1, Q: make([]int8, 3)}, make([]float32, 2)); err == nil {
+		t.Fatal("Dequantize8 accepted a length mismatch")
+	}
+	if err := DequantizeF16(QuantizedF16{H: make([]uint16, 3)}, make([]float32, 2)); err == nil {
+		t.Fatal("DequantizeF16 accepted a length mismatch")
+	}
+	if err := Dequantize8(Quantize8([]float32{1, 2}), make([]float32, 2)); err != nil {
+		t.Fatalf("valid dequantize rejected: %v", err)
+	}
+}
+
+func TestF16KnownValues(t *testing.T) {
+	cases := []struct {
+		f float32
+		h uint16
+	}{
+		{0, 0x0000},
+		{1, 0x3c00},
+		{-2, 0xc000},
+		{0.5, 0x3800},
+		{65504, 0x7bff},                 // largest finite half
+		{6.103515625e-05, 0x0400},       // smallest normal half (2^-14)
+		{5.960464477539063e-08, 0x0001}, // smallest subnormal half (2^-24)
+		{float32(math.Inf(1)), 0x7c00},  // +Inf
+		{float32(math.Inf(-1)), 0xfc00}, // -Inf
+		{70000, 0x7c00},                 // overflow → Inf
+		{1e-10, 0x0000},                 // underflow → 0
+		{1.0009765625, 0x3c01},          // 1 + 2^-10: exactly representable
+		{1.00048828125, 0x3c00},         // 1 + 2^-11: tie, rounds to even (down)
+		{1.0014648438, 0x3c02},          // 1 + 3·2^-11: tie rounds to even (up)
+	}
+	for _, c := range cases {
+		if got := F32ToF16(c.f); got != c.h {
+			t.Errorf("F32ToF16(%v) = %#04x, want %#04x", c.f, got, c.h)
 		}
-	}()
-	Dequantize8(Quantized8{Scale: 1, Q: make([]int8, 3)}, make([]float32, 2))
+	}
+	// Exactly-representable halves must round-trip bit-perfectly, NaN must
+	// stay NaN.
+	for _, h := range []uint16{0x3c00, 0x0001, 0x03ff, 0x0400, 0x7bff, 0xfbff, 0x8000} {
+		if got := F32ToF16(F16ToF32(h)); got != h {
+			t.Errorf("half %#04x round-trips to %#04x", h, got)
+		}
+	}
+	if !math.IsNaN(float64(F16ToF32(F32ToF16(float32(math.NaN()))))) {
+		t.Error("NaN did not survive the f16 round trip")
+	}
+}
+
+func TestF16RoundTripBoundedError(t *testing.T) {
+	r := rng.New(11)
+	v := make([]float32, 500)
+	for i := range v {
+		v[i] = float32(r.NormFloat64() * 10)
+	}
+	orig := append([]float32(nil), v...)
+	bytes := QuantizeF16RoundTrip(v)
+	if bytes != int64(len(v))*2 {
+		t.Fatalf("wire bytes = %d", bytes)
+	}
+	for i := range v {
+		// Half has 11 significand bits: relative error ≤ 2^-11.
+		if math.Abs(float64(v[i]-orig[i])) > math.Abs(float64(orig[i]))/2048+1e-7 {
+			t.Fatalf("element %d error too large: %v -> %v", i, orig[i], v[i])
+		}
+	}
+	// Round-trip equals the explicit quantize/dequantize pair.
+	q := QuantizeF16(orig)
+	out := make([]float32, len(orig))
+	if err := DequantizeF16(q, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if math.Float32bits(out[i]) != math.Float32bits(v[i]) {
+			t.Fatalf("round-trip and codec disagree at %d", i)
+		}
+	}
 }
 
 func BenchmarkQuantize8(b *testing.B) {

@@ -1,6 +1,8 @@
 package live
 
 import (
+	"fmt"
+
 	"disttrain/internal/tensor"
 	"disttrain/internal/xport"
 )
@@ -14,10 +16,43 @@ import (
 // so the live ring tags all-gather chunks with Seg = n + c to keep the two
 // phases unambiguous in the mailbox.
 
+// arChunk builds one AllReduce frame for elements [lo, hi) of vec. A leaf
+// contribution (quant = true, q non-nil) ships the sliced codec payload —
+// which reconstructs to exactly the round-tripped values in vec — while
+// partial sums and gathered results stay dense (they are off the codec's
+// grid; re-encoding them would diverge from the simulator).
+func arChunk(q *arQuant, vec []float32, lo, hi int, quant bool, f *xport.Frame) {
+	if quant && q != nil {
+		qv := sliceQuantVec(q.qv, lo, hi)
+		f.Data = qv.AppendEncode(nil)
+		q.saved.Add(int64(4*(hi-lo)) - int64(len(f.Data)))
+		return
+	}
+	f.Vec = append([]float32(nil), vec[lo:hi]...)
+}
+
+// arRecvVec extracts the chunk payload from a received AllReduce frame,
+// decoding a codec payload (a peer's leaf contribution) when present.
+func arRecvVec(q *arQuant, f *xport.Frame, wantLen int) ([]float32, error) {
+	if len(f.Data) == 0 {
+		return f.Vec, nil
+	}
+	if q == nil {
+		return nil, fmt.Errorf("live: quantized allreduce chunk from %d in a dense run", f.From)
+	}
+	sp := q.span("dequantize", "quant")
+	defer sp.End()
+	if err := decodeGradPayload(q.codec, f, wantLen); err != nil {
+		return nil, err
+	}
+	return f.Vec, nil
+}
+
 // ringAllReduce sums vec in place across the group: reduce-scatter then
 // all-gather around the ring, comm.OpRingAllReduce's exact math. nodes are
-// mesh ranks; self indexes the caller.
-func ringAllReduce(mb *mailbox, nodes []int, self int, clock int32, vec []float32) error {
+// mesh ranks; self indexes the caller. q non-nil ships first-hop chunks —
+// the caller's own round-tripped gradient — in codec form.
+func ringAllReduce(mb *mailbox, nodes []int, self int, clock int32, vec []float32, q *arQuant) error {
 	n := len(nodes)
 	if n == 1 {
 		return nil
@@ -26,17 +61,19 @@ func ringAllReduce(mb *mailbox, nodes []int, self int, clock int32, vec []float3
 	chunkLo := func(c int) int { return l * c / n }
 	chunkHi := func(c int) int { return l * (c + 1) / n }
 	right := nodes[(self+1)%n]
-	send := func(c, tag int) error {
-		payload := append([]float32(nil), vec[chunkLo(c):chunkHi(c)]...)
-		return mb.ep.Send(right, &xport.Frame{Kind: kindAllReduce, From: int32(nodes[self]),
-			Clock: clock, Seg: int32(tag), Vec: payload})
+	send := func(c, tag int, quant bool) error {
+		f := &xport.Frame{Kind: kindAllReduce, From: int32(nodes[self]),
+			Clock: clock, Seg: int32(tag)}
+		arChunk(q, vec, chunkLo(c), chunkHi(c), quant, f)
+		return mb.ep.Send(right, f)
 	}
 
 	// Reduce-scatter: after n-1 steps, participant i holds the full sum of
-	// chunk (i+1) mod n.
+	// chunk (i+1) mod n. Only the first step's chunk is the sender's own
+	// un-summed contribution, so only it travels quantized.
 	for s := 0; s < n-1; s++ {
 		c := ((self-s)%n + n) % n
-		if err := send(c, c); err != nil {
+		if err := send(c, c, s == 0); err != nil {
 			return err
 		}
 		c = ((self-s-1)%n + n) % n
@@ -44,12 +81,16 @@ func ringAllReduce(mb *mailbox, nodes []int, self int, clock int32, vec []float3
 		if err != nil {
 			return err
 		}
-		tensor.AxpyF32(1, f.Vec, vec[chunkLo(c):chunkHi(c)])
+		chunk, err := arRecvVec(q, &f, chunkHi(c)-chunkLo(c))
+		if err != nil {
+			return err
+		}
+		tensor.AxpyF32(1, chunk, vec[chunkLo(c):chunkHi(c)])
 	}
 	// All-gather: circulate the reduced chunks (tags offset by n).
 	for s := 0; s < n-1; s++ {
 		c := ((self+1-s)%n + n) % n
-		if err := send(c, n+c); err != nil {
+		if err := send(c, n+c, false); err != nil {
 			return err
 		}
 		c = ((self-s)%n + n) % n
@@ -64,35 +105,45 @@ func ringAllReduce(mb *mailbox, nodes []int, self int, clock int32, vec []float3
 
 // treeAllReduce sums vec across the group with a binomial reduce-to-root
 // plus broadcast, comm.OpTreeAllReduce's exact shape. Reduce frames carry
-// Seg 0, broadcast frames Seg 1.
-func treeAllReduce(mb *mailbox, nodes []int, self int, clock int32, vec []float32) error {
+// Seg 0, broadcast frames Seg 1. q non-nil ships leaf contributions — a
+// rank's own round-tripped gradient, sent before it has folded anything
+// in — in codec form; partial sums and the broadcast stay dense.
+func treeAllReduce(mb *mailbox, nodes []int, self int, clock int32, vec []float32, q *arQuant) error {
 	n := len(nodes)
 	if n == 1 {
 		return nil
 	}
-	send := func(to int, seg int32) error {
-		payload := append([]float32(nil), vec...)
-		return mb.ep.Send(nodes[to], &xport.Frame{Kind: kindAllReduce, From: int32(nodes[self]),
-			Clock: clock, Seg: seg, Vec: payload})
+	send := func(to int, seg int32, quant bool) error {
+		f := &xport.Frame{Kind: kindAllReduce, From: int32(nodes[self]),
+			Clock: clock, Seg: seg}
+		arChunk(q, vec, 0, len(vec), quant, f)
+		return mb.ep.Send(nodes[to], f)
 	}
 	recv := func(seg int32, add bool) error {
 		f, err := mb.recvMatch(kindAllReduce, clock, seg, true, recvTimeout)
 		if err != nil {
 			return err
 		}
+		payload, err := arRecvVec(q, &f, len(vec))
+		if err != nil {
+			return err
+		}
 		if add {
-			tensor.AxpyF32(1, f.Vec, vec)
+			tensor.AxpyF32(1, payload, vec)
 		} else {
-			copy(vec, f.Vec)
+			copy(vec, payload)
 		}
 		return nil
 	}
 
 	// Reduce: in round k (distance d = 2^k), ranks with self%2d == d send to
-	// self-d and drop out; ranks with self%2d == 0 receive.
+	// self-d and drop out; ranks with self%2d == 0 receive. A rank that
+	// sends before ever receiving is a leaf: its vector is still its own
+	// quantized contribution.
+	leaf := true
 	for d := 1; d < n; d *= 2 {
 		if self%(2*d) == d {
-			if err := send(self-d, 0); err != nil {
+			if err := send(self-d, 0, leaf); err != nil {
 				return err
 			}
 			break
@@ -101,6 +152,7 @@ func treeAllReduce(mb *mailbox, nodes []int, self int, clock int32, vec []float3
 			if err := recv(0, true); err != nil {
 				return err
 			}
+			leaf = false
 		}
 	}
 	// Broadcast back down the same tree, mirrored: largest distance first.
@@ -111,7 +163,7 @@ func treeAllReduce(mb *mailbox, nodes []int, self int, clock int32, vec []float3
 	for d := top / 2; d >= 1; d /= 2 {
 		switch {
 		case self%(2*d) == 0 && self+d < n:
-			if err := send(self+d, 1); err != nil {
+			if err := send(self+d, 1, false); err != nil {
 				return err
 			}
 		case self%(2*d) == d:

@@ -74,8 +74,6 @@ func Validate(cfg *core.Config) error {
 		return fmt.Errorf("live: wait-free BP is a simulator overlap model")
 	case cfg.DGC != nil:
 		return fmt.Errorf("live: DGC is not supported on the live path")
-	case cfg.Quantize8:
-		return fmt.Errorf("live: 8-bit quantization is not supported on the live path")
 	case cfg.LocalAgg:
 		return fmt.Errorf("live: local aggregation is not supported on the live path")
 	case cfg.StalenessDamping:

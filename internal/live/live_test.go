@@ -2,7 +2,9 @@ package live
 
 import (
 	"context"
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 	"time"
 
@@ -102,6 +104,93 @@ func TestLiveBSPBitIdenticalToSim(t *testing.T) {
 	}
 	if res.Net.FramesSent == 0 || res.Net.BytesSent == 0 {
 		t.Fatalf("no transport traffic recorded: %+v", res.Net)
+	}
+}
+
+// TestLiveQuantizedBSPBitIdenticalToSim is the quantized-wire contract: a
+// BSP loopback run whose gradient frames travel as int8 or fp16 codec
+// payloads must reproduce the simulator's QuantizeRoundTrip model bit for
+// bit, and the per-rank compressed_bytes_saved counters must account for
+// the dense-versus-codec frame difference.
+func TestLiveQuantizedBSPBitIdenticalToSim(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  func(*core.Config)
+	}{
+		{"int8", func(c *core.Config) { c.Quantize8 = true }},
+		{"f16", func(c *core.Config) { c.QuantizeF16 = true }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := liveConfig(core.BSP, 4, 6, 42)
+			tc.mut(&cfg)
+			sim := simParams(t, cfg)
+			m := NewMetrics()
+			res, err := RunLoopback(cfg, WithMetrics(m))
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireBitIdentical(t, sim, res.WorkerParams)
+			var buf strings.Builder
+			if err := m.WriteProm(&buf); err != nil {
+				t.Fatal(err)
+			}
+			for w := 0; w < cfg.Workers; w++ {
+				needle := fmt.Sprintf("disttrain_live_compressed_bytes_saved_total{rank=\"%d\"}", w)
+				if !strings.Contains(buf.String(), needle) {
+					t.Fatalf("metrics missing %s:\n%s", needle, buf.String())
+				}
+			}
+		})
+	}
+}
+
+// TestLiveQuantizedARSGDBitIdenticalToSim runs the quantized AllReduce
+// paths: each worker's contribution is round-tripped before the collective
+// and leaf chunks travel as codec payloads, reconstructing to exactly the
+// simulator's values on ring and tree alike.
+func TestLiveQuantizedARSGDBitIdenticalToSim(t *testing.T) {
+	for _, tree := range []bool{false, true} {
+		for _, f16 := range []bool{false, true} {
+			cfg := liveConfig(core.ARSGD, 4, 6, 42)
+			cfg.TreeAllReduce = tree
+			if f16 {
+				cfg.QuantizeF16 = true
+			} else {
+				cfg.Quantize8 = true
+			}
+			sim := simParams(t, cfg)
+			res, err := RunLoopback(cfg)
+			if err != nil {
+				t.Fatalf("tree=%v f16=%v: %v", tree, f16, err)
+			}
+			requireBitIdentical(t, sim, res.WorkerParams)
+		}
+	}
+}
+
+// TestLiveQuantizedAsyncComplete smokes the quantized PS path under real
+// asynchrony: ASP gradients and SSP deltas travel as codec payloads, every
+// worker finishes, and the run still learns.
+func TestLiveQuantizedAsyncComplete(t *testing.T) {
+	for _, algo := range []core.Algo{core.ASP, core.SSP} {
+		algo := algo
+		t.Run(string(algo), func(t *testing.T) {
+			t.Parallel()
+			cfg := liveConfig(algo, 4, 8, 11)
+			cfg.Quantize8 = true
+			res, err := RunLoopback(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for w, n := range res.WorkerIters {
+				if n != cfg.Iters {
+					t.Fatalf("worker %d completed %d/%d iterations", w, n, cfg.Iters)
+				}
+			}
+			if res.FinalTestAcc <= 1.0/3+0.05 {
+				t.Fatalf("quantized %s live run did not learn: acc %.3f", algo, res.FinalTestAcc)
+			}
+		})
 	}
 }
 
@@ -257,7 +346,6 @@ func TestValidateRejectsUnsupported(t *testing.T) {
 		{"cost-only", func(c *core.Config) { c.Real = nil }},
 		{"sharded PS", func(c *core.Config) { c.Sharding = core.ShardBalanced; c.Shards = 2 }},
 		{"wait-free BP", func(c *core.Config) { c.WaitFreeBP = true }},
-		{"quantize8", func(c *core.Config) { c.Quantize8 = true }},
 		{"local agg", func(c *core.Config) { c.LocalAgg = true }},
 		{"elastic async", func(c *core.Config) { c.Algo = core.ASP; c.Elastic = true }},
 		{"staleness damping", func(c *core.Config) { c.Algo = core.ASP; c.StalenessDamping = true }},
@@ -326,9 +414,9 @@ func TestLiveCollectivesSum(t *testing.T) {
 				i := i
 				go func() {
 					if useTree {
-						errs <- treeAllReduce(mbs[i], nodes, i, 1, vecs[i])
+						errs <- treeAllReduce(mbs[i], nodes, i, 1, vecs[i], nil)
 					} else {
-						errs <- ringAllReduce(mbs[i], nodes, i, 1, vecs[i])
+						errs <- ringAllReduce(mbs[i], nodes, i, 1, vecs[i], nil)
 					}
 				}()
 			}

@@ -34,20 +34,24 @@ type coordSnapshot struct {
 // restarted worker re-registers its rank, the dying incarnation's final
 // counters are folded into a per-rank base that every later scrape includes.
 type Metrics struct {
-	mu       sync.Mutex
-	stats    map[int]func() xport.Stats
-	base     map[int]xport.Stats
-	progress map[int]func() int64
-	coord    func() coordSnapshot
-	restores atomic.Int64
+	mu        sync.Mutex
+	stats     map[int]func() xport.Stats
+	base      map[int]xport.Stats
+	progress  map[int]func() int64
+	saved     map[int]func() int64
+	savedBase map[int]int64
+	coord     func() coordSnapshot
+	restores  atomic.Int64
 }
 
 // NewMetrics returns an empty collector ready to be passed via WithMetrics.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		stats:    make(map[int]func() xport.Stats),
-		base:     make(map[int]xport.Stats),
-		progress: make(map[int]func() int64),
+		stats:     make(map[int]func() xport.Stats),
+		base:      make(map[int]xport.Stats),
+		progress:  make(map[int]func() int64),
+		saved:     make(map[int]func() int64),
+		savedBase: make(map[int]int64),
 	}
 }
 
@@ -88,6 +92,22 @@ func (m *Metrics) registerProgress(rank int, fn func() int64) {
 	}
 	m.mu.Lock()
 	m.progress[rank] = fn
+	m.mu.Unlock()
+}
+
+// registerSaved installs rank's compressed-bytes-saved counter source: wire
+// bytes gradient quantization saved versus dense float32 frames. Like
+// registerStats, a re-registration folds the previous incarnation's final
+// count into the rank's base to keep the scraped counter monotonic.
+func (m *Metrics) registerSaved(rank int, fn func() int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if old := m.saved[rank]; old != nil {
+		m.savedBase[rank] += old()
+	}
+	m.saved[rank] = fn
 	m.mu.Unlock()
 }
 
@@ -151,10 +171,17 @@ func (m *Metrics) WriteProm(w io.Writer) error {
 		progRanks = append(progRanks, r)
 		prog[r] = fn()
 	}
+	savedRanks := make([]int, 0, len(m.saved))
+	saved := make(map[int]int64, len(m.saved))
+	for r, fn := range m.saved {
+		savedRanks = append(savedRanks, r)
+		saved[r] = m.savedBase[r] + fn()
+	}
 	coordFn := m.coord
 	m.mu.Unlock()
 	sort.Ints(ranks)
 	sort.Ints(progRanks)
+	sort.Ints(savedRanks)
 
 	e := metrics.NewPromEncoder(w)
 	for _, fam := range xportFamilies {
@@ -166,6 +193,11 @@ func (m *Metrics) WriteProm(w io.Writer) error {
 	e.Family("disttrain_live_worker_iterations", "Completed training iterations, per worker rank.", "gauge")
 	for _, r := range progRanks {
 		e.Sample("disttrain_live_worker_iterations", rankLabel(r), float64(prog[r]))
+	}
+	e.Family("disttrain_live_compressed_bytes_saved_total",
+		"Wire bytes gradient quantization saved versus dense float32 frames, per mesh rank.", "counter")
+	for _, r := range savedRanks {
+		e.Sample("disttrain_live_compressed_bytes_saved_total", rankLabel(r), float64(saved[r]))
 	}
 	var cs coordSnapshot
 	if coordFn != nil {

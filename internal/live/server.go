@@ -8,6 +8,7 @@ import (
 	"disttrain/internal/nn"
 	"disttrain/internal/ps"
 	"disttrain/internal/rng"
+	"disttrain/internal/trace"
 	"disttrain/internal/xport"
 )
 
@@ -30,6 +31,11 @@ type server struct {
 	model *nn.Model
 	ch    *chaos
 	ckpt  nn.Cadence
+
+	// codec is the gradient wire codec workers compress with (0 = dense);
+	// tr records dequantize spans on the coordinator track.
+	codec xport.QuantCodec
+	tr    *trace.Tracer
 }
 
 func newServer(cfg *core.Config, ep xport.Endpoint, o *Options) *server {
@@ -48,11 +54,24 @@ func newServer(cfg *core.Config, ep xport.Endpoint, o *Options) *server {
 		vecLen: len(init),
 		model:  model,
 		ch:     newChaos(cfg),
+		codec:  quantCodec(cfg),
 	}
 	if o != nil {
 		sv.ckpt = o.ckpt
+		sv.tr = o.tracer
 	}
 	return sv
+}
+
+// dequantGrad reconstructs a quantized gradient frame's dense vector into
+// f.Vec; dense runs pass frames through untouched.
+func (sv *server) dequantGrad(f *xport.Frame) error {
+	if sv.codec == 0 {
+		return nil
+	}
+	sp := sv.tr.StartSpan("dequantize", "quant", coordPid, 0)
+	defer sp.End()
+	return decodeGradPayload(sv.codec, f, sv.vecLen)
 }
 
 // maybeCheckpoint writes the global parameters as a PS checkpoint if step
@@ -143,6 +162,9 @@ func (sv *server) runBSP() error {
 			if err != nil {
 				return err
 			}
+			if err := sv.dequantGrad(&f); err != nil {
+				return err
+			}
 			msgs = append(msgs, f)
 		}
 		sort.Slice(msgs, func(i, j int) bool { return msgs[i].From < msgs[j].From })
@@ -179,6 +201,9 @@ func (sv *server) runASP() error {
 		}
 		switch f.Kind {
 		case kindGrad:
+			if err := sv.dequantGrad(&f); err != nil {
+				return err
+			}
 			sv.global.ApplyGrad(sv.assign[0], f.Vec, 1, cfg.LR.At(int(f.Clock)-1))
 			if err := sv.ep.Send(int(f.From), &xport.Frame{Kind: kindParams, From: int32(sv.W),
 				Clock: f.Clock, Vec: sv.snapshot()}); err != nil {
@@ -239,6 +264,9 @@ func (sv *server) runSSP() error {
 		case kindGrad:
 			// Petuum-style SSP: the worker sends its locally applied
 			// *update*; the PS accumulates it.
+			if err := sv.dequantGrad(&f); err != nil {
+				return err
+			}
 			sv.global.AddDelta(sv.assign[0], f.Vec)
 			clocks[f.From] = int(f.Clock)
 			if err := sv.ep.Send(int(f.From), &xport.Frame{Kind: kindAck, From: int32(sv.W),

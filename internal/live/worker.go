@@ -56,6 +56,12 @@ type worker struct {
 	iters  int     // completed iterations
 	weight float64 // GoSGD mixing weight
 
+	// codec is the gradient wire codec (0 = dense); saved accumulates the
+	// wire bytes quantization saved versus dense float32 frames, exported
+	// per rank as compressed_bytes_saved through Metrics.
+	codec xport.QuantCodec
+	saved atomic.Int64
+
 	// Chaos state: ch is the shared crash-membership function (nil in a
 	// crash-free run), startIter is where this incarnation's loop begins
 	// (>1 after a checkpoint restore), draws counts sampler draws for the
@@ -87,6 +93,7 @@ func newWorker(cfg *core.Config, rank int, ep xport.Endpoint, o *Options) *worke
 		rep:       newLiveReplica(rank, cfg, s),
 		algo:      s.algo,
 		weight:    1,
+		codec:     quantCodec(cfg),
 		ch:        newChaos(cfg),
 		startIter: 1,
 	}
@@ -98,6 +105,9 @@ func newWorker(cfg *core.Config, rank int, ep xport.Endpoint, o *Options) *worke
 			o.metrics.registerProgress(rank, w.prog.Load)
 			if st, ok := ep.(statser); ok {
 				o.metrics.registerStats(rank, st.Stats)
+			}
+			if w.codec != 0 {
+				o.metrics.registerSaved(rank, w.saved.Load)
 			}
 		}
 	}
@@ -264,9 +274,10 @@ func (w *worker) runBSP() error {
 		}
 		g := w.gradSpan()
 		w.draws++
+		gf := &xport.Frame{Kind: kindGrad, From: int32(w.rank), Clock: int32(it)}
+		w.encodeGrad(g, gf)
 		sp := w.span("ps-exchange", "comm")
-		if err := w.ep.Send(w.srv, &xport.Frame{Kind: kindGrad, From: int32(w.rank),
-			Clock: int32(it), Vec: g}); err != nil {
+		if err := w.ep.Send(w.srv, gf); err != nil {
 			return err
 		}
 		f, err := w.mb.recvMatch(kindParams, int32(it), 0, false, recvTimeout)
@@ -287,9 +298,10 @@ func (w *worker) runASP() error {
 	cfg := w.cfg
 	for it := 1; it <= cfg.Iters; it++ {
 		g := w.gradSpan()
+		gf := &xport.Frame{Kind: kindGrad, From: int32(w.rank), Clock: int32(it)}
+		w.encodeGrad(g, gf)
 		sp := w.span("ps-exchange", "comm")
-		if err := w.ep.Send(w.srv, &xport.Frame{Kind: kindGrad, From: int32(w.rank),
-			Clock: int32(it), Vec: g}); err != nil {
+		if err := w.ep.Send(w.srv, gf); err != nil {
 			return err
 		}
 		f, err := w.mb.recvMatch(kindParams, int32(it), 0, false, recvTimeout)
@@ -317,8 +329,12 @@ func (w *worker) runSSP() error {
 		for i := range delta {
 			delta[i] -= before[i]
 		}
-		if err := w.ep.Send(w.srv, &xport.Frame{Kind: kindGrad, From: int32(w.rank),
-			Clock: int32(it), Vec: delta}); err != nil {
+		// The shipped delta goes through the codec (the simulator's
+		// sendGrads quantizes SSP updates too); the local replica keeps
+		// the unquantized step, exactly like the simulator's worker.
+		df := &xport.Frame{Kind: kindGrad, From: int32(w.rank), Clock: int32(it)}
+		w.encodeGrad(delta, df)
+		if err := w.ep.Send(w.srv, df); err != nil {
 			return err
 		}
 		// Fold any acks that have piled up.
@@ -419,12 +435,13 @@ func (w *worker) runARSGD() error {
 		g := w.gradSpan()
 		w.draws++
 		agg := append([]float32(nil), g...)
+		qc := w.arQuantize(agg)
 		sp := w.span("allreduce", "comm")
 		var err error
 		if cfg.TreeAllReduce {
-			err = treeAllReduce(w.mb, nodes, self, int32(it), agg)
+			err = treeAllReduce(w.mb, nodes, self, int32(it), agg, qc)
 		} else {
-			err = ringAllReduce(w.mb, nodes, self, int32(it), agg)
+			err = ringAllReduce(w.mb, nodes, self, int32(it), agg, qc)
 		}
 		if err != nil {
 			return err

@@ -9,14 +9,20 @@ import (
 )
 
 // Dense is a fully connected layer: y = x·Wᵀ + b, with x of shape [B, In].
-// W is stored [Out, In].
+// W is stored [Out, In]. With fuseReLU set, the ReLU activation runs inside
+// the GEMM epilogue (MatMulBiasReLU) instead of as a separate layer — same
+// bits, one less pass over the activations. The backward mask is recovered
+// from the output itself: out > 0 iff the pre-activation was > 0 (anything
+// else, including NaN, was clamped to 0), so no mask storage is needed.
 type Dense struct {
 	name     string
 	In, Out  int
+	fuseReLU bool
 	w, b     *Param
 	x        *tensor.Tensor // cached input
 	y        *tensor.Tensor
 	dx       *tensor.Tensor
+	dy       *tensor.Tensor // ReLU-masked dout (fused only)
 	dwTmp    *tensor.Tensor
 	lastSize int
 	arena    *tensor.Arena
@@ -33,6 +39,15 @@ func NewDense(name string, in, out int, r *rng.RNG) *Dense {
 	return d
 }
 
+// NewDenseReLU creates a dense layer with the ReLU activation fused into the
+// GEMM epilogue. Bit-identical to NewDense followed by NewReLU (same RNG
+// draws, same parameter names, same forward/backward values).
+func NewDenseReLU(name string, in, out int, r *rng.RNG) *Dense {
+	d := NewDense(name, in, out, r)
+	d.fuseReLU = true
+	return d
+}
+
 func (d *Dense) Name() string             { return d.name }
 func (d *Dense) Params() []*Param         { return []*Param{d.w, d.b} }
 func (d *Dense) setArena(a *tensor.Arena) { d.arena = a }
@@ -43,27 +58,42 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	b := x.Shape[0]
 	if d.y == nil || d.lastSize != b {
-		// y and dx are fully overwritten by the GEMMs below, so recycled
-		// (dirty) arena buffers are safe.
+		// y, dy and dx are fully overwritten below, so recycled (dirty)
+		// arena buffers are safe.
 		d.arena.PutTensor(d.y)
 		d.arena.PutTensor(d.dx)
+		d.arena.PutTensor(d.dy)
 		d.y = d.arena.GetTensor(b, d.Out)
 		d.dx = d.arena.GetTensor(b, d.In)
+		d.dy = nil
+		if d.fuseReLU {
+			d.dy = d.arena.GetTensor(b, d.Out)
+		}
 		d.lastSize = b
 	}
 	d.x = x
-	tensor.MatMulTransB(x, d.w.W, d.y)
-	yd, bd := d.y.Data, d.b.W.Data
-	for i := 0; i < b; i++ {
-		row := yd[i*d.Out : i*d.Out+d.Out]
-		for j := range row {
-			row[j] += bd[j]
-		}
+	if d.fuseReLU {
+		tensor.MatMulBiasReLU(x, d.w.W, d.y, d.b.W.Data)
+	} else {
+		tensor.MatMulBias(x, d.w.W, d.y, d.b.W.Data)
 	}
 	return d.y
 }
 
 func (d *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if d.fuseReLU {
+		// Recover the ReLU mask from the fused output: out > 0 iff the
+		// pre-activation was kept.
+		yd, dd, md := d.y.Data, dout.Data, d.dy.Data
+		for i, v := range yd {
+			if v > 0 {
+				md[i] = dd[i]
+			} else {
+				md[i] = 0
+			}
+		}
+		dout = d.dy
+	}
 	b := dout.Shape[0]
 	// dW += doutᵀ·x
 	tensor.MatMulTransA(dout, d.x, d.dwTmp)
@@ -143,6 +173,7 @@ type Conv2D struct {
 	name                  string
 	InC, OutC             int
 	K, Stride, Pad        int
+	fuseReLU              bool
 	w, b                  *Param
 	cols                  *tensor.Tensor // batched patch rows [B·outH·outW, InC·K·K]
 	yt, dyt               *tensor.Tensor // channel-minor activations/grads [B·outH·outW, OutC]
@@ -165,6 +196,17 @@ func NewConv2D(name string, inC, outC, k, stride, pad int, r *rng.RNG) *Conv2D {
 	c.w = &Param{Name: name + ".w", W: w, G: tensor.New(outC, fanIn)}
 	c.b = &Param{Name: name + ".b", W: tensor.New(outC), G: tensor.New(outC)}
 	c.dwTmp = tensor.New(outC, fanIn)
+	return c
+}
+
+// NewConv2DReLU creates a convolution layer with the ReLU activation fused
+// into the GEMM epilogue. Bit-identical to NewConv2D followed by NewReLU:
+// bias-add and clamp happen on the channel-minor GEMM output before the
+// scatter, which permutes but never re-rounds the values. The backward mask
+// is recovered from the (post-ReLU) channel-minor activations.
+func NewConv2DReLU(name string, inC, outC, k, stride, pad int, r *rng.RNG) *Conv2D {
+	c := NewConv2D(name, inC, outC, k, stride, pad, r)
+	c.fuseReLU = true
 	return c
 }
 
@@ -214,17 +256,22 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		in3 := c.hdrIn.Rebind(x.Data[i*sampleIn:(i+1)*sampleIn], c.InC, c.h, c.wIn)
 		tensor.Im2colRows(in3, c.K, c.K, c.Stride, c.Pad, c.cols.Data[i*nCols*f:(i+1)*nCols*f])
 	}
-	// One GEMM for the whole mini-batch: yt = cols·Wᵀ.
-	tensor.MatMulTransB(c.cols, c.w.W, c.yt)
-	// Scatter the channel-minor rows into [B, OutC, outH·outW] plus bias.
-	yd, td, bd := c.y.Data, c.yt.Data, c.b.W.Data
+	// One GEMM for the whole mini-batch, bias (and, fused, ReLU) applied in
+	// the epilogue: yt = cols·Wᵀ + b.
+	if c.fuseReLU {
+		tensor.MatMulBiasReLU(c.cols, c.w.W, c.yt, c.b.W.Data)
+	} else {
+		tensor.MatMulBias(c.cols, c.w.W, c.yt, c.b.W.Data)
+	}
+	// Scatter the channel-minor rows into [B, OutC, outH·outW].
+	yd, td := c.y.Data, c.yt.Data
 	for i := 0; i < b; i++ {
 		out := yd[i*sampleOut : (i+1)*sampleOut]
 		rows := td[i*nCols*c.OutC:]
 		for pos := 0; pos < nCols; pos++ {
 			src := rows[pos*c.OutC : pos*c.OutC+c.OutC]
 			for ch, v := range src {
-				out[ch*nCols+pos] = v + bd[ch]
+				out[ch*nCols+pos] = v
 			}
 		}
 	}
@@ -237,15 +284,30 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	sampleIn := c.InC * c.h * c.wIn
 	nCols := c.outH * c.outW
 	f := c.InC * c.K * c.K
-	// Gather dout into the channel-minor patch-row order of c.cols.
-	dd, td := dout.Data, c.dyt.Data
+	// Gather dout into the channel-minor patch-row order of c.cols. For the
+	// fused layer the ReLU mask rides along: c.yt holds the post-ReLU
+	// activations, and masking before vs after the gather is the same
+	// because the scatter is a bijection.
+	dd, td, yt := dout.Data, c.dyt.Data, c.yt.Data
 	for i := 0; i < b; i++ {
 		src := dd[i*sampleOut : (i+1)*sampleOut]
 		rows := td[i*nCols*c.OutC:]
+		actRows := yt[i*nCols*c.OutC:]
 		for pos := 0; pos < nCols; pos++ {
 			dst := rows[pos*c.OutC : pos*c.OutC+c.OutC]
-			for ch := range dst {
-				dst[ch] = src[ch*nCols+pos]
+			if c.fuseReLU {
+				act := actRows[pos*c.OutC : pos*c.OutC+c.OutC]
+				for ch := range dst {
+					if act[ch] > 0 {
+						dst[ch] = src[ch*nCols+pos]
+					} else {
+						dst[ch] = 0
+					}
+				}
+			} else {
+				for ch := range dst {
+					dst[ch] = src[ch*nCols+pos]
+				}
 			}
 		}
 	}

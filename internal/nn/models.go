@@ -15,9 +15,10 @@ func NewMLP(r *rng.RNG, dims ...int) *Model {
 	}
 	var layers []Layer
 	for i := 0; i < len(dims)-1; i++ {
-		layers = append(layers, NewDense(fmt.Sprintf("fc%d", i), dims[i], dims[i+1], r))
 		if i < len(dims)-2 {
-			layers = append(layers, NewReLU(fmt.Sprintf("relu%d", i)))
+			layers = append(layers, NewDenseReLU(fmt.Sprintf("fc%d", i), dims[i], dims[i+1], r))
+		} else {
+			layers = append(layers, NewDense(fmt.Sprintf("fc%d", i), dims[i], dims[i+1], r))
 		}
 	}
 	return NewModel("mlp", layers...)
@@ -28,11 +29,9 @@ func NewMLP(r *rng.RNG, dims ...int) *Model {
 // conv(8)-relu-pool-conv(16)-relu-pool-fc(classes).
 func NewMiniCNN(r *rng.RNG, classes int) *Model {
 	return NewModel("minicnn",
-		NewConv2D("conv1", 1, 8, 3, 1, 1, r),
-		NewReLU("relu1"),
+		NewConv2DReLU("conv1", 1, 8, 3, 1, 1, r),
 		NewMaxPool("pool1"),
-		NewConv2D("conv2", 8, 16, 3, 1, 1, r),
-		NewReLU("relu2"),
+		NewConv2DReLU("conv2", 8, 16, 3, 1, 1, r),
 		NewMaxPool("pool2"),
 		NewFlatten("flat"),
 		NewDense("fc", 16*4*4, classes, r),
@@ -44,16 +43,16 @@ func NewMiniCNN(r *rng.RNG, classes int) *Model {
 // scale. Parameter mass is spread across many similarly sized conv layers,
 // making it "computation-intensive" in the paper's taxonomy.
 func NewMiniResNet(r *rng.RNG, classes int) *Model {
+	// c1+r1 fuse into one layer; c2 cannot (its ReLU sits after the skip
+	// add), and the post-skip ReLUs stay standalone for the same reason.
 	block := func(name string, ch int) Layer {
 		return NewResidual(name,
-			NewConv2D(name+".c1", ch, ch, 3, 1, 1, r),
-			NewReLU(name+".r1"),
+			NewConv2DReLU(name+".c1", ch, ch, 3, 1, 1, r),
 			NewConv2D(name+".c2", ch, ch, 3, 1, 1, r),
 		)
 	}
 	return NewModel("miniresnet",
-		NewConv2D("stem", 1, 8, 3, 1, 1, r),
-		NewReLU("stem.relu"),
+		NewConv2DReLU("stem", 1, 8, 3, 1, 1, r),
 		block("res1", 8),
 		NewReLU("res1.out"),
 		NewMaxPool("pool1"),
@@ -100,15 +99,12 @@ func NewMiniResNetBN(r *rng.RNG, classes int) *Model {
 // 138 M parameters sit in fc1) that drives the paper's sharding results.
 func NewMiniVGG(r *rng.RNG, classes int) *Model {
 	return NewModel("minivgg",
-		NewConv2D("conv1", 1, 8, 3, 1, 1, r),
-		NewReLU("relu1"),
+		NewConv2DReLU("conv1", 1, 8, 3, 1, 1, r),
 		NewMaxPool("pool1"),
-		NewConv2D("conv2", 8, 16, 3, 1, 1, r),
-		NewReLU("relu2"),
+		NewConv2DReLU("conv2", 8, 16, 3, 1, 1, r),
 		NewMaxPool("pool2"),
 		NewFlatten("flat"),
-		NewDense("fc1", 16*4*4, 256, r), // dominant layer, ~80% of params
-		NewReLU("relu3"),
+		NewDenseReLU("fc1", 16*4*4, 256, r), // dominant layer, ~80% of params
 		NewDense("fc2", 256, classes, r),
 	)
 }

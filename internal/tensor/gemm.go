@@ -1,5 +1,6 @@
 // GEMM kernels: cache-blocked, register-tiled matrix multiplication with a
-// deterministic goroutine fan-out over row panels of C.
+// deterministic goroutine fan-out over row panels of C and, on amd64 with
+// AVX2, packed-tile vector micro-kernels for the 16-column bands.
 //
 // All three variants (MatMul, MatMulTransA, MatMulTransB) share the same
 // structure: a serial panel kernel computes a contiguous range of C rows,
@@ -9,6 +10,20 @@
 // (ascending-p) order on every path, the result is byte-identical to the
 // serial kernel for any parallelism level — simulation outputs do not depend
 // on GOMAXPROCS.
+//
+// The vector kernels (gemm_amd64.s) keep that contract: they multiply and
+// add each lane with separate VMULPS/VADDPS instructions (never FMA, which
+// the Go compiler also never emits for float32 expressions), accumulate each
+// k block in registers starting from zero, and fold into C once per block —
+// the exact rounding sequence of the scalar tiles. Column/row remainders
+// that don't fill a 16-wide band run the scalar code, which performs the
+// same per-element sequence, so AVX2 on/off is bit-identical too
+// (test-enforced via gemmForceScalar).
+//
+// MatMulBias/MatMulBiasReLU fuse the A·Bᵀ layout's bias-add and ReLU
+// epilogue into the panel: the epilogue runs once per C row after all k
+// blocks have folded, in the same element order as a separate bias+ReLU
+// pass, so fused and unfused results are bit-identical.
 //
 // Numeric note: unlike the earlier kernels, no zero-skip fast path exists —
 // an A element of 0 still multiplies its B row, so NaN/Inf in either operand
@@ -40,9 +55,25 @@ const (
 	gemmParallelMinFLOPs = 1 << 19
 )
 
+// Epilogue selector for the A·Bᵀ panel: nothing, +bias, or relu(·+bias).
+const (
+	epNone = iota
+	epBias
+	epBiasReLU
+)
+
 // gemmForceProcs overrides the parallel width when positive (tests force
 // serial vs parallel execution to prove byte-identical results).
 var gemmForceProcs atomic.Int32
+
+// gemmForceScalar disables the AVX2 micro-kernels when set (tests force the
+// scalar reference path to prove the vector kernels are bit-identical).
+var gemmForceScalar atomic.Bool
+
+// gemmVector reports whether the packed AVX2 micro-kernels should run.
+func gemmVector() bool {
+	return hasAVX2 && !gemmForceScalar.Load()
+}
 
 func gemmProcs() int {
 	if p := gemmForceProcs.Load(); p > 0 {
@@ -112,17 +143,17 @@ func MatMul(a, b, c *Tensor) {
 }
 
 // matMulPanel computes rows [i0, i1) of C = A·B. The k loop is blocked so a
-// gemmBlockK×n slab of B is reused while cache-resident, and within a block
-// a 2×4 register tile of C accumulates entirely in registers — the inner
-// loop issues 8 multiply-adds against 6 loads and no stores, instead of a
-// load+store per multiply-add. (A 4×4 tile needs more accumulators than
-// amd64 has XMM registers; the spills cost more than the extra reuse wins.)
+// gemmBlockK×n slab of B is reused while cache-resident. Within a block,
+// full 16-wide column bands are packed into a contiguous tile (so the
+// micro-kernel streams B at stride 16 regardless of n) and handed to the
+// AVX2 4×16 / 1×16 kernels; the scalar 2×4 register tile covers remainders
+// and non-AVX2 hosts.
 //
-// Determinism: every C element, on every path (2-row pair or row remainder,
-// 4-column tile or column remainder), experiences the identical rounding
-// sequence — a block-local accumulator summing its k terms in ascending-p
-// order, folded into C once per block. Results therefore do not depend on
-// the panel split or on which unroll path a row or column lands in.
+// Determinism: every C element, on every path (vector band or scalar tile,
+// any unroll), experiences the identical rounding sequence — a block-local
+// accumulator summing its k terms in ascending-p order, folded into C once
+// per block. Results therefore do not depend on the panel split, the unroll
+// path, or AVX2 availability.
 func matMulPanel(ad, bd, cd []float32, i0, i1, k, n int) {
 	for i := i0; i < i1; i++ {
 		ci := cd[i*n : i*n+n]
@@ -130,87 +161,118 @@ func matMulPanel(ad, bd, cd []float32, i0, i1, k, n int) {
 			ci[x] = 0
 		}
 	}
+	vec := gemmVector()
+	var pack [gemmBlockK * 16]float32
 	for p0 := 0; p0 < k; p0 += gemmBlockK {
 		pMax := p0 + gemmBlockK
 		if pMax > k {
 			pMax = k
 		}
+		kc := pMax - p0
 		for j0 := 0; j0 < n; j0 += gemmBlockN {
 			jMax := j0 + gemmBlockN
 			if jMax > n {
 				jMax = n
 			}
-			i := i0
-			for ; i+1 < i1; i += 2 {
-				a0 := ad[i*k : i*k+k]
-				a1 := ad[(i+1)*k : (i+2)*k]
-				j := j0
-				for ; j+3 < jMax; j += 4 {
-					var c00, c01, c02, c03 float32
-					var c10, c11, c12, c13 float32
-					for p := p0; p < pMax; p++ {
-						bp := bd[p*n+j : p*n+j+4]
-						b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
-						av := a0[p]
-						c00 += av * b0
-						c01 += av * b1
-						c02 += av * b2
-						c03 += av * b3
-						av = a1[p]
-						c10 += av * b0
-						c11 += av * b1
-						c12 += av * b2
-						c13 += av * b3
+			j := j0
+			if vec {
+				for ; j+16 <= jMax; j += 16 {
+					for p := 0; p < kc; p++ {
+						base := (p0+p)*n + j
+						copy(pack[p*16:p*16+16], bd[base:base+16])
 					}
-					c0 := cd[i*n+j : i*n+j+4]
-					c0[0] += c00
-					c0[1] += c01
-					c0[2] += c02
-					c0[3] += c03
-					c1 := cd[(i+1)*n+j : (i+1)*n+j+4]
-					c1[0] += c10
-					c1[1] += c11
-					c1[2] += c12
-					c1[3] += c13
-				}
-				for ; j < jMax; j++ {
-					var s0, s1 float32
-					for p := p0; p < pMax; p++ {
-						bv := bd[p*n+j]
-						s0 += a0[p] * bv
-						s1 += a1[p] * bv
+					i := i0
+					for ; i+4 <= i1; i += 4 {
+						gemmMicro4x16(&ad[i*k+p0], k, &pack[0], &cd[i*n+j], n, kc)
 					}
-					cd[i*n+j] += s0
-					cd[(i+1)*n+j] += s1
+					for ; i < i1; i++ {
+						gemmMicro1x16(&ad[i*k+p0], &pack[0], &cd[i*n+j], kc)
+					}
 				}
 			}
-			for ; i < i1; i++ {
-				ai := ad[i*k : i*k+k]
-				j := j0
-				for ; j+3 < jMax; j += 4 {
-					var s0, s1, s2, s3 float32
-					for p := p0; p < pMax; p++ {
-						bp := bd[p*n+j : p*n+j+4]
-						av := ai[p]
-						s0 += av * bp[0]
-						s1 += av * bp[1]
-						s2 += av * bp[2]
-						s3 += av * bp[3]
-					}
-					ci := cd[i*n+j : i*n+j+4]
-					ci[0] += s0
-					ci[1] += s1
-					ci[2] += s2
-					ci[3] += s3
-				}
-				for ; j < jMax; j++ {
-					var s float32
-					for p := p0; p < pMax; p++ {
-						s += ai[p] * bd[p*n+j]
-					}
-					cd[i*n+j] += s
-				}
+			if j < jMax {
+				matMulScalarTile(ad, bd, cd, i0, i1, k, n, p0, pMax, j, jMax)
 			}
+		}
+	}
+}
+
+// matMulScalarTile is the scalar reference inner kernel for C = A·B over
+// rows [i0, i1), columns [j0, jMax), k block [p0, pMax): a 2×4 register tile
+// of C accumulates entirely in registers — the inner loop issues 8
+// multiply-adds against 6 loads and no stores, instead of a load+store per
+// multiply-add. (A 4×4 tile needs more accumulators than amd64 has XMM
+// registers; the spills cost more than the extra reuse wins.)
+func matMulScalarTile(ad, bd, cd []float32, i0, i1, k, n, p0, pMax, j0, jMax int) {
+	i := i0
+	for ; i+1 < i1; i += 2 {
+		a0 := ad[i*k : i*k+k]
+		a1 := ad[(i+1)*k : (i+2)*k]
+		j := j0
+		for ; j+3 < jMax; j += 4 {
+			var c00, c01, c02, c03 float32
+			var c10, c11, c12, c13 float32
+			for p := p0; p < pMax; p++ {
+				bp := bd[p*n+j : p*n+j+4]
+				b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
+				av := a0[p]
+				c00 += av * b0
+				c01 += av * b1
+				c02 += av * b2
+				c03 += av * b3
+				av = a1[p]
+				c10 += av * b0
+				c11 += av * b1
+				c12 += av * b2
+				c13 += av * b3
+			}
+			c0 := cd[i*n+j : i*n+j+4]
+			c0[0] += c00
+			c0[1] += c01
+			c0[2] += c02
+			c0[3] += c03
+			c1 := cd[(i+1)*n+j : (i+1)*n+j+4]
+			c1[0] += c10
+			c1[1] += c11
+			c1[2] += c12
+			c1[3] += c13
+		}
+		for ; j < jMax; j++ {
+			var s0, s1 float32
+			for p := p0; p < pMax; p++ {
+				bv := bd[p*n+j]
+				s0 += a0[p] * bv
+				s1 += a1[p] * bv
+			}
+			cd[i*n+j] += s0
+			cd[(i+1)*n+j] += s1
+		}
+	}
+	for ; i < i1; i++ {
+		ai := ad[i*k : i*k+k]
+		j := j0
+		for ; j+3 < jMax; j += 4 {
+			var s0, s1, s2, s3 float32
+			for p := p0; p < pMax; p++ {
+				bp := bd[p*n+j : p*n+j+4]
+				av := ai[p]
+				s0 += av * bp[0]
+				s1 += av * bp[1]
+				s2 += av * bp[2]
+				s3 += av * bp[3]
+			}
+			ci := cd[i*n+j : i*n+j+4]
+			ci[0] += s0
+			ci[1] += s1
+			ci[2] += s2
+			ci[3] += s3
+		}
+		for ; j < jMax; j++ {
+			var s float32
+			for p := p0; p < pMax; p++ {
+				s += ai[p] * bd[p*n+j]
+			}
+			cd[i*n+j] += s
 		}
 	}
 }
@@ -235,7 +297,10 @@ func MatMulTransA(a, b, c *Tensor) {
 // matMulTransAPanel computes C rows [i0, i1) of C = Aᵀ·B. The p loop stays
 // outermost so both A and B rows stream contiguously; the panel itself is
 // the cache block (its C rows are revisited every p step). Four C rows share
-// each loaded B row.
+// each loaded B row — via the AVX2 saxpy kernel for the 8-aligned column
+// prefix, scalar for the tail. Both paths fold a[p][i]·b[p][j] into C once
+// per p step, in ascending-p order, so vector on/off and the quad grouping
+// don't change a single bit.
 func matMulTransAPanel(ad, bd, cd []float32, i0, i1, k, m, n int) {
 	for i := i0; i < i1; i++ {
 		ci := cd[i*n : i*n+n]
@@ -243,21 +308,31 @@ func matMulTransAPanel(ad, bd, cd []float32, i0, i1, k, m, n int) {
 			ci[x] = 0
 		}
 	}
+	nv := 0
+	if gemmVector() {
+		nv = n &^ 7
+	}
 	for p := 0; p < k; p++ {
 		ap := ad[p*m : p*m+m]
 		bp := bd[p*n : p*n+n]
 		i := i0
 		for ; i+3 < i1; i += 4 {
-			av0, av1, av2, av3 := ap[i], ap[i+1], ap[i+2], ap[i+3]
-			c0 := cd[i*n : i*n+n]
-			c1 := cd[(i+1)*n : (i+2)*n]
-			c2 := cd[(i+2)*n : (i+3)*n]
-			c3 := cd[(i+3)*n : (i+4)*n]
-			for j, bv := range bp {
-				c0[j] += av0 * bv
-				c1[j] += av1 * bv
-				c2[j] += av2 * bv
-				c3[j] += av3 * bv
+			if nv > 0 {
+				gemmSaxpy4(&ap[i], &bp[0], &cd[i*n], n, nv)
+			}
+			if nv < n {
+				av0, av1, av2, av3 := ap[i], ap[i+1], ap[i+2], ap[i+3]
+				c0 := cd[i*n : i*n+n]
+				c1 := cd[(i+1)*n : (i+2)*n]
+				c2 := cd[(i+2)*n : (i+3)*n]
+				c3 := cd[(i+3)*n : (i+4)*n]
+				for j := nv; j < n; j++ {
+					bv := bp[j]
+					c0[j] += av0 * bv
+					c1[j] += av1 * bv
+					c2[j] += av2 * bv
+					c3[j] += av3 * bv
+				}
 			}
 		}
 		for ; i < i1; i++ {
@@ -272,36 +347,122 @@ func matMulTransAPanel(ad, bd, cd []float32, i0, i1, k, m, n int) {
 
 // MatMulTransB computes C = A·Bᵀ where A is (m×k), B is (n×k), C is (m×n).
 func MatMulTransB(a, b, c *Tensor) {
+	matMulTransBEp(a, b, c, nil, epNone)
+}
+
+// MatMulBias computes C = A·Bᵀ + bias where A is (m×k), B is (n×k), C is
+// (m×n) and bias (length n) is broadcast across rows — the layout of a
+// Dense/Conv2D forward pass. Bit-identical to MatMulTransB followed by a
+// separate bias add.
+func MatMulBias(a, b, c *Tensor, bias []float32) {
+	matMulTransBEp(a, b, c, bias, epBias)
+}
+
+// MatMulBiasReLU computes C = relu(A·Bᵀ + bias): the fully fused
+// Dense/Conv2D forward epilogue. Elements that are not > 0 after the bias
+// add (including NaN) become 0, exactly like the standalone ReLU layer, so
+// the fused result is bit-identical to MatMulTransB + bias + ReLU.
+func MatMulBiasReLU(a, b, c *Tensor, bias []float32) {
+	matMulTransBEp(a, b, c, bias, epBiasReLU)
+}
+
+func matMulTransBEp(a, b, c *Tensor, bias []float32, ep int) {
 	m, k := a.Shape[0], a.Shape[1]
 	n, k2 := b.Shape[0], b.Shape[1]
 	if k != k2 || c.Shape[0] != m || c.Shape[1] != n {
 		panic(fmt.Sprintf("tensor: matmulTransB shape mismatch %v x %v -> %v", a.Shape, b.Shape, c.Shape))
 	}
+	if ep != epNone && len(bias) != n {
+		panic(fmt.Sprintf("tensor: matmul bias length %d != %d columns", len(bias), n))
+	}
 	ad, bd, cd := a.Data, b.Data, c.Data
 	if gemmSerial(m, 2*m*k*n) {
-		matMulTransBPanel(ad, bd, cd, 0, m, k, n)
+		matMulTransBPanel(ad, bd, cd, 0, m, k, n, bias, ep)
 		return
 	}
 	gemmDispatch(m, 2*m*k*n, func(i0, i1 int) {
-		matMulTransBPanel(ad, bd, cd, i0, i1, k, n)
+		matMulTransBPanel(ad, bd, cd, i0, i1, k, n, bias, ep)
 	})
 }
 
-// matMulTransBPanel computes C rows [i0, i1) of C = A·Bᵀ as dot products of
-// A and B rows, four B rows at a time so each A row is streamed once per
-// quad instead of once per output. Each dot accumulates in ascending-p order
-// with an independent accumulator, so results do not depend on the quad
-// grouping or panel split.
-func matMulTransBPanel(ad, bd, cd []float32, i0, i1, k, n int) {
+// matMulTransBPanel computes C rows [i0, i1) of C = A·Bᵀ, then applies the
+// requested epilogue. The k loop is blocked like matMulPanel's; within a
+// block, 16 B rows at a time are packed transposed (pack[p][t] = B[j+t][p])
+// so the same 4×16/1×16 micro-kernels used by MatMul consume them, and the
+// scalar quad-dot tile covers the remainder columns and non-AVX2 hosts.
+//
+// Determinism: each C element accumulates its k terms ascending-p with a
+// block-local accumulator folded once per block (vector and scalar paths
+// identical), and the epilogue visits each row's elements in ascending-j
+// order after all blocks — independent of panel split, band grouping, and
+// AVX2 availability.
+func matMulTransBPanel(ad, bd, cd []float32, i0, i1, k, n int, bias []float32, ep int) {
 	for i := i0; i < i1; i++ {
-		ai := ad[i*k : i*k+k]
 		ci := cd[i*n : i*n+n]
+		for x := range ci {
+			ci[x] = 0
+		}
+	}
+	vec := gemmVector()
+	var pack [gemmBlockK * 16]float32
+	for p0 := 0; p0 < k; p0 += gemmBlockK {
+		pMax := p0 + gemmBlockK
+		if pMax > k {
+			pMax = k
+		}
+		kc := pMax - p0
 		j := 0
+		if vec {
+			for ; j+16 <= n; j += 16 {
+				for t := 0; t < 16; t++ {
+					row := bd[(j+t)*k+p0 : (j+t)*k+pMax]
+					for p, v := range row {
+						pack[p*16+t] = v
+					}
+				}
+				i := i0
+				for ; i+4 <= i1; i += 4 {
+					gemmMicro4x16(&ad[i*k+p0], k, &pack[0], &cd[i*n+j], n, kc)
+				}
+				for ; i < i1; i++ {
+					gemmMicro1x16(&ad[i*k+p0], &pack[0], &cd[i*n+j], kc)
+				}
+			}
+		}
+		if j < n {
+			matMulTransBScalarTile(ad, bd, cd, i0, i1, k, n, p0, pMax, j)
+		}
+	}
+	if ep == epNone {
+		return
+	}
+	relu := ep == epBiasReLU
+	for i := i0; i < i1; i++ {
+		ci := cd[i*n : i*n+n]
+		for j, bv := range bias {
+			v := ci[j] + bv
+			if relu && !(v > 0) {
+				v = 0
+			}
+			ci[j] = v
+		}
+	}
+}
+
+// matMulTransBScalarTile is the scalar reference kernel for C += A·Bᵀ over
+// rows [i0, i1), columns [j0, n), k block [p0, pMax): dot products of A and
+// B row segments, four B rows at a time so each A segment is streamed once
+// per quad instead of once per output.
+func matMulTransBScalarTile(ad, bd, cd []float32, i0, i1, k, n, p0, pMax, j0 int) {
+	for i := i0; i < i1; i++ {
+		ai := ad[i*k+p0 : i*k+pMax]
+		ci := cd[i*n : i*n+n]
+		j := j0
 		for ; j+3 < n; j += 4 {
-			b0 := bd[j*k : j*k+k]
-			b1 := bd[(j+1)*k : (j+2)*k]
-			b2 := bd[(j+2)*k : (j+3)*k]
-			b3 := bd[(j+3)*k : (j+4)*k]
+			b0 := bd[j*k+p0 : j*k+pMax]
+			b1 := bd[(j+1)*k+p0 : (j+1)*k+pMax]
+			b2 := bd[(j+2)*k+p0 : (j+2)*k+pMax]
+			b3 := bd[(j+3)*k+p0 : (j+3)*k+pMax]
 			var s0, s1, s2, s3 float32
 			for p, av := range ai {
 				s0 += av * b0[p]
@@ -309,15 +470,18 @@ func matMulTransBPanel(ad, bd, cd []float32, i0, i1, k, n int) {
 				s2 += av * b2[p]
 				s3 += av * b3[p]
 			}
-			ci[j], ci[j+1], ci[j+2], ci[j+3] = s0, s1, s2, s3
+			ci[j] += s0
+			ci[j+1] += s1
+			ci[j+2] += s2
+			ci[j+3] += s3
 		}
 		for ; j < n; j++ {
-			bj := bd[j*k : j*k+k]
+			bj := bd[j*k+p0 : j*k+pMax]
 			var s float32
 			for p, av := range ai {
 				s += av * bj[p]
 			}
-			ci[j] = s
+			ci[j] += s
 		}
 	}
 }

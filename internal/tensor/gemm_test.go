@@ -95,6 +95,132 @@ func TestGemmParallelBitIdentical(t *testing.T) {
 	}
 }
 
+// TestGemmVectorBitIdenticalToScalar proves the AVX2 micro-kernels don't
+// change a single output bit: the same multiply with the vector path forced
+// off must match bit-for-bit, for all variants and the fused epilogues, over
+// shapes that hit every band/remainder/block combination. On hosts without
+// AVX2 both runs take the scalar path and the test trivially passes.
+func TestGemmVectorBitIdenticalToScalar(t *testing.T) {
+	if !hasAVX2 {
+		t.Skip("no AVX2: vector path never taken")
+	}
+	r := rng.New(41)
+	shapes := [][3]int{
+		{1, 1, 1},
+		{4, 8, 16},                 // exactly one band, one row quad
+		{5, 60, 17},                // row remainder 1, col remainder 1
+		{7, 9, 33},                 // two bands + 1 col, row remainder 3
+		{16, gemmBlockK + 5, 48},   // k crosses the block edge
+		{3, 2*gemmBlockK + 17, 31}, // k spans three blocks, col remainder 15
+		{9, 64, gemmBlockN + 24},   // n crosses the column-block edge
+		{64, 512, 64},
+	}
+	for trial := 0; trial < 20; trial++ {
+		shapes = append(shapes, [3]int{1 + r.Intn(24), 1 + r.Intn(400), 1 + r.Intn(80)})
+	}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a := randMat(r, m, k)
+		b := randMat(r, k, n)
+		aT := transpose(a)
+		bT := transpose(b)
+		bias := make([]float32, n)
+		for j := range bias {
+			bias[j] = float32(r.NormFloat64())
+		}
+
+		check := func(name string, compute func(c *Tensor)) {
+			vec := New(m, n)
+			compute(vec)
+			scalar := New(m, n)
+			gemmForceScalar.Store(true)
+			compute(scalar)
+			gemmForceScalar.Store(false)
+			for i := range vec.Data {
+				if math.Float32bits(vec.Data[i]) != math.Float32bits(scalar.Data[i]) {
+					t.Fatalf("%s %v: element %d differs vector=%x scalar=%x",
+						name, s, i, math.Float32bits(vec.Data[i]), math.Float32bits(scalar.Data[i]))
+				}
+			}
+		}
+		check("MatMul", func(c *Tensor) { MatMul(a, b, c) })
+		check("MatMulTransA", func(c *Tensor) { MatMulTransA(aT, b, c) })
+		check("MatMulTransB", func(c *Tensor) { MatMulTransB(a, bT, c) })
+		check("MatMulBias", func(c *Tensor) { MatMulBias(a, bT, c, bias) })
+		check("MatMulBiasReLU", func(c *Tensor) { MatMulBiasReLU(a, bT, c, bias) })
+	}
+}
+
+// TestGemmFusedEpilogueBitIdentical proves the tentpole's fusion contract:
+// MatMulBias / MatMulBiasReLU must equal MatMulTransB followed by separate
+// bias-add and ReLU passes, bit for bit, across odd shapes and at every pool
+// size. NaN outputs must become 0 under ReLU exactly like the standalone
+// layer (`v > 0` test).
+func TestGemmFusedEpilogueBitIdentical(t *testing.T) {
+	r := rng.New(43)
+	shapes := [][3]int{
+		{1, 1, 1}, {3, 5, 7}, {5, 60, 17}, {13, 31, 29},
+		{7, gemmBlockK + 3, 33}, {96, 512, 80}, // last one large enough to go parallel
+	}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a := randMat(r, m, k)
+		bT := randMat(r, n, k)
+		bias := make([]float32, n)
+		for j := range bias {
+			bias[j] = float32(r.NormFloat64())
+		}
+		// Poison one output via 0·NaN so the epilogue's NaN handling is hit.
+		if k > 1 && m > 1 && n > 1 {
+			a.Data[k] = 0
+			bT.Data[n*k-k] = float32(math.NaN())
+		}
+		for _, procs := range []int32{1, 8} {
+			gemmForceProcs.Store(procs)
+			want := New(m, n)
+			MatMulTransB(a, bT, want)
+			for i := 0; i < m; i++ {
+				row := want.Data[i*n : i*n+n]
+				for j := range row {
+					row[j] += bias[j]
+				}
+			}
+			fusedB := New(m, n)
+			MatMulBias(a, bT, fusedB, bias)
+			for i := range want.Data {
+				if math.Float32bits(want.Data[i]) != math.Float32bits(fusedB.Data[i]) {
+					t.Fatalf("MatMulBias %v procs=%d: element %d differs", s, procs, i)
+				}
+			}
+			// Standalone ReLU semantics: v > 0 keeps v, else (incl. NaN) 0.
+			for i := range want.Data {
+				if !(want.Data[i] > 0) {
+					want.Data[i] = 0
+				}
+			}
+			fusedR := New(m, n)
+			MatMulBiasReLU(a, bT, fusedR, bias)
+			for i := range want.Data {
+				if math.Float32bits(want.Data[i]) != math.Float32bits(fusedR.Data[i]) {
+					t.Fatalf("MatMulBiasReLU %v procs=%d: element %d differs", s, procs, i)
+				}
+			}
+		}
+		gemmForceProcs.Store(0)
+	}
+}
+
+// TestGemmFusedBiasLengthValidated pins the bias length contract.
+func TestGemmFusedBiasLengthValidated(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on short bias")
+		}
+	}()
+	a, b, c := New(2, 3), New(4, 3), New(2, 4)
+	MatMulBiasReLU(a, b, c, make([]float32, 3))
+}
+
 // TestGemmNaNPropagates is the regression test for the zero-skip bug: the old
 // kernels skipped the inner loop when an A element was zero, so a NaN or Inf
 // in B could be silently dropped (0·NaN must be NaN, not 0). Every variant

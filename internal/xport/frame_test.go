@@ -168,6 +168,11 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add((&Frame{Kind: 109, From: 1, Data: []byte("fp:bsp/4/42")}).AppendEncode(nil))
 	f.Add((&Frame{Kind: 110, Aux: 1.75,
 		Data: []byte(`["127.0.0.1:1","127.0.0.1:2"]`)}).AppendEncode(nil))
+	// Quantized gradient frames: int8 and f16 QuantVec blobs in Data.
+	f.Add((&Frame{Kind: 1, From: 1, Clock: 5,
+		Data: (&QuantVec{Codec: QuantInt8, Scale: 0.25, I8: []int8{-127, 0, 64}}).AppendEncode(nil)}).AppendEncode(nil))
+	f.Add((&Frame{Kind: 8, From: 0, Clock: 2, Seg: 1,
+		Data: (&QuantVec{Codec: QuantF16, H16: []uint16{0x3c00, 0xbc00}}).AppendEncode(nil)}).AppendEncode(nil))
 	good := (&Frame{Kind: 3, Vec: []float32{1, 2}}).AppendEncode(nil)
 	f.Add(good[:5])                          // truncated header
 	f.Add(flipByte(good, 7))                 // bad CRC

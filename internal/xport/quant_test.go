@@ -1,0 +1,83 @@
+package xport
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestQuantVecRoundTrip(t *testing.T) {
+	cases := []QuantVec{
+		{Codec: QuantInt8, Scale: 0.03125, I8: []int8{-127, -1, 0, 1, 127}},
+		{Codec: QuantInt8, Scale: 0, I8: []int8{}},
+		{Codec: QuantF16, H16: []uint16{0x3c00, 0x0001, 0xfbff, 0x7c00}},
+		{Codec: QuantF16, H16: []uint16{}},
+	}
+	for _, q := range cases {
+		buf := q.AppendEncode(nil)
+		if len(buf) != q.EncodedLen() {
+			t.Fatalf("EncodedLen %d, encoded %d", q.EncodedLen(), len(buf))
+		}
+		got, err := DecodeQuantVec(buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got.Codec != q.Codec || got.Scale != q.Scale || got.Len() != q.Len() {
+			t.Fatalf("header mismatch: %+v vs %+v", got, q)
+		}
+		if q.Codec == QuantInt8 && len(q.I8) > 0 && !reflect.DeepEqual(got.I8, q.I8) {
+			t.Fatalf("int8 payload mismatch: %v vs %v", got.I8, q.I8)
+		}
+		if q.Codec == QuantF16 && len(q.H16) > 0 && !reflect.DeepEqual(got.H16, q.H16) {
+			t.Fatalf("f16 payload mismatch: %v vs %v", got.H16, q.H16)
+		}
+		// A quantized payload rides inside a normal frame untouched.
+		fr := Frame{Kind: 1, From: 2, Clock: 3, Data: buf}
+		dec, err := DecodeFrame(fr.AppendEncode(nil), 0)
+		if err != nil {
+			t.Fatalf("frame decode: %v", err)
+		}
+		if _, err := DecodeQuantVec(dec.Data); err != nil {
+			t.Fatalf("quant decode through frame: %v", err)
+		}
+	}
+}
+
+func TestQuantVecRejectsMalformed(t *testing.T) {
+	good := (&QuantVec{Codec: QuantInt8, Scale: 1, I8: []int8{1, 2, 3}}).AppendEncode(nil)
+	cases := map[string][]byte{
+		"empty":           {},
+		"short header":    good[:4],
+		"unknown codec":   append([]byte{9}, good[1:]...),
+		"count too big":   func() []byte { b := append([]byte(nil), good...); b[1] = 200; return b }(),
+		"count too small": func() []byte { b := append([]byte(nil), good...); b[1] = 1; return b }(),
+		"f16 odd length": func() []byte {
+			b := (&QuantVec{Codec: QuantF16, H16: []uint16{1, 2}}).AppendEncode(nil)
+			return b[:len(b)-1]
+		}(),
+	}
+	for name, buf := range cases {
+		if _, err := DecodeQuantVec(buf); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// FuzzDecodeQuantVec feeds arbitrary bytes to the quantized-payload decoder:
+// every input must return normally, and anything accepted must re-encode to
+// an identical blob.
+func FuzzDecodeQuantVec(f *testing.F) {
+	f.Add((&QuantVec{Codec: QuantInt8, Scale: 0.5, I8: []int8{-3, 0, 3}}).AppendEncode(nil))
+	f.Add((&QuantVec{Codec: QuantF16, H16: []uint16{0x3c00, 0x8000}}).AppendEncode(nil))
+	f.Add([]byte{1, 0, 0, 0, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := DecodeQuantVec(data)
+		if err != nil {
+			return
+		}
+		again := q.AppendEncode(nil)
+		if string(again) != string(data) {
+			t.Fatalf("accepted blob does not re-encode identically: %x vs %x", again, data)
+		}
+	})
+}
