@@ -1,0 +1,52 @@
+// Scaling frontier: push the AllReduce collectives far past the paper's
+// 24-worker testbed — 8 to 1024 simulated workers on both paper fabrics —
+// and find each one's breaking point. The study sweeps the flat ring, the
+// binomial tree, the machine-aware hierarchical collective, recursive
+// halving/doubling (butterfly), and the 2D torus, then cross-checks the
+// measured virtual times against the costmodel's first-order predictions.
+//
+// The checked-in STUDY.md in this directory is the full-grid output.
+//
+//	go run ./examples/scaling_frontier          # full grid (8..1024 workers)
+//	go run ./examples/scaling_frontier -quick   # seconds-long smoke pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"disttrain/internal/cli"
+	"disttrain/internal/train"
+)
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "small fast grid (8-16 workers) instead of 8-1024")
+		seed    = flag.Uint64("seed", 1, "master random seed")
+		verbose = flag.Bool("v", false, "log per-run progress to stderr")
+	)
+	flag.Parse()
+
+	opts := train.Options{Quick: *quick, Seed: *seed}
+	if *verbose {
+		opts.Log = os.Stderr
+	}
+	e, err := train.ByID("scale")
+	if err != nil {
+		cli.Fatal(err)
+	}
+	blocks, err := e.Run(opts)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	for _, b := range blocks {
+		fmt.Println(b)
+	}
+	fmt.Println("Reading the tables: the flat ring is near bandwidth-optimal, so with")
+	fmt.Println("full-size gradients it holds the frontier through the middle of the")
+	fmt.Println("sweep. Its weakness is the 2(n-1)-step dependency chain: with small or")
+	fmt.Println("DGC-compressed gradients every step pays the hop latency, and the")
+	fmt.Println("hierarchical collective — 2(M-1) inter-machine steps plus cheap bus")
+	fmt.Println("phases — wins at every multi-machine scale.")
+}

@@ -126,7 +126,18 @@ type ExperimentSpec struct {
 	// LocalAgg enables BSP intra-machine aggregation.
 	LocalAgg bool `json:"local_agg,omitempty"`
 	// TreeAllReduce switches AR-SGD to the binomial-tree collective.
+	// Equivalent to Collective "tree"; kept for spec compatibility.
 	TreeAllReduce bool `json:"tree_allreduce,omitempty"`
+	// Collective selects AR-SGD's AllReduce algorithm by name:
+	// ring (default) | tree | hierarchical | butterfly | torus.
+	// Simulator-only beyond ring/tree.
+	Collective string `json:"collective,omitempty"`
+	// Overlay restricts AD-PSGD/GoSGD partner selection to a sparse peer
+	// graph: kregular | smallworld. Simulator-only.
+	Overlay string `json:"overlay,omitempty"`
+	// OverlayDegree is the overlay's target neighbor count per rank
+	// (0 = default 4).
+	OverlayDegree int `json:"overlay_degree,omitempty"`
 	// StalenessDamping enables ASP's staleness-aware learning-rate scaling.
 	StalenessDamping bool `json:"staleness_damping,omitempty"`
 
@@ -304,6 +315,9 @@ func (s *ExperimentSpec) Config() (core.Config, error) {
 		QuantizeF16: s.QuantizeF16,
 
 		TreeAllReduce:    s.TreeAllReduce,
+		Collective:       s.Collective,
+		Overlay:          s.Overlay,
+		OverlayDegree:    s.OverlayDegree,
 		StalenessDamping: s.StalenessDamping,
 
 		Elastic:           s.Elastic,

@@ -59,6 +59,43 @@ func TestValidatedRejectsBadAlgo(t *testing.T) {
 	}
 }
 
+// TestSpecCollectiveAndOverlay verifies the additive topology fields pass
+// through Config() and survive a JSON round trip without a version bump.
+func TestSpecCollectiveAndOverlay(t *testing.T) {
+	s := ExperimentSpec{Algo: "arsgd", Workers: 24, Collective: "hierarchical"}
+	cfg, err := s.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Collective != "hierarchical" {
+		t.Fatalf("collective not carried: %q", cfg.Collective)
+	}
+	if s.Version != SpecVersion {
+		t.Fatalf("additive fields bumped the version: %q", s.Version)
+	}
+
+	s = ExperimentSpec{Algo: "gosgd", Workers: 8, Overlay: "kregular", OverlayDegree: 2}
+	cfg, err = s.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Overlay != "kregular" || cfg.OverlayDegree != 2 {
+		t.Fatalf("overlay not carried: %q/%d", cfg.Overlay, cfg.OverlayDegree)
+	}
+
+	// Live transports reject the simulator-only topology features.
+	s = ExperimentSpec{Algo: "arsgd", Workers: 8, Collective: "butterfly",
+		Transport: TransportChan, Real: &RealSpec{}}
+	if _, err := s.Validated(); err == nil {
+		t.Fatal("live transport accepted a simulator-only collective")
+	}
+	s = ExperimentSpec{Algo: "gosgd", Workers: 8, Overlay: "smallworld",
+		Transport: TransportChan, Real: &RealSpec{}}
+	if _, err := s.Validated(); err == nil {
+		t.Fatal("live transport accepted a gossip overlay")
+	}
+}
+
 // TestRunDeterministic verifies the exported JSON of two identical sim runs
 // is byte-identical — the contract every control-plane comparison rests on.
 func TestRunDeterministic(t *testing.T) {

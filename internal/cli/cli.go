@@ -52,6 +52,10 @@ type Flags struct {
 	GossipP   float64
 	LR        float64
 
+	Collective string
+	Overlay    string
+	OverlayDeg int
+
 	Real     bool
 	Dataset  string
 	Net      string
@@ -96,6 +100,9 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.IntVar(&f.Tau, "tau", 8, "EASGD communication period")
 	fs.Float64Var(&f.GossipP, "p", 0.01, "GoSGD gossip probability")
 	fs.Float64Var(&f.LR, "lr", 0.1, "learning-rate base")
+	fs.StringVar(&f.Collective, "collective", "", "AR-SGD AllReduce: ring|tree|hierarchical|butterfly|torus (empty = ring; sim-only beyond ring/tree)")
+	fs.StringVar(&f.Overlay, "overlay", "", "AD-PSGD/GoSGD gossip overlay: kregular|smallworld (empty = uniform partner selection; sim-only)")
+	fs.IntVar(&f.OverlayDeg, "overlaydeg", 0, "overlay neighbor degree per rank (0 = default 4)")
 
 	fs.BoolVar(&f.Real, "real", false, "real gradient math (accuracy mode)")
 	fs.StringVar(&f.Dataset, "dataset", "shapes16", "real mode dataset: shapes16|gauss|spiral")
@@ -128,31 +135,34 @@ func Register(fs *flag.FlagSet) *Flags {
 func (f *Flags) Spec() (api.ExperimentSpec, error) {
 	staleness := f.Staleness
 	spec := api.ExperimentSpec{
-		Version:     api.SpecVersion,
-		Algo:        f.Algo,
-		Workers:     f.Workers,
-		Model:       f.Model,
-		Gbps:        f.Gbps,
-		Iters:       f.Iters,
-		Seed:        f.Seed,
-		LR:          f.LR,
-		Staleness:   &staleness,
-		Tau:         f.Tau,
-		GossipP:     f.GossipP,
-		Sharding:    f.Shard,
-		WaitFreeBP:  f.WFBP,
-		DGC:         f.DGC,
-		Quantize8:   f.Quant8,
-		QuantizeF16: f.QuantF16,
-		LocalAgg:    f.LocalAgg,
-		FaultSpec:   f.FaultSpec,
-		Elastic:     f.Elastic,
-		TimeoutSec:  f.Timeout,
-		Transport:   f.Transport,
-		Pool:        f.Pool,
-		CkptDir:     f.CkptDir,
-		CkptEvery:   f.CkptEvery,
-		SlowUnitMS:  f.SlowUnitMS,
+		Version:       api.SpecVersion,
+		Algo:          f.Algo,
+		Workers:       f.Workers,
+		Model:         f.Model,
+		Gbps:          f.Gbps,
+		Iters:         f.Iters,
+		Seed:          f.Seed,
+		LR:            f.LR,
+		Staleness:     &staleness,
+		Tau:           f.Tau,
+		GossipP:       f.GossipP,
+		Collective:    f.Collective,
+		Overlay:       f.Overlay,
+		OverlayDegree: f.OverlayDeg,
+		Sharding:      f.Shard,
+		WaitFreeBP:    f.WFBP,
+		DGC:           f.DGC,
+		Quantize8:     f.Quant8,
+		QuantizeF16:   f.QuantF16,
+		LocalAgg:      f.LocalAgg,
+		FaultSpec:     f.FaultSpec,
+		Elastic:       f.Elastic,
+		TimeoutSec:    f.Timeout,
+		Transport:     f.Transport,
+		Pool:          f.Pool,
+		CkptDir:       f.CkptDir,
+		CkptEvery:     f.CkptEvery,
+		SlowUnitMS:    f.SlowUnitMS,
 	}
 	if f.FaultFile != "" {
 		sched, err := LoadFaults("", f.FaultFile)

@@ -38,6 +38,34 @@ func TestFlagsConfig(t *testing.T) {
 	}
 }
 
+func TestFlagsCollectiveAndOverlay(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse([]string{"-algo", "arsgd", "-workers", "24", "-collective", "hierarchical"}); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := f.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Collective != "hierarchical" {
+		t.Fatalf("collective flag not carried: %q", cfg.Collective)
+	}
+
+	fs = flag.NewFlagSet("test", flag.ContinueOnError)
+	f = Register(fs)
+	if err := fs.Parse([]string{"-algo", "gosgd", "-workers", "8", "-overlay", "kregular", "-overlaydeg", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err = f.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Overlay != "kregular" || cfg.OverlayDegree != 2 {
+		t.Fatalf("overlay flags not carried: %q/%d", cfg.Overlay, cfg.OverlayDegree)
+	}
+}
+
 func TestFlagsConfigRejectsBadSpec(t *testing.T) {
 	fs := flag.NewFlagSet("test", flag.ContinueOnError)
 	f := Register(fs)

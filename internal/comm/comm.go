@@ -39,7 +39,29 @@ const (
 	// OpBroadcast ships the leader's vector to every member; members block
 	// for it.
 	OpBroadcast
+	// OpHierarchicalAllReduce is the machine-aware AllReduce: intra-machine
+	// gather to a per-machine leader, a ring over the leaders, then an
+	// intra-machine broadcast. Requires Groups (see internal/topo).
+	OpHierarchicalAllReduce
+	// OpButterflyAllReduce is recursive halving/doubling over a hypercube,
+	// with pre/post folding for non-power-of-two worlds.
+	OpButterflyAllReduce
+	// OpTorusAllReduce is the 2D ring-of-rings: a ring AllReduce along each
+	// grid row, then along each column. Requires TorusRows × TorusCols ==
+	// len(Nodes).
+	OpTorusAllReduce
 )
+
+// isAllReduce reports whether op reduces a full vector across all
+// participants (and therefore needs payload/VirtualLen sizing).
+func isAllReduce(op Op) bool {
+	switch op {
+	case OpRingAllReduce, OpTreeAllReduce, OpHierarchicalAllReduce,
+		OpButterflyAllReduce, OpTorusAllReduce:
+		return true
+	}
+	return false
+}
 
 // CollectiveOpts parameterizes one collective call. Every participant must
 // invoke Collective with the same Op, Nodes, Kind and Clock; Self is the
@@ -67,6 +89,15 @@ type CollectiveOpts struct {
 	// of fixed-membership collectives).
 	Clock int
 	Stash *[]simnet.Msg
+	// Groups lists each machine's participant indices (indices into Nodes,
+	// not node IDs), ascending within a group; the first index of each
+	// group is its leader. Required by OpHierarchicalAllReduce; build it
+	// with topo.New.
+	Groups [][]int
+	// TorusRows × TorusCols is the grid shape for OpTorusAllReduce
+	// (row-major over Nodes); the product must equal len(Nodes). Build it
+	// with topo.TorusShape.
+	TorusRows, TorusCols int
 }
 
 // Collective runs the configured operation, blocking the calling process
@@ -94,6 +125,15 @@ func Collective(p *des.Proc, o CollectiveOpts) ([]float32, des.Time, error) {
 		return o.Vec, wire, err
 	case OpBroadcast:
 		return localBroadcast(p, &o)
+	case OpHierarchicalAllReduce:
+		wire, err := hierarchicalAllReduce(p, &o)
+		return o.Vec, wire, err
+	case OpButterflyAllReduce:
+		wire, err := butterflyAllReduce(p, &o)
+		return o.Vec, wire, err
+	case OpTorusAllReduce:
+		wire, err := torusAllReduce(p, &o)
+		return o.Vec, wire, err
 	default:
 		return o.Vec, 0, fmt.Errorf("comm: unknown op %d", o.Op)
 	}
@@ -116,7 +156,7 @@ func (o *CollectiveOpts) validate() error {
 	if o.Bytes < 0 {
 		return fmt.Errorf("comm: negative wire size %d", o.Bytes)
 	}
-	if o.Op == OpRingAllReduce || o.Op == OpTreeAllReduce {
+	if isAllReduce(o.Op) {
 		if o.Vec == nil && o.VirtualLen <= 0 {
 			return fmt.Errorf("comm: %v in cost-only mode needs a positive VirtualLen", o.Op)
 		}
@@ -126,6 +166,49 @@ func (o *CollectiveOpts) validate() error {
 	}
 	if o.Vec != nil && o.VirtualLen != 0 && o.VirtualLen != len(o.Vec) {
 		return fmt.Errorf("comm: VirtualLen %d disagrees with payload length %d", o.VirtualLen, len(o.Vec))
+	}
+	switch o.Op {
+	case OpHierarchicalAllReduce:
+		if err := o.validateGroups(); err != nil {
+			return err
+		}
+	case OpTorusAllReduce:
+		if o.TorusRows < 2 || o.TorusCols < 2 {
+			return fmt.Errorf("comm: %v needs a rectangular grid of at least 2×2, got %d×%d",
+				o.Op, o.TorusRows, o.TorusCols)
+		}
+		if o.TorusRows*o.TorusCols != len(o.Nodes) {
+			return fmt.Errorf("comm: %v grid %d×%d does not cover %d ranks",
+				o.Op, o.TorusRows, o.TorusCols, len(o.Nodes))
+		}
+	}
+	return nil
+}
+
+// validateGroups checks that Groups partitions 0..len(Nodes)-1.
+func (o *CollectiveOpts) validateGroups() error {
+	if len(o.Groups) == 0 {
+		return fmt.Errorf("comm: %v needs a cluster layout (Groups); derive one with topo.New", o.Op)
+	}
+	seen := make([]bool, len(o.Nodes))
+	total := 0
+	for g, members := range o.Groups {
+		if len(members) == 0 {
+			return fmt.Errorf("comm: %v group %d is empty", o.Op, g)
+		}
+		for _, r := range members {
+			if r < 0 || r >= len(o.Nodes) {
+				return fmt.Errorf("comm: %v group %d member %d outside world of %d", o.Op, g, r, len(o.Nodes))
+			}
+			if seen[r] {
+				return fmt.Errorf("comm: %v rank %d appears in two groups", o.Op, r)
+			}
+			seen[r] = true
+			total++
+		}
+	}
+	if total != len(o.Nodes) {
+		return fmt.Errorf("comm: %v groups cover %d of %d ranks", o.Op, total, len(o.Nodes))
 	}
 	return nil
 }
@@ -141,6 +224,12 @@ func (op Op) String() string {
 		return "gather"
 	case OpBroadcast:
 		return "broadcast"
+	case OpHierarchicalAllReduce:
+		return "hierarchical allreduce"
+	case OpButterflyAllReduce:
+		return "butterfly allreduce"
+	case OpTorusAllReduce:
+		return "torus allreduce"
 	}
 	return fmt.Sprintf("op(%d)", int(op))
 }

@@ -34,6 +34,26 @@ func runADPSGD(x *exp) {
 		passive = append(passive, w)
 	}
 
+	// With a sparse overlay, each active draws only from its odd-parity
+	// overlay neighbors — gossip restricted to the graph's edges. An active
+	// whose neighborhood happens to be all-even falls back to the full
+	// passive set so it still participates in averaging.
+	partnerBase := func(w int) []int {
+		if x.overlay == nil {
+			return passive
+		}
+		var base []int
+		for _, pe := range x.overlay.Neighbors[w] {
+			if pe%2 == 1 {
+				base = append(base, pe)
+			}
+		}
+		if len(base) == 0 {
+			return passive
+		}
+		return base
+	}
+
 	for w := 0; w < W; w++ {
 		w := w
 		tokens := des.NewQueue[int](x.eng)
@@ -79,13 +99,14 @@ func runADPSGD(x *exp) {
 					// Under fault injection the partner draw avoids peers
 					// that are dead (now or within the exchange's horizon)
 					// or partitioned away — AD-PSGD's natural elasticity.
-					cands := passive
+					base := partnerBase(w)
+					cands := base
 					if x.inj != nil {
 						now := p.Now()
 						mean := x.inj.MeanIterSec()
 						myM := cfg.Cluster.MachineOfWorker(w)
 						cands = nil
-						for _, pe := range passive {
+						for _, pe := range base {
 							if x.inj.DeadAt(pe, now) || x.inj.DeadAt(pe, now+mean) {
 								continue
 							}
@@ -98,7 +119,7 @@ func runADPSGD(x *exp) {
 							x.col.Faults.SkippedExchanges++
 							continue
 						}
-						if len(cands) < len(passive) {
+						if len(cands) < len(base) {
 							x.col.Faults.Redraws++
 						}
 					}
@@ -225,9 +246,15 @@ func runADPSGDUnconstrained(x *exp) {
 				}
 				// Initiate our own exchange and hold everything else until
 				// it completes — the deadlock-prone discipline.
-				peer := r.Intn(W - 1)
-				if peer >= w {
-					peer++
+				var peer int
+				if x.overlay != nil {
+					nb := x.overlay.Neighbors[w]
+					peer = nb[r.Intn(len(nb))]
+				} else {
+					peer = r.Intn(W - 1)
+					if peer >= w {
+						peer++
+					}
 				}
 				var payload []float32
 				if x.reps[w].mathOn() {

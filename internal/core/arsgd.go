@@ -8,6 +8,7 @@ import (
 	"disttrain/internal/grad"
 	"disttrain/internal/metrics"
 	"disttrain/internal/simnet"
+	"disttrain/internal/topo"
 )
 
 // runARSGD implements decentralized synchronous AllReduce SGD (Section
@@ -28,6 +29,29 @@ func runARSGD(x *exp) {
 	if cfg.TreeAllReduce {
 		op = comm.OpTreeAllReduce
 	}
+	// The topology-aware variants need the machine layout (or grid shape)
+	// up front; Validate has already vetted cluster and worker count, and
+	// rejects them combined with faults/elastic, so membership is fixed.
+	var groups [][]int
+	var torusRows, torusCols int
+	switch cfg.Collective {
+	case "hierarchical":
+		op = comm.OpHierarchicalAllReduce
+		tp, err := topo.New(cfg.Cluster, W)
+		if err != nil {
+			panic(fmt.Sprintf("arsgd: %v", err))
+		}
+		groups = tp.Groups
+	case "butterfly":
+		op = comm.OpButterflyAllReduce
+	case "torus":
+		op = comm.OpTorusAllReduce
+		var err error
+		torusRows, torusCols, err = topo.TorusShape(W)
+		if err != nil {
+			panic(fmt.Sprintf("arsgd: %v", err))
+		}
+	}
 	half := x.vecLen / 2
 	if half == 0 {
 		half = x.vecLen
@@ -40,10 +64,13 @@ func runARSGD(x *exp) {
 			// With fault injection the ring membership can change between
 			// rounds, so a fast peer's next-round chunk may overtake the
 			// current round's traffic; the per-round Clock tag plus this
-			// stash keeps every round's messages separated.
+			// stash keeps every round's messages separated. The topology-
+			// aware collectives need it even with fixed membership: their
+			// multi-phase patterns let a finished peer's next-round traffic
+			// arrive while this rank still drains the current round.
 			var stash []simnet.Msg
 			stashP := &stash
-			if x.inj == nil {
+			if x.inj == nil && !topoCollective(cfg.Collective) {
 				stashP = nil // strict fixed-membership discipline
 			}
 			for it := 1; it <= cfg.Iters; it++ {
@@ -89,7 +116,8 @@ func runARSGD(x *exp) {
 					_, wire := collective(p, comm.CollectiveOpts{
 						Op: op, Net: x.net, Nodes: nodes, Self: self,
 						Vec: vec, VirtualLen: vlen, Bytes: x.bytesFor(vlen),
-						Kind: kindAllReduce, Clock: it, Stash: stashP})
+						Kind: kindAllReduce, Clock: it, Stash: stashP,
+						Groups: groups, TorusRows: torusRows, TorusCols: torusCols})
 					return wire
 				}
 

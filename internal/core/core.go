@@ -31,6 +31,7 @@ import (
 	"disttrain/internal/nn"
 	"disttrain/internal/opt"
 	"disttrain/internal/simnet"
+	"disttrain/internal/topo"
 	"disttrain/internal/trace"
 )
 
@@ -166,6 +167,22 @@ type Config struct {
 	// instead of the ring algorithm (extension) — faster for small models
 	// on high-latency fabrics, slower for large ones.
 	TreeAllReduce bool
+	// Collective selects AR-SGD's AllReduce algorithm by name: "" or
+	// "ring" (the default flat ring), "tree" (alias for TreeAllReduce),
+	// "hierarchical" (machine-aware two-level), "butterfly" (recursive
+	// halving/doubling), "torus" (2D ring-of-rings; needs a non-prime
+	// worker count). All variants produce bit-identical parameters to the
+	// ring; they differ only in simulated communication time.
+	Collective string
+	// Overlay restricts AD-PSGD/GoSGD partner selection to a sparse
+	// seed-deterministic peer graph instead of uniform-over-all-ranks:
+	// "" (dense), "kregular" (random k-regular), "smallworld" (ring plus
+	// random chords).
+	Overlay string
+	// OverlayDegree is the target neighbor count per rank: the exact
+	// degree for "kregular", the average degree for "smallworld" (ring
+	// edges plus Workers·(degree−2)/2 chords). 0 = default 4.
+	OverlayDegree int
 	// StalenessDamping makes ASP's parameter server scale each gradient's
 	// learning rate by 1/(1+staleness), where staleness is how many global
 	// updates occurred since the worker pulled — the staleness-aware async
@@ -209,6 +226,16 @@ type Config struct {
 	// Result.WorkerParams (real mode only). The live runtime's bit-identity
 	// tests compare these against a wall-clock TCP run's final parameters.
 	CaptureParams bool
+}
+
+// topoCollective reports whether name is one of the topology-aware
+// AllReduce variants (fixed-membership, simulator-only).
+func topoCollective(name string) bool {
+	switch name {
+	case "hierarchical", "butterfly", "torus":
+		return true
+	}
+	return false
 }
 
 // Validate normalizes defaults and rejects inconsistent configurations.
@@ -313,8 +340,57 @@ func (c *Config) Validate() error {
 	if c.ADPSGDNoBipartite && c.Algo != ADPSGD {
 		return fmt.Errorf("core: ADPSGDNoBipartite applies only to AD-PSGD")
 	}
+	switch c.Collective {
+	case "":
+		if c.TreeAllReduce {
+			c.Collective = "tree"
+		} else {
+			c.Collective = "ring"
+		}
+	case "ring", "hierarchical", "butterfly", "torus":
+		if c.TreeAllReduce {
+			return fmt.Errorf("core: TreeAllReduce conflicts with Collective %q", c.Collective)
+		}
+	case "tree":
+		c.TreeAllReduce = true
+	default:
+		return fmt.Errorf("core: unknown collective %q (ring, tree, hierarchical, butterfly, torus)", c.Collective)
+	}
+	if c.Collective != "ring" && c.Algo != ARSGD {
+		return fmt.Errorf("core: collective selection applies only to AR-SGD")
+	}
+	if c.Collective == "torus" {
+		if _, _, err := topo.TorusShape(c.Workers); err != nil {
+			return err
+		}
+	}
 	if c.TreeAllReduce && c.Algo != ARSGD {
 		return fmt.Errorf("core: TreeAllReduce applies only to AR-SGD")
+	}
+	if topoCollective(c.Collective) && c.Elastic {
+		return fmt.Errorf("core: elastic membership is not supported with the %s collective (fixed topology)", c.Collective)
+	}
+	if c.Overlay != "" {
+		if c.Algo != ADPSGD && c.Algo != GoSGD {
+			return fmt.Errorf("core: gossip overlays apply only to AD-PSGD and GoSGD")
+		}
+		if c.OverlayDegree == 0 {
+			c.OverlayDegree = 4
+		}
+		switch c.Overlay {
+		case "kregular":
+			if err := topo.RegularFeasible(c.Workers, c.OverlayDegree); err != nil {
+				return err
+			}
+		case "smallworld":
+			if c.OverlayDegree < 2 || c.OverlayDegree >= c.Workers {
+				return fmt.Errorf("core: overlay degree %d outside [2, world size %d)", c.OverlayDegree, c.Workers)
+			}
+		default:
+			return fmt.Errorf("core: unknown overlay %q (kregular, smallworld)", c.Overlay)
+		}
+	} else if c.OverlayDegree != 0 {
+		return fmt.Errorf("core: OverlayDegree set without Overlay")
 	}
 	if c.StalenessDamping && c.Algo != ASP {
 		return fmt.Errorf("core: StalenessDamping applies only to ASP")
@@ -341,6 +417,9 @@ func (c *Config) Validate() error {
 		}
 		if c.ADPSGDNoBipartite {
 			return fmt.Errorf("core: fault injection is not supported for the AD-PSGD no-bipartite ablation")
+		}
+		if topoCollective(c.Collective) {
+			return fmt.Errorf("core: fault injection is not supported with the %s collective (fixed topology)", c.Collective)
 		}
 		if err := c.Faults.Validate(c.Workers, c.Cluster.Machines); err != nil {
 			return err

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 
 	"disttrain/internal/comm"
 	"disttrain/internal/costmodel"
@@ -17,6 +18,7 @@ import (
 	"disttrain/internal/sched"
 	"disttrain/internal/simnet"
 	"disttrain/internal/tensor"
+	"disttrain/internal/topo"
 )
 
 type rangeT = ps.Range
@@ -67,6 +69,7 @@ type exp struct {
 	psNode     []int // shard -> node ID
 
 	assign ps.Assignment
+	loc    *ps.Locator // index → shard, for one-pass sparse splitting
 	global *ps.Global
 
 	reps []*replica
@@ -86,6 +89,10 @@ type exp struct {
 	// algorithmic randomness (gossip choices, partner selection).
 	jitterRNG []*rng.RNG
 	algoRNG   []*rng.RNG
+
+	// overlay, when non-nil, restricts gossip partner selection
+	// (AD-PSGD/GoSGD) to a sparse seed-deterministic peer graph.
+	overlay *topo.Overlay
 
 	// compressors per worker when DGC is on (real mode only).
 	dgc []*grad.Compressor
@@ -146,6 +153,28 @@ func setup(cfg *Config) (*exp, error) {
 		x.algoRNG = append(x.algoRNG, algoRoot.Split(uint64(w)))
 	}
 
+	// Gossip overlay. Label 5 comes after the four established streams so
+	// configs without an overlay keep bit-identical results; the generator
+	// is seeded once and shared read-only by every worker.
+	if cfg.Overlay != "" {
+		seed := root.Split(5).Uint64()
+		var (
+			ov  *topo.Overlay
+			err error
+		)
+		switch cfg.Overlay {
+		case "kregular":
+			ov, err = topo.RandomRegular(cfg.Workers, cfg.OverlayDegree, seed)
+		case "smallworld":
+			chords := cfg.Workers * (cfg.OverlayDegree - 2) / 2
+			ov, err = topo.SmallWorld(cfg.Workers, chords, seed)
+		}
+		if err != nil {
+			panic(fmt.Sprintf("overlay: %v", err)) // Validate vetted feasibility
+		}
+		x.overlay = ov
+	}
+
 	// Replicas. Every replica re-derives the SAME initialization stream
 	// (seed → Split(1)) so all workers start with identical weights, as the
 	// algorithms assume.
@@ -181,6 +210,7 @@ func setup(cfg *Config) (*exp, error) {
 		default:
 			x.assign = ps.Single(x.vecLen)
 		}
+		x.loc = ps.NewLocator(x.assign)
 		for s := range x.assign {
 			machine := s % cfg.Cluster.Machines
 			x.psNode = append(x.psNode, x.net.AddNode(machine).ID)
@@ -426,6 +456,31 @@ func (x *exp) sendGrads(p *des.Proc, w int, clock int, grads []float32, useDGC b
 		}
 	}
 
+	// Split the sparse vector across shards in ONE pass via the locator —
+	// probing every shard's range list per entry is O(shards·nnz) and
+	// dominated setup at 256+ shards.
+	var spIdx [][]int32
+	var spVal [][]float32
+	if kind == kindSparseGrad && x.dgc != nil {
+		spIdx = make([][]int32, len(x.assign))
+		spVal = make([][]float32, len(x.assign))
+		for j, i := range sparse.Idx {
+			if s := x.loc.Shard(int(i)); s >= 0 {
+				spIdx[s] = append(spIdx[s], i)
+				spVal[s] = append(spVal[s], sparse.Val[j])
+			}
+		}
+	}
+
+	// Dense payloads alias ONE shared copy: every shard reads only its own
+	// (disjoint) ranges and never mutates, so per-shard full-vector copies
+	// would cost O(shards·vecLen) for nothing. The copy isolates receivers
+	// from the caller's reuse of grads.
+	var dense []float32
+	if kind == kindGrad && grads != nil {
+		dense = append([]float32(nil), grads...)
+	}
+
 	var avail []des.Time
 	if wfbp {
 		avail = x.bwdAvailability(jitter)
@@ -455,9 +510,8 @@ func (x *exp) sendGrads(p *des.Proc, w int, clock int, grads []float32, useDGC b
 				msg.Bytes = 8
 			}
 			if x.dgc != nil {
-				idx, val := sliceSparse(sparse, x.assign[s])
-				msg.SparseIdx = idx
-				msg.Vec = val
+				msg.SparseIdx = spIdx[s]
+				msg.Vec = spVal[s]
 			}
 		} else {
 			msg.Bytes = x.shardBytes(s)
@@ -468,9 +522,7 @@ func (x *exp) sendGrads(p *des.Proc, w int, clock int, grads []float32, useDGC b
 					msg.Bytes = msg.Bytes / 2
 				}
 			}
-			if grads != nil {
-				msg.Vec = append([]float32(nil), grads...) // full vector; shard reads its ranges
-			}
+			msg.Vec = dense // full vector; shard reads its ranges
 		}
 		x.net.Send(msg)
 	}
@@ -492,29 +544,10 @@ func shardOrder(avail []des.Time, n int) []int {
 	if avail == nil {
 		return order
 	}
-	// insertion sort; n is small and determinism matters.
-	for i := 1; i < n; i++ {
-		for j := i; j > 0 && avail[order[j]] < avail[order[j-1]]; j-- {
-			order[j], order[j-1] = order[j-1], order[j]
-		}
-	}
+	// Stable so ties keep natural shard order — determinism matters, and the
+	// previous insertion sort was O(shards²) per send at 256+ shards.
+	sort.SliceStable(order, func(i, j int) bool { return avail[order[i]] < avail[order[j]] })
 	return order
-}
-
-// sliceSparse extracts the sparse entries whose indices fall inside ranges.
-func sliceSparse(sp grad.Sparse, ranges []rangeT) ([]int32, []float32) {
-	var idx []int32
-	var val []float32
-	for j, i := range sp.Idx {
-		for _, r := range ranges {
-			if int(i) >= r.Off && int(i) < r.Off+r.Len {
-				idx = append(idx, i)
-				val = append(val, sp.Val[j])
-				break
-			}
-		}
-	}
-	return idx, val
 }
 
 // costOnlyDGCRatio mirrors grad.Compressor.CurrentRatio for cost-only runs

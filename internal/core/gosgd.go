@@ -55,21 +55,38 @@ func runGoSGD(x *exp) {
 				drain()
 
 				if r.Bernoulli(cfg.GossipP) {
-					// Choose a target uniformly among the other workers;
-					// under fault injection, among the live reachable ones
-					// (a push to a dead peer would lose its weight mass).
+					// Choose a target uniformly among the other workers —
+					// or, with a sparse overlay, among this worker's overlay
+					// neighbors. Under fault injection, among the live
+					// reachable members of that base set (a push to a dead
+					// peer would lose its weight mass).
 					t := -1
 					if x.inj == nil {
-						t = r.Intn(W - 1)
-						if t >= w {
-							t++
+						if x.overlay != nil {
+							nb := x.overlay.Neighbors[w]
+							t = nb[r.Intn(len(nb))]
+						} else {
+							t = r.Intn(W - 1)
+							if t >= w {
+								t++
+							}
 						}
 					} else {
 						now := p.Now()
 						myM := cfg.Cluster.MachineOfWorker(w)
+						var base []int
+						if x.overlay != nil {
+							base = x.overlay.Neighbors[w]
+						} else {
+							for pe := 0; pe < W; pe++ {
+								if pe != w {
+									base = append(base, pe)
+								}
+							}
+						}
 						var cands []int
-						for pe := 0; pe < W; pe++ {
-							if pe == w || x.inj.DeadAt(pe, now) {
+						for _, pe := range base {
+							if x.inj.DeadAt(pe, now) {
 								continue
 							}
 							if x.inj.Partitioned(now, myM, cfg.Cluster.MachineOfWorker(pe)) {
@@ -80,7 +97,7 @@ func runGoSGD(x *exp) {
 						if len(cands) == 0 {
 							x.col.Faults.SkippedExchanges++
 						} else {
-							if len(cands) < W-1 {
+							if len(cands) < len(base) {
 								x.col.Faults.Redraws++
 							}
 							t = cands[r.Intn(len(cands))]

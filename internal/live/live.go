@@ -81,6 +81,14 @@ func Validate(cfg *core.Config) error {
 	case cfg.ADPSGDNoBipartite:
 		return fmt.Errorf("live: the AD-PSGD no-bipartite ablation is simulator-only")
 	}
+	switch cfg.Collective {
+	case "", "ring", "tree": // tree maps onto the live binomial-tree path
+	default:
+		return fmt.Errorf("live: the %s collective is simulator-only (live supports ring and tree)", cfg.Collective)
+	}
+	if cfg.Overlay != "" {
+		return fmt.Errorf("live: gossip overlays are simulator-only")
+	}
 	if cfg.Elastic {
 		switch cfg.Algo {
 		case core.BSP, core.ARSGD:

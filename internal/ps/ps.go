@@ -118,6 +118,51 @@ func Single(total int) Assignment {
 	return Assignment{{Range{Off: 0, Len: total}}}
 }
 
+// Locator answers "which shard owns flat index i" in O(log ranges), so a
+// sparse vector can be split across shards in one pass instead of probing
+// every shard's range list per entry (O(shards·nnz) at high shard counts).
+type Locator struct {
+	offs   []int // sorted range starts
+	ends   []int // matching range ends (exclusive)
+	shards []int // owning shard per range
+}
+
+// NewLocator indexes an assignment's ranges by offset.
+func NewLocator(a Assignment) *Locator {
+	type owned struct {
+		r     Range
+		shard int
+	}
+	var all []owned
+	for s, ranges := range a {
+		for _, r := range ranges {
+			all = append(all, owned{r, s})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].r.Off < all[j].r.Off })
+	l := &Locator{
+		offs:   make([]int, len(all)),
+		ends:   make([]int, len(all)),
+		shards: make([]int, len(all)),
+	}
+	for i, o := range all {
+		l.offs[i] = o.r.Off
+		l.ends[i] = o.r.Off + o.r.Len
+		l.shards[i] = o.shard
+	}
+	return l
+}
+
+// Shard returns the shard owning flat index i, or -1 if no range covers it.
+func (l *Locator) Shard(i int) int {
+	// Last range with Off <= i.
+	k := sort.Search(len(l.offs), func(j int) bool { return l.offs[j] > i }) - 1
+	if k < 0 || i >= l.ends[k] {
+		return -1
+	}
+	return l.shards[k]
+}
+
 // Global is the PS-side global parameter state. Shard processes own
 // disjoint ranges, so they may update concurrently (in simulated time)
 // without coordination. In cost-only mode Params is nil and all math

@@ -94,6 +94,88 @@ func TestPartitionProperty(t *testing.T) {
 	}
 }
 
+func TestPartitionersAtScale(t *testing.T) {
+	// ResNet-50-sized vector over 256 and 1024 shards: both partitioners
+	// must still produce exact covers, and Balanced must keep every shard
+	// within one parameter of the ideal slice.
+	const total = 23_500_000
+	var segs []nn.Segment
+	{
+		// ~160 layers of uneven sizes summing to total.
+		var lens []int
+		r := rng.New(7)
+		rem := total
+		for rem > 0 {
+			l := 1 + r.Intn(300_000)
+			if l > rem {
+				l = rem
+			}
+			lens = append(lens, l)
+			rem -= l
+		}
+		segs = segsOf(lens...)
+	}
+	for _, shards := range []int{256, 1024} {
+		lw := LayerWise(segs, shards)
+		if err := lw.Validate(total); err != nil {
+			t.Fatalf("LayerWise(%d): %v", shards, err)
+		}
+		bal := Balanced(total, shards)
+		if err := bal.Validate(total); err != nil {
+			t.Fatalf("Balanced(%d): %v", shards, err)
+		}
+		ideal := int64(total) * 4 / int64(shards)
+		if m := bal.MaxBytes(); m > ideal+4 {
+			t.Fatalf("Balanced(%d) max shard %d bytes, ideal %d", shards, m, ideal)
+		}
+		// Balanced's critical path can never exceed layer-wise's: layer
+		// granularity only concentrates bytes.
+		if bal.MaxBytes() > lw.MaxBytes() {
+			t.Fatalf("Balanced max %d > LayerWise max %d at %d shards",
+				bal.MaxBytes(), lw.MaxBytes(), shards)
+		}
+	}
+}
+
+func TestLocatorMatchesLinearScan(t *testing.T) {
+	segs := segsOf(5, 5, 80, 5, 5)
+	for name, a := range map[string]Assignment{
+		"layerwise": LayerWise(segs, 4),
+		"balanced":  Balanced(100, 7),
+		"single":    Single(100),
+	} {
+		loc := NewLocator(a)
+		for i := 0; i < 100; i++ {
+			want := -1
+			for s, ranges := range a {
+				for _, r := range ranges {
+					if i >= r.Off && i < r.Off+r.Len {
+						want = s
+					}
+				}
+			}
+			if got := loc.Shard(i); got != want {
+				t.Fatalf("%s: Shard(%d) = %d, want %d", name, i, got, want)
+			}
+		}
+		if loc.Shard(-1) != -1 || loc.Shard(100) != -1 {
+			t.Fatalf("%s: out-of-range index located", name)
+		}
+	}
+}
+
+func TestLocatorAtScale(t *testing.T) {
+	const total = 1 << 20
+	a := Balanced(total, 1024)
+	loc := NewLocator(a)
+	for _, i := range []int{0, 1023, 1024, total / 2, total - 1} {
+		want := i / (total / 1024)
+		if got := loc.Shard(i); got != want {
+			t.Fatalf("Shard(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
 func TestValidateCatchesOverlap(t *testing.T) {
 	a := Assignment{{Range{0, 10}}, {Range{5, 10}}}
 	if a.Validate(15) == nil {

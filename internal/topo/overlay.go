@@ -1,0 +1,218 @@
+package topo
+
+import (
+	"fmt"
+	"sort"
+
+	"disttrain/internal/rng"
+)
+
+// Overlay is a sparse undirected peer graph over ranks 0..N-1. Gossip
+// algorithms (AD-PSGD, GoSGD) draw partners from Neighbors[r] instead of
+// uniformly over all other ranks, which is what makes them viable at
+// 1000-worker scale: per-round partner fan-in stays O(degree) rather than
+// O(world).
+type Overlay struct {
+	// N is the world size.
+	N int
+	// Kind names the generator ("kregular" or "smallworld").
+	Kind string
+	// Seed is the construction seed; equal (N, Kind, degree, Seed) always
+	// yields an identical graph.
+	Seed uint64
+	// Neighbors[r] lists r's peers, ascending, no self-loops, no
+	// duplicates, and symmetric: s ∈ Neighbors[r] ⇔ r ∈ Neighbors[s].
+	Neighbors [][]int
+}
+
+// RegularFeasible reports why no simple *connected* k-regular graph on n
+// vertices exists, or nil if one does (k < n, n·k even, and k ≥ 2 past the
+// two-rank world — every 1-regular graph on n > 2 ranks is a perfect
+// matching, which is never connected).
+func RegularFeasible(n, k int) error {
+	switch {
+	case n < 2:
+		return fmt.Errorf("topo: overlay needs at least 2 ranks, got %d", n)
+	case k < 1:
+		return fmt.Errorf("topo: overlay degree %d < 1", k)
+	case k >= n:
+		return fmt.Errorf("topo: overlay degree %d >= world size %d", k, n)
+	case n*k%2 != 0:
+		return fmt.Errorf("topo: no %d-regular graph on %d ranks (odd degree sum)", k, n)
+	case k == 1 && n > 2:
+		return fmt.Errorf("topo: a 1-regular graph on %d ranks is a perfect matching, never connected", n)
+	}
+	return nil
+}
+
+// RandomRegular builds a random connected k-regular overlay on n ranks via
+// the pairing model: k stubs per vertex, shuffled and paired, with the
+// whole attempt retried on self-loops, multi-edges, or disconnection. The
+// retry budget is bounded; if it runs out (tiny or adversarial n, k) the
+// generator falls back to the deterministic circulant graph rank±1..±⌈k/2⌉
+// (plus the antipode when k is odd), which is k-regular and connected by
+// construction. Either way the result depends only on (n, k, seed).
+func RandomRegular(n, k int, seed uint64) (*Overlay, error) {
+	if err := RegularFeasible(n, k); err != nil {
+		return nil, err
+	}
+	r := rng.New(seed)
+	for attempt := 0; attempt < 50; attempt++ {
+		adj, ok := tryPairing(n, k, r)
+		if ok && connected(adj) {
+			return finish(n, "kregular", seed, adj), nil
+		}
+	}
+	return finish(n, "kregular", seed, circulant(n, k)), nil
+}
+
+// tryPairing is one pairing-model attempt; ok is false on a self-loop or
+// multi-edge collision.
+func tryPairing(n, k int, r *rng.RNG) ([][]int, bool) {
+	stubs := make([]int, 0, n*k)
+	for v := 0; v < n; v++ {
+		for i := 0; i < k; i++ {
+			stubs = append(stubs, v)
+		}
+	}
+	r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	adj := make([][]int, n)
+	seen := make(map[[2]int]bool, n*k/2)
+	for i := 0; i < len(stubs); i += 2 {
+		a, b := stubs[i], stubs[i+1]
+		if a == b {
+			return nil, false
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]int{a, b}] {
+			return nil, false
+		}
+		seen[[2]int{a, b}] = true
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	return adj, true
+}
+
+// circulant is the deterministic fallback: each rank connects to
+// rank±1..±(k/2), plus rank+n/2 when k is odd (feasibility guarantees n is
+// even in that case).
+func circulant(n, k int) [][]int {
+	adj := make([][]int, n)
+	for v := 0; v < n; v++ {
+		for d := 1; d <= k/2; d++ {
+			adj[v] = append(adj[v], (v+d)%n, (v-d+n)%n)
+		}
+		if k%2 == 1 {
+			adj[v] = append(adj[v], (v+n/2)%n)
+		}
+	}
+	return adj
+}
+
+// SmallWorld builds a ring overlay with `chords` extra random long-range
+// edges (Watts–Strogatz style augmentation): always connected via the
+// ring, diameter shrinking with each chord. Chord endpoints are drawn
+// seed-deterministically; draws that would duplicate an existing edge or
+// form a self-loop are skipped after a bounded number of retries, so the
+// realized chord count may fall short on tiny worlds.
+func SmallWorld(n, chords int, seed uint64) (*Overlay, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topo: small-world overlay needs at least 3 ranks, got %d", n)
+	}
+	if chords < 0 {
+		return nil, fmt.Errorf("topo: negative chord count %d", chords)
+	}
+	adj := make([][]int, n)
+	seen := make(map[[2]int]bool, n+chords)
+	addEdge := func(a, b int) bool {
+		if a == b {
+			return false
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]int{a, b}] {
+			return false
+		}
+		seen[[2]int{a, b}] = true
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+		return true
+	}
+	for v := 0; v < n; v++ {
+		addEdge(v, (v+1)%n)
+	}
+	r := rng.New(seed)
+	for added, tries := 0, 0; added < chords && tries < 20*(chords+1); tries++ {
+		if addEdge(r.Intn(n), r.Intn(n)) {
+			added++
+		}
+	}
+	return finish(n, "smallworld", seed, adj), nil
+}
+
+func finish(n int, kind string, seed uint64, adj [][]int) *Overlay {
+	for v := range adj {
+		sort.Ints(adj[v])
+	}
+	return &Overlay{N: n, Kind: kind, Seed: seed, Neighbors: adj}
+}
+
+// connected reports whether the graph is one component (BFS from 0).
+func connected(adj [][]int) bool {
+	if len(adj) == 0 {
+		return false
+	}
+	seen := make([]bool, len(adj))
+	queue := []int{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				queue = append(queue, w)
+			}
+		}
+	}
+	return count == len(adj)
+}
+
+// Validate checks the structural invariants every generator must uphold:
+// symmetry, no self-loops, no duplicate edges, sorted neighbor lists, and
+// connectivity.
+func (o *Overlay) Validate() error {
+	if o.N < 2 || len(o.Neighbors) != o.N {
+		return fmt.Errorf("topo: overlay has %d neighbor lists for %d ranks", len(o.Neighbors), o.N)
+	}
+	for v, ns := range o.Neighbors {
+		for i, w := range ns {
+			switch {
+			case w < 0 || w >= o.N:
+				return fmt.Errorf("topo: rank %d has out-of-range neighbor %d", v, w)
+			case w == v:
+				return fmt.Errorf("topo: rank %d has a self-loop", v)
+			case i > 0 && ns[i-1] >= w:
+				return fmt.Errorf("topo: rank %d neighbor list not sorted/unique at %d", v, w)
+			}
+			if !contains(o.Neighbors[w], v) {
+				return fmt.Errorf("topo: edge %d-%d not symmetric", v, w)
+			}
+		}
+	}
+	if !connected(o.Neighbors) {
+		return fmt.Errorf("topo: overlay is disconnected")
+	}
+	return nil
+}
+
+func contains(sorted []int, x int) bool {
+	i := sort.SearchInts(sorted, x)
+	return i < len(sorted) && sorted[i] == x
+}

@@ -1,0 +1,144 @@
+package topo
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRandomRegularInvariants(t *testing.T) {
+	for _, c := range []struct{ n, k int }{
+		{4, 2}, {8, 3}, {24, 4}, {100, 4}, {257, 4}, {1024, 6},
+	} {
+		o, err := RandomRegular(c.n, c.k, 42)
+		if err != nil {
+			t.Fatalf("RandomRegular(%d,%d): %v", c.n, c.k, err)
+		}
+		if err := o.Validate(); err != nil {
+			t.Fatalf("RandomRegular(%d,%d): %v", c.n, c.k, err)
+		}
+		for v, ns := range o.Neighbors {
+			if len(ns) != c.k {
+				t.Fatalf("RandomRegular(%d,%d): rank %d has degree %d", c.n, c.k, v, len(ns))
+			}
+		}
+	}
+}
+
+func TestRandomRegularDeterministic(t *testing.T) {
+	a, err := RandomRegular(100, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := RandomRegular(100, 4, 7)
+	if !reflect.DeepEqual(a.Neighbors, b.Neighbors) {
+		t.Fatal("same seed, different graphs")
+	}
+	c, _ := RandomRegular(100, 4, 8)
+	if reflect.DeepEqual(a.Neighbors, c.Neighbors) {
+		t.Fatal("different seeds produced identical graphs (suspicious)")
+	}
+}
+
+func TestRandomRegularRejects(t *testing.T) {
+	cases := []struct{ n, k int }{
+		{1, 1}, // world too small
+		{8, 0}, // degree < 1
+		{8, 8}, // degree == world
+		{8, 9}, // degree > world
+		{5, 3}, // odd degree sum
+	}
+	for _, c := range cases {
+		if _, err := RandomRegular(c.n, c.k, 1); err == nil {
+			t.Fatalf("RandomRegular(%d,%d): want error", c.n, c.k)
+		}
+	}
+}
+
+func TestCirculantFallback(t *testing.T) {
+	// The fallback must itself satisfy every invariant, for even and odd k.
+	for _, c := range []struct{ n, k int }{{6, 2}, {8, 3}, {10, 4}, {12, 5}} {
+		o := finish(c.n, "kregular", 0, circulant(c.n, c.k))
+		if err := o.Validate(); err != nil {
+			t.Fatalf("circulant(%d,%d): %v", c.n, c.k, err)
+		}
+		for v, ns := range o.Neighbors {
+			if len(ns) != c.k {
+				t.Fatalf("circulant(%d,%d): rank %d degree %d", c.n, c.k, v, len(ns))
+			}
+		}
+	}
+}
+
+func TestSmallWorldInvariants(t *testing.T) {
+	for _, c := range []struct{ n, chords int }{
+		{3, 0}, {8, 4}, {100, 50}, {1024, 200},
+	} {
+		o, err := SmallWorld(c.n, c.chords, 9)
+		if err != nil {
+			t.Fatalf("SmallWorld(%d,%d): %v", c.n, c.chords, err)
+		}
+		if err := o.Validate(); err != nil {
+			t.Fatalf("SmallWorld(%d,%d): %v", c.n, c.chords, err)
+		}
+		// Ring edges guarantee a minimum degree of 2.
+		for v, ns := range o.Neighbors {
+			if len(ns) < 2 {
+				t.Fatalf("SmallWorld(%d,%d): rank %d degree %d < 2", c.n, c.chords, v, len(ns))
+			}
+		}
+	}
+	if _, err := SmallWorld(2, 0, 1); err == nil {
+		t.Fatal("want error for n=2")
+	}
+	if _, err := SmallWorld(8, -1, 1); err == nil {
+		t.Fatal("want error for negative chords")
+	}
+}
+
+func TestSmallWorldDeterministic(t *testing.T) {
+	a, _ := SmallWorld(64, 20, 3)
+	b, _ := SmallWorld(64, 20, 3)
+	if !reflect.DeepEqual(a.Neighbors, b.Neighbors) {
+		t.Fatal("same seed, different graphs")
+	}
+}
+
+// FuzzOverlay checks the generator invariants — degree, symmetry,
+// connectivity — under arbitrary seeds and sizes for both generators.
+func FuzzOverlay(f *testing.F) {
+	f.Add(8, 3, uint64(1))
+	f.Add(100, 4, uint64(42))
+	f.Add(257, 4, uint64(0))
+	f.Add(6, 5, uint64(99))
+	f.Add(1024, 6, uint64(7))
+	f.Fuzz(func(t *testing.T, n, k int, seed uint64) {
+		if n > 2048 || k > 64 {
+			t.Skip("bounded for fuzz throughput")
+		}
+		if err := RegularFeasible(n, k); err == nil {
+			o, genErr := RandomRegular(n, k, seed)
+			if genErr != nil {
+				t.Fatalf("feasible (%d,%d) failed: %v", n, k, genErr)
+			}
+			if err := o.Validate(); err != nil {
+				t.Fatalf("RandomRegular(%d,%d,%d): %v", n, k, seed, err)
+			}
+			for v, ns := range o.Neighbors {
+				if len(ns) != k {
+					t.Fatalf("RandomRegular(%d,%d,%d): rank %d degree %d", n, k, seed, v, len(ns))
+				}
+			}
+		} else if _, genErr := RandomRegular(n, k, seed); genErr == nil {
+			t.Fatalf("infeasible (%d,%d) accepted", n, k)
+		}
+		if n >= 3 && k >= 0 && k <= 256 {
+			o, err := SmallWorld(n, k, seed)
+			if err != nil {
+				t.Fatalf("SmallWorld(%d,%d,%d): %v", n, k, seed, err)
+			}
+			if err := o.Validate(); err != nil {
+				t.Fatalf("SmallWorld(%d,%d,%d): %v", n, k, seed, err)
+			}
+		}
+	})
+}

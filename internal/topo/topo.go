@@ -1,0 +1,112 @@
+// Package topo derives communication topology from the cluster layout:
+// machine-aware rank groups for hierarchical collectives, rectangular grids
+// for torus collectives, and sparse overlay graphs for gossip algorithms.
+//
+// Everything here is pure description — the topology says *who* talks to
+// *whom*; the collectives in internal/comm and the partner selection in
+// internal/core consume it to decide *when* and *how much*.
+package topo
+
+import (
+	"fmt"
+
+	"disttrain/internal/cluster"
+)
+
+// Tier classifies an edge between two ranks by the link it crosses.
+type Tier int
+
+const (
+	// TierIntra is a same-machine edge (PCIe/NVLink-class bus).
+	TierIntra Tier = iota
+	// TierInter is a cross-machine edge (NIC fabric).
+	TierInter
+)
+
+func (t Tier) String() string {
+	if t == TierIntra {
+		return "intra"
+	}
+	return "inter"
+}
+
+// Topology is the machine-aware view of a world of ranks 0..Workers-1
+// placed on a cluster. Ranks are packed onto machines exactly as
+// cluster.Config.MachineOfWorker places them; the last machine may hold
+// fewer ranks when Workers is not a multiple of WorkersPerMachine.
+type Topology struct {
+	// Workers is the world size.
+	Workers int
+	// Cluster is the underlying physical layout.
+	Cluster cluster.Config
+	// Groups[m] lists the ranks on machine m, ascending. Machines with no
+	// ranks (beyond the last occupied one) are omitted, so len(Groups) is
+	// the number of occupied machines.
+	Groups [][]int
+	// MachineOf[r] is the group index of rank r.
+	MachineOf []int
+}
+
+// New builds the topology for ranks 0..workers-1 on c.
+func New(c cluster.Config, workers int) (*Topology, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if workers < 1 || workers > c.Workers() {
+		return nil, fmt.Errorf("topo: %d workers on a %d-slot cluster", workers, c.Workers())
+	}
+	t := &Topology{Workers: workers, Cluster: c, MachineOf: make([]int, workers)}
+	for r := 0; r < workers; r++ {
+		m := c.MachineOfWorker(r)
+		for len(t.Groups) <= m {
+			t.Groups = append(t.Groups, nil)
+		}
+		t.Groups[m] = append(t.Groups[m], r)
+		t.MachineOf[r] = m
+	}
+	return t, nil
+}
+
+// Machines returns the number of occupied machines.
+func (t *Topology) Machines() int { return len(t.Groups) }
+
+// Leaders returns the lowest rank on each occupied machine, ascending.
+func (t *Topology) Leaders() []int {
+	ls := make([]int, len(t.Groups))
+	for m, g := range t.Groups {
+		ls[m] = g[0]
+	}
+	return ls
+}
+
+// TierOf classifies the edge between ranks a and b.
+func (t *Topology) TierOf(a, b int) Tier {
+	if t.MachineOf[a] == t.MachineOf[b] {
+		return TierIntra
+	}
+	return TierInter
+}
+
+// TorusShape factors n into the most-square rows×cols grid with
+// 2 ≤ rows ≤ cols. It errors on worlds that only admit a degenerate 1×n
+// grid (primes and n < 4), where a torus collapses to a flat ring and the
+// caller should say so rather than silently run the wrong algorithm.
+func TorusShape(n int) (rows, cols int, err error) {
+	if n < 4 {
+		return 0, 0, fmt.Errorf("topo: torus needs at least 4 ranks, got %d", n)
+	}
+	for r := isqrt(n); r >= 2; r-- {
+		if n%r == 0 {
+			return r, n / r, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("topo: torus needs a rectangular rank count, %d is prime", n)
+}
+
+func isqrt(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}

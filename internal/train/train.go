@@ -84,6 +84,7 @@ func Experiments() []Experiment {
 		{ID: "fig4", Title: "Fig. 4: effect of optimizations (cumulative)", Run: runFig4},
 		{ID: "table4", Title: "Table IV: effect of DGC on accuracy", Run: runTable4},
 		{ID: "ext", Title: "Extensions: stragglers, burstiness, staleness bounds, deadlock, baselines", Run: runExtensions},
+		{ID: "scale", Title: "Scaling frontier: collectives at 8-1024 workers vs costmodel predictions", Run: runScale},
 	}
 }
 

@@ -8,7 +8,7 @@ import (
 )
 
 func TestExperimentsRegistryComplete(t *testing.T) {
-	want := []string{"table1", "table2", "fig1", "table3", "fig2", "fig3", "fig4", "table4", "ext"}
+	want := []string{"table1", "table2", "fig1", "table3", "fig2", "fig3", "fig4", "table4", "ext", "scale"}
 	got := Experiments()
 	if len(got) != len(want) {
 		t.Fatalf("%d experiments, want %d", len(got), len(want))
